@@ -1,0 +1,152 @@
+package rapidnn
+
+// This file holds one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each benchmark invokes the corresponding
+// runner from internal/bench (quick mode, so `go test -bench=.` stays
+// tractable); `cmd/rapidnn-bench` runs the same runners at full scale and
+// prints the paper-style rows. EXPERIMENTS.md records paper-vs-measured.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	return bench.NewSuite(true)
+}
+
+// BenchmarkTable1Params regenerates Table 1 (RAPIDNN parameters).
+func BenchmarkTable1Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := bench.Table1(); len(r.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Baselines regenerates Table 2 (models & baseline error).
+func BenchmarkTable2Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if r := bench.Table2(s); len(r.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3ComposerOverhead regenerates Table 3 (composer overhead).
+func BenchmarkTable3ComposerOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := bench.Table3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4RNASharing regenerates Table 4 (RNA sharing).
+func BenchmarkTable4RNASharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := bench.Table4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6Retraining regenerates Fig. 6 (clustering + retraining).
+func BenchmarkFigure6Retraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := bench.Figure6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10AccuracySweep regenerates Fig. 10 (Δe vs w,u).
+func BenchmarkFigure10AccuracySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := bench.Figure10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11EfficiencySweep regenerates Fig. 11 (energy/speedup vs GPU).
+func BenchmarkFigure11EfficiencySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure11(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12EDP regenerates Fig. 12 (EDP & memory vs Δe).
+func BenchmarkFigure12EDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := bench.Figure12(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure13Breakdown regenerates Fig. 13 (energy/time breakdown).
+func BenchmarkFigure13Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure14Area regenerates Fig. 14 (area breakdown).
+func BenchmarkFigure14Area(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := bench.Figure14(); len(r.ChipShares) == 0 {
+			b.Fatal("empty breakdown")
+		}
+	}
+}
+
+// BenchmarkFigure15PIMComparison regenerates Fig. 15 (vs PIM accelerators).
+func BenchmarkFigure15PIMComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure15(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure16ASICComparison regenerates Fig. 16 (vs Eyeriss/SnaPEA).
+func BenchmarkFigure16ASICComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure16(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComputeEfficiency regenerates the §5.5 GOPS/mm² and GOPS/W text
+// numbers.
+func BenchmarkComputeEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Efficiency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the design-choice micro-studies (seeding,
+// activation quantization mode, NAF count folding, tree vs flat codebooks).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if a := bench.Ablations(); a.BinaryAddOps == 0 {
+			b.Fatal("empty ablation result")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package rapidnn
+
+// Integration tests for the four command-line tools: each binary is built
+// from source into a temp dir and driven the way a user would, asserting on
+// its output. Skipped under -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs all four binaries")
+	}
+	dir := t.TempDir()
+
+	// rapidnn-bench: hardware-only artifacts in quick mode.
+	benchBin := buildCmd(t, dir, "rapidnn-bench")
+	out := runCmd(t, benchBin, "-quick", "-only", "t1,f5,f14,ablate,xvar", "-csv", dir)
+	for _, want := range []string{"Table 1", "3841um2", "Figure 5", "Figure 14", "Ablations", "process variation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench output missing %q", want)
+		}
+	}
+
+	// rapidnn-compose: train, compose, save an artifact.
+	composeBin := buildCmd(t, dir, "rapidnn-compose")
+	modelPath := filepath.Join(dir, "mnist.rapidnn")
+	out = runCmd(t, composeBin, "-dataset", "MNIST", "-scale", "0.1", "-epochs", "3",
+		"-iters", "1", "-save", modelPath)
+	if !strings.Contains(out, "reinterpreted error") || !strings.Contains(out, "saved composed model") {
+		t.Errorf("compose output unexpected:\n%s", out)
+	}
+	if fi, err := os.Stat(modelPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("artifact missing: %v", err)
+	}
+
+	// rapidnn-infer: load the artifact, validate a few samples in hardware.
+	inferBin := buildCmd(t, dir, "rapidnn-infer")
+	out = runCmd(t, inferBin, "-model", modelPath, "-dataset", "MNIST", "-hw", "3")
+	for _, want := range []string{"software reinterpreted error", "hardware/software agreement", "NOR cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("infer output missing %q:\n%s", want, out)
+		}
+	}
+
+	// rapidnn-sim: analytic + event simulation + trace export.
+	simBin := buildCmd(t, dir, "rapidnn-sim")
+	tracePath := filepath.Join(dir, "trace.json")
+	out = runCmd(t, simBin, "-net", "MNIST", "-stream", "3", "-trace", tracePath)
+	for _, want := range []string{"RNA blocks", "energy breakdown", "tile placement", "steady interval"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q", want)
+		}
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace missing: %v", err)
+	}
+	// Paper-scale workloads resolve by name too.
+	out = runCmd(t, simBin, "-net", "VGGNet", "-chips", "8")
+	if !strings.Contains(out, "GMACs/inference") {
+		t.Errorf("sim VGGNet output unexpected")
+	}
+}

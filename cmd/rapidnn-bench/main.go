@@ -1,0 +1,168 @@
+// Command rapidnn-bench regenerates every table and figure of the RAPIDNN
+// paper's evaluation section (§5) and prints them in the paper's row/series
+// layout. Use -only to select specific artifacts and -quick for the reduced
+// grids used in tests.
+//
+// Usage:
+//
+//	rapidnn-bench [-quick] [-only t1,t2,t3,t4,f5,f6,f10,f11,f12,f13,f14,f15,f16,eff,ablate,xvar,xfault]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced datasets, widths and sweep grids")
+	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
+	csvDir := flag.String("csv", "", "also write each figure's data series as CSV into this directory")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	s := bench.NewSuite(*quick)
+	start := time.Now()
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "rapidnn-bench: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	saveCSV := func(id string, write func(w io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(id, err)
+		}
+		path := filepath.Join(*csvDir, bench.CSVName(id))
+		f, err := os.Create(path)
+		if err != nil {
+			fail(id, err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fail(id, err)
+		}
+		if err := f.Close(); err != nil {
+			fail(id, err)
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+
+	if run("t1") {
+		fmt.Println(bench.Table1())
+	}
+	if run("t2") {
+		fmt.Println(bench.Table2(s))
+	}
+	if run("t3") {
+		r, err := bench.Table3(s)
+		if err != nil {
+			fail("t3", err)
+		}
+		fmt.Println(r)
+	}
+	if run("t4") {
+		r, err := bench.Table4(s)
+		if err != nil {
+			fail("t4", err)
+		}
+		fmt.Println(r)
+		saveCSV("t4", r.WriteCSV)
+	}
+	if run("f5") {
+		fmt.Println(bench.Figure5())
+	}
+	if run("f6") {
+		r, err := bench.Figure6(s)
+		if err != nil {
+			fail("f6", err)
+		}
+		fmt.Println(r)
+		saveCSV("f6", r.WriteCSV)
+	}
+	if run("f10") {
+		r, err := bench.Figure10(s)
+		if err != nil {
+			fail("f10", err)
+		}
+		fmt.Println(r)
+		saveCSV("f10", r.WriteCSV)
+	}
+	if run("f11") {
+		r, err := bench.Figure11(*quick)
+		if err != nil {
+			fail("f11", err)
+		}
+		fmt.Println(r)
+		saveCSV("f11", r.WriteCSV)
+	}
+	if run("f12") {
+		r, err := bench.Figure12(s)
+		if err != nil {
+			fail("f12", err)
+		}
+		fmt.Println(r)
+		saveCSV("f12", r.WriteCSV)
+	}
+	if run("f13") {
+		r, err := bench.Figure13()
+		if err != nil {
+			fail("f13", err)
+		}
+		fmt.Println(r)
+	}
+	if run("f14") {
+		fmt.Println(bench.Figure14())
+	}
+	if run("f15") {
+		r, err := bench.Figure15(*quick)
+		if err != nil {
+			fail("f15", err)
+		}
+		fmt.Println(r)
+		saveCSV("f15", r.WriteCSV)
+	}
+	if run("f16") {
+		r, err := bench.Figure16(*quick)
+		if err != nil {
+			fail("f16", err)
+		}
+		fmt.Println(r)
+		saveCSV("f16", r.WriteCSV)
+	}
+	if run("eff") {
+		r, err := bench.Efficiency()
+		if err != nil {
+			fail("eff", err)
+		}
+		fmt.Println(r)
+	}
+	if run("ablate") {
+		fmt.Println(bench.Ablations())
+	}
+	if run("xvar") {
+		fmt.Println(bench.VariationStudy())
+	}
+	if run("xfault") {
+		r, err := bench.FaultStudy(s)
+		if err != nil {
+			fail("xfault", err)
+		}
+		fmt.Println(r)
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+}

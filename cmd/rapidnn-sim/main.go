@@ -1,0 +1,123 @@
+// Command rapidnn-sim maps a workload onto the simulated RAPIDNN
+// accelerator and prints its execution report: latency, pipelined
+// throughput, energy, per-block breakdown, RNA occupancy and the §5.5
+// efficiency metrics. Workloads are the six benchmark topologies at paper
+// scale, or the real-dimension ImageNet architectures (AlexNet, VGGNet,
+// GoogLeNet, ResNet).
+//
+// Usage:
+//
+//	rapidnn-sim [-net MNIST] [-w 64] [-u 64] [-chips 1] [-share 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/bench"
+	"repro/internal/rna"
+)
+
+func main() {
+	name := flag.String("net", "MNIST", "workload (MNIST, ISOLET, HAR, CIFAR-10, CIFAR-100, ImageNet, AlexNet, VGGNet, GoogLeNet, ResNet)")
+	w := flag.Int("w", 64, "weight codebook size")
+	u := flag.Int("u", 64, "input codebook size")
+	chips := flag.Int("chips", 1, "number of RAPIDNN chips")
+	share := flag.Float64("share", 0, "RNA sharing fraction")
+	stream := flag.Int("stream", 0, "also event-simulate this many pipelined inputs")
+	trace := flag.String("trace", "", "write the event simulation as a Chrome trace to this file")
+	flag.Parse()
+
+	var hb *bench.HWBench
+	for _, b := range bench.HardwareBenchmarks(*w, *u) {
+		if b.Name == *name {
+			hb = b
+			break
+		}
+	}
+	if hb == nil {
+		if b, err := bench.PaperScaleNet(*name, *w, *u); err == nil {
+			hb = b
+		}
+	}
+	if hb == nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-sim: unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+
+	cfg := accel.DefaultConfig()
+	cfg.Chips = *chips
+	cfg.ShareFraction = *share
+	rep, err := accel.Simulate(hb.Name, hb.Plans, hb.MACs, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %s  (%.2f GMACs/inference)\n", rep.Network, float64(rep.MACs)/1e9)
+	fmt.Printf("deployment: %d chip(s), w=%d u=%d, sharing %.0f%%\n\n", rep.Chips, *w, *u, 100**share)
+	fmt.Printf("RNA blocks:   %d required / %d available (multiplex %.2fx)\n",
+		rep.RNAsRequired, rep.RNAsAvailable, rep.Multiplex)
+	fmt.Printf("latency:      %d cycles = %.3f us\n", rep.LatencyCycles, rep.LatencySeconds*1e6)
+	fmt.Printf("throughput:   %.0f inferences/s (pipeline interval %d cycles)\n",
+		rep.ThroughputIPS, rep.PipelineCycles)
+	fmt.Printf("energy/input: %.3f uJ (reconfiguration %.3f uJ)\n",
+		rep.EnergyPerInputJ*1e6, rep.ReconfigEnergyJ*1e6)
+	fmt.Printf("area:         %.1f mm^2 (utilized %.1f mm^2)\n", rep.AreaMM2, rep.UtilizedAreaMM2)
+	fmt.Printf("peak power:   %.1f W\n", rep.PeakPowerW)
+	fmt.Printf("table memory: %.1f MB\n", float64(rep.MemoryBytes)/1e6)
+	fmt.Printf("efficiency:   %.0f GOPS, %.1f GOPS/mm^2, %.1f GOPS/W, EDP %.3g Js\n\n",
+		rep.GOPS, rep.GOPSPerMM2, rep.GOPSPerW, rep.EDP())
+
+	tot := rep.Breakdown.Total()
+	fmt.Println("energy breakdown:")
+	for _, b := range rna.Blocks() {
+		if rep.Breakdown[b].EnergyJ == 0 {
+			continue
+		}
+		fmt.Printf("  %-15s %5.1f%%\n", b, 100*rep.Breakdown[b].EnergyJ/tot.EnergyJ)
+	}
+
+	fmt.Println("\nper-layer stages:")
+	for _, l := range rep.Layers {
+		fmt.Printf("  %-6s %-5s neurons=%-8d blocks=%-8d cycles=%d\n",
+			l.Name, l.Kind, l.Neurons, l.RNABlocks, l.Cycles)
+	}
+
+	if *stream > 0 {
+		pipe, err := accel.SimulatePipeline(hb.Plans, *stream, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nstreaming %d inputs: fill %d cycles, steady interval %d cycles, makespan %d cycles\n",
+			*stream, pipe.FirstLatency, pipe.SteadyInterval, pipe.MakespanCycles)
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err == nil {
+				err = pipe.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rapidnn-sim: trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote Chrome trace to %s\n", *trace)
+		}
+	}
+
+	if placement, err := accel.Place(hb.Plans, cfg); err == nil {
+		fmt.Printf("\ntile placement (%d tiles used):\n", placement.TilesUsed)
+		for _, lp := range placement.Layers {
+			fmt.Printf("  %-6s tiles %d..%d\n", lp.Name, lp.FirstTile, lp.FirstTile+lp.Tiles-1)
+		}
+		fmt.Printf("  activation traffic: %d intra-tile bits, %d inter-tile bits, %.2f nJ/input\n",
+			placement.IntraTileBits, placement.InterTileBits, placement.BufferEnergyJ*1e9)
+	} else {
+		fmt.Printf("\nno static tile placement: %v\n", err)
+	}
+}

@@ -1,0 +1,67 @@
+package rapidnn_test
+
+import (
+	"fmt"
+
+	rapidnn "repro"
+)
+
+// Example runs the whole RAPIDNN pipeline on a small synthetic task: train a
+// model, reinterpret it for in-memory execution, check the accuracy cost,
+// and simulate the accelerator deployment.
+func Example() {
+	ds := rapidnn.SyntheticDataset("demo", 24, 3, 300, 90, 0.12, 7)
+	net := rapidnn.NewMLP("demo", ds.Features(), []int{16}, ds.Classes(), 7)
+
+	opt := rapidnn.DefaultTrainOptions()
+	opt.Epochs = 12
+	baseErr := net.Train(ds, opt)
+
+	composed, err := net.Compose(ds, rapidnn.ComposeOptions{
+		WeightClusters: 16, InputClusters: 16, MaxIterations: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	report, err := composed.Simulate(rapidnn.DeployOptions{Chips: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("baseline learned:", baseErr < 0.2)
+	fmt.Println("dE within 5%:", composed.DeltaE() <= 0.05)
+	fmt.Println("fits one chip:", report.Multiplex == 1)
+	fmt.Println("energy accounted:", report.EnergyPerInput > 0)
+	// Output:
+	// baseline learned: true
+	// dE within 5%: true
+	// fits one chip: true
+	// energy accounted: true
+}
+
+// ExampleComposed_Tune shows tree-codebook precision re-targeting (§3.1):
+// compose once with hierarchical codebooks, then downshift to a cheaper
+// level without re-clustering or retraining.
+func ExampleComposed_Tune() {
+	ds := rapidnn.SyntheticDataset("tune", 24, 3, 300, 90, 0.12, 9)
+	net := rapidnn.NewMLP("tune", ds.Features(), []int{16}, ds.Classes(), 9)
+	opt := rapidnn.DefaultTrainOptions()
+	opt.Epochs = 12
+	net.Train(ds, opt)
+
+	full, err := net.Compose(ds, rapidnn.ComposeOptions{
+		WeightClusters: 32, InputClusters: 32, MaxIterations: 1, TreeCodebooks: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	small, err := full.Tune(8, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tables shrank:", small.MemoryBytes() < full.MemoryBytes())
+	fmt.Println("still a valid model:", small.Error() <= 1)
+	// Output:
+	// tables shrank: true
+	// still a valid model: true
+}

@@ -1,0 +1,64 @@
+// CIFAR walkthrough: the paper's Type 2 (convolution + pooling) workload.
+// Trains the scaled-down CIFAR-10 topology (CV:32×3×3, PL:2×2, CV:64×3×3,
+// CV:64×3×3, FC:512, FC:10), composes it, and compares 1-chip vs 8-chip
+// deployments — at paper scale the conv layers exceed one chip's 32k RNA
+// blocks, so the single chip must time-multiplex and pay reconfiguration
+// energy (§5.5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rapidnn "repro"
+)
+
+func main() {
+	ds, err := rapidnn.BenchmarkDataset("CIFAR-10", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := rapidnn.BenchmarkModel(ds, 0.15, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CIFAR-10 stand-in, topology %s\n", net.Topology())
+
+	opt := rapidnn.DefaultTrainOptions()
+	opt.Epochs = 6
+	baseErr := net.Train(ds, opt)
+	fmt.Printf("baseline error: %.2f%% (paper: 14.4%% on real CIFAR-10)\n", 100*baseErr)
+
+	composed, err := net.Compose(ds, rapidnn.ComposeOptions{MaxIterations: 2, RetrainEpochs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reinterpreted error: %.2f%% (dE = %+.2f%%)\n\n",
+		100*composed.Error(), 100*composed.DeltaE())
+
+	for _, chips := range []int{1, 8} {
+		rep, err := composed.Simulate(rapidnn.DeployOptions{Chips: chips})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d chip(s): %8.0f inf/s, %7.3f uJ/inf, multiplex %.2fx, %6.1f mm^2\n",
+			chips, rep.ThroughputIPS, rep.EnergyPerInput*1e6, rep.Multiplex, rep.AreaMM2)
+	}
+
+	// RNA sharing (§5.6): give up a little accuracy for computation density.
+	fmt.Println("\nRNA sharing sweep:")
+	for _, share := range []float64{0, 0.15, 0.3} {
+		shared, err := net.Compose(ds, rapidnn.ComposeOptions{
+			MaxIterations: 1, ShareFraction: share,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := shared.Simulate(rapidnn.DeployOptions{Chips: 1, ShareFraction: share})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  share %3.0f%%: dE %+6.2f%%, %6.0f RNA blocks, %7.1f GOPS/mm^2\n",
+			100*share, 100*shared.DeltaE(), float64(rep.RNAsRequired), rep.GOPSPerMM2)
+	}
+}

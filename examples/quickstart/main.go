@@ -1,0 +1,51 @@
+// Quickstart: the full RAPIDNN pipeline in ~30 lines — train a model on a
+// benchmark dataset, reinterpret it with the DNN composer, check the
+// accuracy loss, and simulate it on the in-memory accelerator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rapidnn "repro"
+)
+
+func main() {
+	// 1. A benchmark dataset (synthetic stand-in with MNIST's shape).
+	ds, err := rapidnn.BenchmarkDataset("MNIST", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s — %d features, %d classes\n", ds.Name(), ds.Features(), ds.Classes())
+
+	// 2. The paper's FC topology at quarter width (fast on a laptop) and a
+	//    baseline training run.
+	net, err := rapidnn.BenchmarkModel(ds, 0.25, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := rapidnn.DefaultTrainOptions()
+	opt.Epochs = 10
+	baseErr := net.Train(ds, opt)
+	fmt.Printf("topology: %s\nbaseline error: %.2f%%\n", net.Topology(), 100*baseErr)
+
+	// 3. Neuron-to-memory transformation: cluster weights/inputs into 64-entry
+	//    codebooks, build activation lookup tables, retrain.
+	composed, err := net.Compose(ds, rapidnn.ComposeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reinterpreted error: %.2f%% (dE = %+.2f%%)\n",
+		100*composed.Error(), 100*composed.DeltaE())
+	fmt.Printf("accelerator tables: %.1f MB\n", float64(composed.MemoryBytes())/1e6)
+
+	// 4. Deploy on one RAPIDNN chip.
+	report, err := composed.Simulate(rapidnn.DeployOptions{Chips: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: %.1f us/inference, %.0f inferences/s, %.1f nJ/inference\n",
+		report.LatencySeconds*1e6, report.ThroughputIPS, report.EnergyPerInput*1e9)
+	fmt.Printf("weighted accumulation consumes %.0f%% of the energy\n",
+		100*report.WeightedAccumEnergyShare)
+}

@@ -1,0 +1,88 @@
+// Trade-off explorer: sweeps the accelerator configuration space the way a
+// system designer would (Figs. 11 and 12) — for a grid of codebook sizes it
+// reports the accuracy loss, energy-delay product, throughput and memory of
+// each configuration, then picks the minimal-EDP configuration within an
+// accuracy budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	rapidnn "repro"
+)
+
+type point struct {
+	w, u   int
+	deltaE float64
+	edp    float64
+	ips    float64
+	mem    int64
+}
+
+func main() {
+	ds, err := rapidnn.BenchmarkDataset("ISOLET", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := rapidnn.BenchmarkModel(ds, 0.25, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := rapidnn.DefaultTrainOptions()
+	opt.Epochs = 10
+	base := net.Train(ds, opt)
+	fmt.Printf("ISOLET stand-in, baseline error %.2f%%\n\n", 100*base)
+
+	var pts []point
+	fmt.Println("   w    u      dE        EDP        inf/s    tables")
+	for _, w := range []int{4, 16, 64} {
+		for _, u := range []int{4, 16, 64} {
+			composed, err := net.Compose(ds, rapidnn.ComposeOptions{
+				WeightClusters: w, InputClusters: u,
+				MaxIterations: 2, RetrainEpochs: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := composed.Simulate(rapidnn.DeployOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := point{w: w, u: u, deltaE: composed.DeltaE(), edp: rep.EDP,
+				ips: rep.ThroughputIPS, mem: rep.MemoryBytes}
+			pts = append(pts, p)
+			fmt.Printf("  %3d  %3d  %+6.2f%%  %10.3g  %9.0f  %6.1f KB\n",
+				w, u, 100*p.deltaE, p.edp, p.ips, float64(p.mem)/1024)
+		}
+	}
+
+	for _, budget := range []float64{0.0, 0.01, 0.02, 0.04} {
+		best := bestWithin(pts, budget)
+		if best == nil {
+			fmt.Printf("\nno configuration within dE ≤ %.0f%%\n", 100*budget)
+			continue
+		}
+		fmt.Printf("\nbest EDP within dE ≤ %.0f%%: w=%d u=%d (dE %+.2f%%, EDP %.3g, %.1f KB)",
+			100*budget, best.w, best.u, 100*best.deltaE, best.edp, float64(best.mem)/1024)
+	}
+	fmt.Println()
+}
+
+func bestWithin(pts []point, budget float64) *point {
+	minDelta := math.MaxFloat64
+	for _, p := range pts {
+		if p.deltaE < minDelta {
+			minDelta = p.deltaE
+		}
+	}
+	var best *point
+	for i := range pts {
+		p := &pts[i]
+		if p.deltaE <= minDelta+budget+1e-12 && (best == nil || p.edp < best.edp) {
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,253 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/composer"
+	"repro/internal/model"
+	"repro/internal/rna"
+)
+
+// fcPlans builds synthetic plans for the paper's full-scale MNIST topology.
+func fcPlans() ([]*composer.LayerPlan, int64) {
+	net := model.FCNet("MNIST", 784, 10, 1.0, 1)
+	return composer.SyntheticPlans(net, 64, 64, 64), net.MACs()
+}
+
+// convPlans builds synthetic plans for the full-scale CIFAR topology
+// (Type 2: convolution + pooling + FC).
+func convPlans() ([]*composer.LayerPlan, int64) {
+	net := model.ConvNet("CIFAR-10", 3, 32, 32, 10, 1.0, 1)
+	return composer.SyntheticPlans(net, 64, 64, 64), net.MACs()
+}
+
+func TestSimulateBasicFields(t *testing.T) {
+	plans, macs := fcPlans()
+	r, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RNAsRequired != 512+512+10 {
+		t.Fatalf("RNAs required = %d, want 1034", r.RNAsRequired)
+	}
+	if r.Multiplex != 1 {
+		t.Fatalf("MNIST fits on one chip, multiplex = %v", r.Multiplex)
+	}
+	if r.LatencyCycles <= 0 || r.ThroughputIPS <= 0 || r.EnergyPerInputJ <= 0 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	if r.PipelineCycles > r.LatencyCycles {
+		t.Fatal("pipeline interval cannot exceed end-to-end latency")
+	}
+	if r.MemoryBytes <= 0 {
+		t.Fatal("memory footprint missing")
+	}
+	if r.GOPS <= 0 || r.GOPSPerMM2 <= 0 || r.GOPSPerW <= 0 {
+		t.Fatal("efficiency metrics missing")
+	}
+}
+
+func TestSimulateLatencyIsSumOfStages(t *testing.T) {
+	plans, macs := fcPlans()
+	r, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, l := range r.Layers {
+		sum += l.Cycles
+	}
+	if r.LatencyCycles != sum {
+		t.Fatalf("latency %d != Σ stages %d (no multiplexing)", r.LatencyCycles, sum)
+	}
+}
+
+// Type 1 networks: weighted accumulation dominates energy at w=u=64
+// (Fig. 13: 77–81 %). Our calibration targets that band.
+func TestType1BreakdownShape(t *testing.T) {
+	plans, macs := fcPlans()
+	r, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := r.Breakdown.Total().EnergyJ
+	wa := r.Breakdown[rna.WeightedAccum].EnergyJ / tot
+	if wa < 0.6 || wa > 0.95 {
+		t.Fatalf("weighted-accum energy share %.2f, want ≈ 0.77", wa)
+	}
+	other := r.Breakdown[rna.Other].EnergyJ / tot
+	if other < 0.02 || other > 0.3 {
+		t.Fatalf("others share %.2f, want ≈ 0.11", other)
+	}
+	if r.Breakdown[rna.Pooling].EnergyJ != 0 {
+		t.Fatal("FC model must not consume pooling energy")
+	}
+}
+
+func TestType2HasPoolingShare(t *testing.T) {
+	plans, macs := convPlans()
+	r, err := Simulate("CIFAR-10", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := r.Breakdown.Total().EnergyJ
+	pool := r.Breakdown[rna.Pooling].EnergyJ / tot
+	if pool <= 0 || pool > 0.2 {
+		t.Fatalf("pooling share %.3f, want small but non-zero (paper: 3.2%%)", pool)
+	}
+}
+
+// The CIFAR-scale network exceeds one chip (74k RNAs > 32k): multiplexing
+// must kick in, and an 8-chip deployment must be faster and not pay
+// reconfiguration energy.
+func TestMultiplexingAndEightChips(t *testing.T) {
+	plans, macs := convPlans()
+	one, err := Simulate("CIFAR-10", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Chips = 8
+	eight, err := Simulate("CIFAR-10", plans, macs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Multiplex <= 1 {
+		t.Fatalf("1-chip multiplex = %v, want > 1", one.Multiplex)
+	}
+	if eight.Multiplex != 1 {
+		t.Fatalf("8-chip multiplex = %v, want 1", eight.Multiplex)
+	}
+	if one.ReconfigEnergyJ <= 0 || eight.ReconfigEnergyJ != 0 {
+		t.Fatalf("reconfig energy: 1-chip %v, 8-chip %v", one.ReconfigEnergyJ, eight.ReconfigEnergyJ)
+	}
+	if eight.ThroughputIPS <= one.ThroughputIPS {
+		t.Fatal("8 chips must be faster on an over-capacity network")
+	}
+	if eight.EnergyPerInputJ >= one.EnergyPerInputJ {
+		t.Fatal("8 chips avoid reconfiguration and must use less energy per input")
+	}
+}
+
+// RNA sharing (§5.6, Table 4): fewer blocks, same ops → higher GOPS/mm²,
+// roughly 1/(1−s).
+func TestSharingImprovesAreaEfficiency(t *testing.T) {
+	plans, macs := fcPlans()
+	base, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ShareFraction = 0.3
+	shared, err := Simulate("MNIST", plans, macs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.RNAsRequired >= base.RNAsRequired {
+		t.Fatal("sharing must reduce RNA blocks")
+	}
+	gain := shared.GOPSPerMM2 / base.GOPSPerMM2
+	// Throughput drops ~2× for shared stages while area drops ~1.43×, so
+	// the net gain is modest but must be positive per utilized block; the
+	// paper reports 1.29× at 30 %. Accept a broad band.
+	if gain < 0.9 || gain > 2.0 {
+		t.Fatalf("sharing GOPS/mm² gain = %.2f, want ≈ 1.3", gain)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	plans, macs := fcPlans()
+	for _, cfg := range []Config{
+		{Dev: DefaultConfig().Dev, Chips: 0, ReuseBatch: 1},
+		{Dev: DefaultConfig().Dev, Chips: 1, ShareFraction: 0.95, ReuseBatch: 1},
+		{Dev: DefaultConfig().Dev, Chips: 1, ReuseBatch: 0},
+	} {
+		if _, err := Simulate("x", plans, macs, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestEDPPositiveAndConsistent(t *testing.T) {
+	plans, macs := fcPlans()
+	r, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.EnergyPerInputJ * r.LatencySeconds
+	if math.Abs(r.EDP()-want) > want*1e-9 {
+		t.Fatalf("EDP = %v, want %v", r.EDP(), want)
+	}
+}
+
+// The computation-efficiency metric should land in the vicinity of the
+// paper's 1904.6 GOPS/s/mm² (§5.5) for a dense, well-utilized workload.
+func TestComputeEfficiencyOrder(t *testing.T) {
+	plans, macs := fcPlans()
+	r, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GOPSPerMM2 < 100 || r.GOPSPerMM2 > 20000 {
+		t.Fatalf("GOPS/mm² = %v, want same order as the paper's 1905", r.GOPSPerMM2)
+	}
+	if r.GOPSPerW < 50 || r.GOPSPerW > 20000 {
+		t.Fatalf("GOPS/W = %v, want same order as the paper's 839", r.GOPSPerW)
+	}
+}
+
+func TestLargerCodebooksSlowerAndHungrier(t *testing.T) {
+	net := model.FCNet("MNIST", 784, 10, 1.0, 1)
+	small := composer.SyntheticPlans(net, 4, 4, 64)
+	big := composer.SyntheticPlans(net, 64, 64, 64)
+	rs, err := Simulate("s", small, net.MACs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate("b", big, net.MACs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.EnergyPerInputJ <= rs.EnergyPerInputJ {
+		t.Fatal("w=u=64 must use more energy than w=u=4 (Fig. 11 trend)")
+	}
+	if rb.ThroughputIPS > rs.ThroughputIPS {
+		t.Fatal("w=u=64 must not be faster than w=u=4")
+	}
+	if rb.MemoryBytes <= rs.MemoryBytes {
+		t.Fatal("bigger codebooks must use more memory")
+	}
+}
+
+func TestInputStagingReported(t *testing.T) {
+	plans, macs := fcPlans()
+	r, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InputStagingEnergyJ <= 0 || r.InputStagingCycles <= 0 {
+		t.Fatalf("input staging missing: %v J, %d cycles", r.InputStagingEnergyJ, r.InputStagingCycles)
+	}
+	// Staging must stay a small fraction of the total inference energy.
+	if r.InputStagingEnergyJ > r.EnergyPerInputJ {
+		t.Fatalf("staging energy %v exceeds inference energy %v", r.InputStagingEnergyJ, r.EnergyPerInputJ)
+	}
+}
+
+func TestPaperScalePlansCarryRawInputs(t *testing.T) {
+	plans, _ := fcPlans()
+	found := false
+	for _, p := range plans {
+		if p.IsCompute() {
+			if p.RawInputs != 784 {
+				t.Fatalf("RawInputs = %d, want 784", p.RawInputs)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no compute plan")
+	}
+}

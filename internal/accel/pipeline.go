@@ -1,0 +1,129 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/composer"
+	"repro/internal/rna"
+)
+
+// This file is a discrete-event simulation of the §4.3 pipeline: layers are
+// stages connected by tile broadcast buffers, and a stream of inputs flows
+// through them. "RAPIDNN works in a pipeline, meaning that when a block is
+// writing values into a buffer, the next block (next layer) [is] accessing
+// the previous values stored in the buffer." The event simulation validates
+// the analytical model's steady-state throughput and exposes the fill/drain
+// transients the closed-form model cannot see.
+
+// PipelineEvent records one stage's processing of one input.
+type PipelineEvent struct {
+	Input int
+	Stage int
+	Start int64 // cycle the stage begins
+	End   int64 // cycle the stage's output is in the buffer
+}
+
+// PipelineResult is the timeline of a streamed batch.
+type PipelineResult struct {
+	Events []PipelineEvent
+	// MakespanCycles is when the last input leaves the last stage.
+	MakespanCycles int64
+	// FirstLatency is input 0's end-to-end latency (pipeline fill).
+	FirstLatency int64
+	// SteadyInterval is the observed inter-departure interval in steady
+	// state, which converges to the slowest stage's cycle count.
+	SteadyInterval int64
+	// ThroughputIPS is the steady-state rate implied by SteadyInterval.
+	ThroughputIPS float64
+}
+
+// SimulatePipeline streams `inputs` consecutive inferences through the layer
+// stages of the planned network. Stage s of input i can start only when (a)
+// stage s finished input i−1 (the RNA blocks are busy until then) and (b)
+// stage s−1 finished input i (its operands are in the broadcast buffer) —
+// the classic pipeline recurrence.
+func SimulatePipeline(plans []*composer.LayerPlan, inputs int, cfg Config) (*PipelineResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if inputs < 1 {
+		return nil, fmt.Errorf("accel: need at least one input, got %d", inputs)
+	}
+	cm := rna.CostModel{Dev: cfg.Dev}
+	// Stage cycle counts mirror Simulate's per-layer latency (including
+	// sharing stretch and multiplexing).
+	var stages []int64
+	var required int
+	for _, p := range plans {
+		if p.Kind == composer.KindDropout {
+			continue
+		}
+		blocks := p.Neurons
+		if p.IsCompute() && cfg.ShareFraction > 0 {
+			blocks = p.Neurons - int(math.Round(float64(p.Neurons)*cfg.ShareFraction))
+			if blocks < 1 {
+				blocks = 1
+			}
+		}
+		extra := float64(p.Neurons)/float64(blocks) - 1
+		stretch := 1 + cfg.ShareOverlap*extra
+		cyc := int64(math.Ceil(float64(cm.NeuronCost(p).Total().Cycles) * stretch))
+		stages = append(stages, cyc)
+		required += blocks
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("accel: no stages to simulate")
+	}
+	available := cfg.Chips * cfg.Dev.RNAsPerChip()
+	if required > available {
+		mult := float64(required) / float64(available)
+		for i := range stages {
+			stages[i] = int64(math.Ceil(float64(stages[i]) * mult))
+		}
+	}
+
+	res := &PipelineResult{}
+	// ready[s] = cycle stage s becomes free; done = per-input completion of
+	// the previous stage.
+	ready := make([]int64, len(stages))
+	prevDone := make([]int64, inputs) // completion time at the previous stage
+	for s, cyc := range stages {
+		for i := 0; i < inputs; i++ {
+			start := prevDone[i]
+			if ready[s] > start {
+				start = ready[s]
+			}
+			end := start + cyc
+			ready[s] = end
+			res.Events = append(res.Events, PipelineEvent{Input: i, Stage: s, Start: start, End: end})
+			prevDone[i] = end
+		}
+	}
+	res.MakespanCycles = prevDone[inputs-1]
+	// First input's latency: completion at the last stage.
+	for _, e := range res.Events {
+		if e.Input == 0 && e.Stage == len(stages)-1 {
+			res.FirstLatency = e.End
+		}
+	}
+	if inputs > 1 {
+		// Inter-departure in the second half of the stream (steady state).
+		var lastTwo [2]int64
+		for _, e := range res.Events {
+			if e.Stage == len(stages)-1 && e.Input == inputs-2 {
+				lastTwo[0] = e.End
+			}
+			if e.Stage == len(stages)-1 && e.Input == inputs-1 {
+				lastTwo[1] = e.End
+			}
+		}
+		res.SteadyInterval = lastTwo[1] - lastTwo[0]
+	} else {
+		res.SteadyInterval = res.FirstLatency
+	}
+	if res.SteadyInterval > 0 {
+		res.ThroughputIPS = cfg.Dev.ClockHz / float64(res.SteadyInterval)
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package accel
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/composer"
+)
+
+func TestPipelineSingleInputLatencyMatchesAnalytic(t *testing.T) {
+	plans, macs := fcPlans()
+	analytic, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := SimulatePipeline(plans, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.FirstLatency != analytic.LatencyCycles {
+		t.Fatalf("event-sim latency %d != analytic %d", pipe.FirstLatency, analytic.LatencyCycles)
+	}
+}
+
+func TestPipelineSteadyStateMatchesAnalyticThroughput(t *testing.T) {
+	plans, macs := fcPlans()
+	analytic, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := SimulatePipeline(plans, 50, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.SteadyInterval != analytic.PipelineCycles {
+		t.Fatalf("steady interval %d != analytic pipeline interval %d",
+			pipe.SteadyInterval, analytic.PipelineCycles)
+	}
+	if math.Abs(pipe.ThroughputIPS-analytic.ThroughputIPS) > analytic.ThroughputIPS*1e-9 {
+		t.Fatalf("throughput %v != %v", pipe.ThroughputIPS, analytic.ThroughputIPS)
+	}
+}
+
+// The pipeline recurrence invariants: a stage never starts an input before
+// the previous stage delivered it, never before it finished the previous
+// input, and events are causally ordered.
+func TestPipelineCausality(t *testing.T) {
+	plans, _ := convPlans()
+	pipe, err := SimulatePipeline(plans, 12, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ input, stage int }
+	byKey := map[key]PipelineEvent{}
+	maxStage := 0
+	for _, e := range pipe.Events {
+		byKey[key{e.Input, e.Stage}] = e
+		if e.Stage > maxStage {
+			maxStage = e.Stage
+		}
+		if e.End <= e.Start {
+			t.Fatalf("event %+v has non-positive duration", e)
+		}
+	}
+	for k, e := range byKey {
+		if k.stage > 0 {
+			if prev := byKey[key{k.input, k.stage - 1}]; e.Start < prev.End {
+				t.Fatalf("input %d stage %d starts before previous stage finished", k.input, k.stage)
+			}
+		}
+		if k.input > 0 {
+			if prev := byKey[key{k.input - 1, k.stage}]; e.Start < prev.End {
+				t.Fatalf("stage %d starts input %d before finishing input %d", k.stage, k.input, k.input-1)
+			}
+		}
+	}
+	_ = maxStage
+}
+
+// Pipelining must approach the ideal: makespan ≈ fill + (n−1)·bottleneck,
+// far below n × single-input latency.
+func TestPipelineOverlapsInputs(t *testing.T) {
+	plans, _ := fcPlans()
+	const n = 40
+	pipe, err := SimulatePipeline(plans, n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := pipe.FirstLatency * int64(n)
+	if pipe.MakespanCycles >= serial {
+		t.Fatalf("pipeline (%d cycles) no better than serial (%d)", pipe.MakespanCycles, serial)
+	}
+	ideal := pipe.FirstLatency + int64(n-1)*pipe.SteadyInterval
+	if pipe.MakespanCycles != ideal {
+		t.Fatalf("makespan %d, ideal pipeline predicts %d", pipe.MakespanCycles, ideal)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	plans, _ := fcPlans()
+	if _, err := SimulatePipeline(plans, 0, DefaultConfig()); err == nil {
+		t.Fatal("zero inputs must error")
+	}
+	if _, err := SimulatePipeline(nil, 1, DefaultConfig()); err == nil {
+		t.Fatal("no stages must error")
+	}
+	bad := DefaultConfig()
+	bad.Chips = 0
+	if _, err := SimulatePipeline(plans, 1, bad); err == nil {
+		t.Fatal("bad config must error")
+	}
+}
+
+// Multiplexing stretches the event simulation exactly like the analytic one.
+func TestPipelineMultiplexConsistency(t *testing.T) {
+	plans, macs := convPlans() // exceeds one chip
+	analytic, err := Simulate("CIFAR", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := SimulatePipeline(plans, 8, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytic.Multiplex <= 1 {
+		t.Fatal("expected an over-capacity workload")
+	}
+	if pipe.SteadyInterval != analytic.PipelineCycles {
+		t.Fatalf("multiplexed steady interval %d != analytic %d",
+			pipe.SteadyInterval, analytic.PipelineCycles)
+	}
+}
+
+func TestPipelineEventCount(t *testing.T) {
+	plans, _ := fcPlans()
+	stages := 0
+	for _, p := range plans {
+		if p.Kind != composer.KindDropout {
+			stages++
+		}
+	}
+	pipe, err := SimulatePipeline(plans, 7, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Events) != stages*7 {
+		t.Fatalf("%d events, want %d", len(pipe.Events), stages*7)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	plans, _ := fcPlans()
+	pipe, err := SimulatePipeline(plans, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pipe.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.TraceEvents) != len(pipe.Events) {
+		t.Fatalf("%d trace events for %d pipeline events", len(decoded.TraceEvents), len(pipe.Events))
+	}
+	for _, e := range decoded.TraceEvents {
+		if e.Ph != "X" || e.Dur <= 0 {
+			t.Fatalf("malformed trace event %+v", e)
+		}
+	}
+	if decoded.TraceEvents[0].Name != "input 0" {
+		t.Fatalf("first event name %q", decoded.TraceEvents[0].Name)
+	}
+}

@@ -1,0 +1,118 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/composer"
+)
+
+// Placement maps a planned network onto physical tiles (Fig. 9): each tile
+// hosts 1k RNA blocks and one broadcast buffer; a layer larger than a tile
+// spans several tiles, and consecutive layers placed on different tiles pay
+// inter-tile transfer for every encoded activation. The controller "assigns
+// a unique register for each tile that allows each tile to be configured
+// individually" (§4.3).
+type Placement struct {
+	Layers []LayerPlacement
+	// TilesUsed is the total tiles occupied across all chips.
+	TilesUsed int
+	// IntraTileBits / InterTileBits split the activation traffic by whether
+	// producer and consumer share a tile.
+	IntraTileBits int64
+	InterTileBits int64
+	// BufferEnergyJ is the broadcast-buffer energy per input implied by the
+	// traffic (inter-tile transfers cost extra drive energy).
+	BufferEnergyJ float64
+}
+
+// LayerPlacement records one layer's tile span.
+type LayerPlacement struct {
+	Name      string
+	Neurons   int
+	FirstTile int
+	Tiles     int
+}
+
+// InterTilePenalty is the drive-energy multiplier of crossing a tile
+// boundary relative to a local buffer write.
+const InterTilePenalty = 3.0
+
+// Place assigns layers to tiles greedily in order, starting each layer on a
+// fresh tile (layers pipeline through distinct stages, §4.3). It returns an
+// error when the network exceeds the deployment's tile capacity — the
+// multiplexed regime, where a static placement does not exist.
+func Place(plans []*composer.LayerPlan, cfg Config) (*Placement, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	perTile := cfg.Dev.RNAsPerTile
+	capacity := cfg.Chips * cfg.Dev.TilesPerChip
+	p := &Placement{}
+	tile := 0
+	for _, plan := range plans {
+		if plan.Kind == composer.KindDropout {
+			continue
+		}
+		blocks := plan.Neurons
+		if plan.IsCompute() && cfg.ShareFraction > 0 {
+			blocks = plan.Neurons - int(math.Round(float64(plan.Neurons)*cfg.ShareFraction))
+			if blocks < 1 {
+				blocks = 1
+			}
+		}
+		span := (blocks + perTile - 1) / perTile
+		if tile+span > capacity {
+			return nil, fmt.Errorf("accel: placement needs %d tiles, only %d available (use more chips or multiplexing)",
+				tile+span, capacity)
+		}
+		p.Layers = append(p.Layers, LayerPlacement{
+			Name: plan.Name, Neurons: plan.Neurons, FirstTile: tile, Tiles: span,
+		})
+		tile += span
+	}
+	p.TilesUsed = tile
+
+	// Activation traffic: every neuron broadcasts its encoded output to the
+	// consuming layer's tiles. Producer/consumer on the same tile write the
+	// local buffer; different tiles pay the inter-tile drive penalty.
+	planIdx := 0
+	for _, plan := range plans {
+		if plan.Kind == composer.KindDropout {
+			continue
+		}
+		if planIdx+1 < len(p.Layers) {
+			producer := p.Layers[planIdx]
+			consumer := p.Layers[planIdx+1]
+			bitsPer := int64(bitsFor(maxInt(plan.U(), 2)))
+			total := int64(plan.Neurons) * bitsPer
+			if producer.FirstTile == consumer.FirstTile && producer.Tiles == 1 && consumer.Tiles == 1 {
+				p.IntraTileBits += total
+			} else {
+				p.InterTileBits += total
+			}
+		}
+		planIdx++
+	}
+	p.BufferEnergyJ = float64(p.IntraTileBits)*cfg.Dev.BufferEnergyPerBit +
+		float64(p.InterTileBits)*cfg.Dev.BufferEnergyPerBit*InterTilePenalty
+	return p, nil
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

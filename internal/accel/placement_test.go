@@ -1,0 +1,93 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/composer"
+)
+
+func TestPlaceFCNetwork(t *testing.T) {
+	plans, _ := fcPlans() // 512 + 512 + 10 neurons, three dropout layers skipped
+	p, err := Place(plans, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Layers) != 3 {
+		t.Fatalf("%d placed layers, want 3", len(p.Layers))
+	}
+	// Each FC layer fits one tile; layers start on fresh tiles.
+	for i, lp := range p.Layers {
+		if lp.Tiles != 1 {
+			t.Fatalf("layer %d spans %d tiles", i, lp.Tiles)
+		}
+		if lp.FirstTile != i {
+			t.Fatalf("layer %d starts on tile %d", i, lp.FirstTile)
+		}
+	}
+	if p.TilesUsed != 3 {
+		t.Fatalf("TilesUsed = %d", p.TilesUsed)
+	}
+	// Consecutive layers sit on different tiles, so traffic is inter-tile.
+	if p.InterTileBits == 0 || p.IntraTileBits != 0 {
+		t.Fatalf("traffic split: intra %d inter %d", p.IntraTileBits, p.InterTileBits)
+	}
+	if p.BufferEnergyJ <= 0 {
+		t.Fatal("buffer energy missing")
+	}
+}
+
+func TestPlaceWideLayerSpansTiles(t *testing.T) {
+	plans, _ := convPlans() // conv1 has 32k neurons → 32 tiles
+	cfg := DefaultConfig()
+	cfg.Chips = 8
+	p, err := Place(plans, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layers[0].Tiles != 32 {
+		t.Fatalf("conv1 spans %d tiles, want 32", p.Layers[0].Tiles)
+	}
+}
+
+func TestPlaceOverCapacityErrors(t *testing.T) {
+	plans, _ := convPlans() // 74k RNAs > one chip's 32 tiles
+	if _, err := Place(plans, DefaultConfig()); err == nil {
+		t.Fatal("over-capacity placement must error")
+	}
+}
+
+func TestPlaceSharingReducesTiles(t *testing.T) {
+	plans, _ := convPlans()
+	cfg := DefaultConfig()
+	cfg.Chips = 8
+	base, err := Place(plans, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ShareFraction = 0.3
+	shared, err := Place(plans, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.TilesUsed >= base.TilesUsed {
+		t.Fatalf("sharing did not reduce tiles: %d vs %d", shared.TilesUsed, base.TilesUsed)
+	}
+}
+
+func TestPlaceSmallLayersShareNothing(t *testing.T) {
+	// Tiny adjacent dense layers each still get their own tile (pipelining),
+	// so a two-layer net uses two tiles and pays inter-tile traffic.
+	plans := []*composer.LayerPlan{
+		{Kind: composer.KindDense, Name: "a", Neurons: 8, Edges: 4,
+			WeightCodebooks: [][]float32{{0}}, ChannelCodebook: []int{0}, InputCodebook: []float32{0, 1}},
+		{Kind: composer.KindDense, Name: "b", Neurons: 4, Edges: 8,
+			WeightCodebooks: [][]float32{{0}}, ChannelCodebook: []int{0}, InputCodebook: []float32{0, 1}},
+	}
+	p, err := Place(plans, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TilesUsed != 2 {
+		t.Fatalf("TilesUsed = %d, want 2", p.TilesUsed)
+	}
+}

@@ -1,0 +1,186 @@
+// Package baseline provides analytical cost models of the platforms RAPIDNN
+// is compared against in §5: a GTX 1080 GPU (the normalization baseline of
+// Figs. 11 and 15), the DaDianNao ASIC, the ISAAC and PipeLayer analog PIM
+// accelerators, and the Eyeriss and SnaPEA digital ASICs (Fig. 16).
+//
+// None of these testbeds exist in this environment, so each model computes
+// per-inference time and energy from the configuration the paper cites
+// (peak throughput, power, area) plus a workload-dependent utilization
+// factor calibrated so the published efficiency figures hold — e.g. ISAAC's
+// 479.0 GOPS/s/mm² and 380.7 GOPS/s/W versus PipeLayer's 1485.1 and 142.9
+// (§5.5). See DESIGN.md, "Substitutions".
+package baseline
+
+import "fmt"
+
+// Workload describes one inference workload for the cost models.
+type Workload struct {
+	Name string
+	// MACs per inference.
+	MACs int64
+	// Conv reports whether the model is convolutional (Type 2); dataflow
+	// accelerators utilize much better on convolutions than on thin FC
+	// layers.
+	Conv bool
+}
+
+// Ops returns the operation count (1 MAC = 2 ops, the GOPS convention).
+func (w Workload) Ops() float64 { return 2 * float64(w.MACs) }
+
+// Platform is an analytical accelerator model.
+type Platform struct {
+	Name    string
+	PeakOPS float64 // ops/s at full utilization
+	PowerW  float64
+	AreaMM2 float64
+	// UtilFC/UtilConv are the effective fractions of peak sustained on
+	// fully-connected and convolutional workloads.
+	UtilFC   float64
+	UtilConv float64
+	// OverheadS is a fixed per-inference latency floor (kernel launches,
+	// pipeline fill, off-chip staging).
+	OverheadS float64
+}
+
+func (p Platform) util(w Workload) float64 {
+	if w.Conv {
+		return p.UtilConv
+	}
+	return p.UtilFC
+}
+
+// TimePerInput returns seconds per inference.
+func (p Platform) TimePerInput(w Workload) float64 {
+	return w.Ops()/(p.PeakOPS*p.util(w)) + p.OverheadS
+}
+
+// EnergyPerInput returns joules per inference, full-power × time — the same
+// methodology the paper applies to every platform (nvidia-smi power × GPU
+// time, accelerator power × accelerator time).
+func (p Platform) EnergyPerInput(w Workload) float64 {
+	return p.TimePerInput(w) * p.PowerW
+}
+
+// ThroughputIPS returns inferences per second.
+func (p Platform) ThroughputIPS(w Workload) float64 {
+	return 1 / p.TimePerInput(w)
+}
+
+// GOPS returns sustained ops/s in GOPS for the workload.
+func (p Platform) GOPS(w Workload) float64 {
+	return w.Ops() * p.ThroughputIPS(w) / 1e9
+}
+
+// GOPSPerMM2 and GOPSPerW are the §5.5 computation-efficiency metrics at
+// full utilization.
+func (p Platform) GOPSPerMM2() float64 { return p.PeakOPS / 1e9 / p.AreaMM2 }
+
+// GOPSPerW returns peak ops per watt in GOPS/W.
+func (p Platform) GOPSPerW() float64 { return p.PeakOPS / 1e9 / p.PowerW }
+
+// GPU models the NVIDIA GTX 1080 the paper measures with nvidia-smi:
+// 8.87 TFLOPS peak, 180 W, 314 mm². Batch-1 inference of small MLPs is
+// dominated by launch/transfer overhead — the source of RAPIDNN's
+// three-orders-of-magnitude parallelism advantage (§5.4).
+func GPU() Platform {
+	return Platform{
+		Name:    "GPU",
+		PeakOPS: 8.87e12,
+		PowerW:  180,
+		AreaMM2: 314,
+		UtilFC:  0.02, UtilConv: 0.10,
+		OverheadS: 150e-6,
+	}
+}
+
+// DaDianNao models the eDRAM machine-learning supercomputer in the 16-node
+// configuration the paper's Fig. 15 bars imply: 16 × 5.58 TOPS chips at
+// 15.97 W each, with node-interconnect and eDRAM staging overhead per
+// inference.
+func DaDianNao() Platform {
+	return Platform{
+		Name:    "DaDianNao",
+		PeakOPS: 16 * 5.58e12,
+		PowerW:  16 * 15.97,
+		AreaMM2: 16 * 67.7,
+		UtilFC:  0.10, UtilConv: 0.13,
+		OverheadS: 20e-6,
+	}
+}
+
+// ISAAC models the analog crossbar accelerator (1.2 GHz, 8-bit ADC,
+// 128×128 arrays, 2-bit cells): 479.0 GOPS/s/mm² over 85.4 mm² and
+// 380.7 GOPS/s/W (§5.5).
+func ISAAC() Platform {
+	area := 85.4
+	peak := 479.0e9 * area
+	return Platform{
+		Name:    "ISAAC",
+		PeakOPS: peak,
+		PowerW:  peak / 380.7e9,
+		AreaMM2: area,
+		UtilFC:  0.02, UtilConv: 0.10,
+		OverheadS: 22e-6,
+	}
+}
+
+// PipeLayer models the spike-based analog PIM design: 1,485.1 GOPS/s/mm²
+// over ISAAC's array geometry but only 142.9 GOPS/s/W — fast and
+// power-hungry, which is why RAPIDNN's speedup over it (10.9×) is far
+// smaller than its energy advantage (49.6×).
+func PipeLayer() Platform {
+	area := 82.6
+	peak := 1485.1e9 * area
+	return Platform{
+		Name:    "PipeLayer",
+		PeakOPS: peak,
+		PowerW:  peak / 142.9e9,
+		AreaMM2: area,
+		UtilFC:  0.08, UtilConv: 0.15,
+		OverheadS: 7e-6,
+	}
+}
+
+// Eyeriss models the row-stationary digital ASIC: 84 GOPS peak, 278 mW,
+// 12.25 mm² (65 nm).
+func Eyeriss() Platform {
+	return Platform{
+		Name:    "Eyeriss",
+		PeakOPS: 84e9,
+		PowerW:  0.278,
+		AreaMM2: 12.25,
+		UtilFC:  0.25, UtilConv: 0.55,
+		OverheadS: 1e-6,
+	}
+}
+
+// SnaPEA models predictive early activation on top of an Eyeriss-class
+// substrate: ~2× effective speed and efficiency from skipping negative
+// pre-activations.
+func SnaPEA() Platform {
+	p := Eyeriss()
+	p.Name = "SnaPEA"
+	p.PeakOPS *= 2.1
+	p.PowerW *= 1.05
+	return p
+}
+
+// PIMPlatforms returns the Fig. 15 comparison set in display order.
+func PIMPlatforms() []Platform {
+	return []Platform{DaDianNao(), ISAAC(), PipeLayer()}
+}
+
+// ASICPlatforms returns the Fig. 16 comparison set.
+func ASICPlatforms() []Platform {
+	return []Platform{Eyeriss(), SnaPEA()}
+}
+
+// ByName returns the named platform model.
+func ByName(name string) (Platform, error) {
+	for _, p := range append(append([]Platform{GPU()}, PIMPlatforms()...), ASICPlatforms()...) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("baseline: unknown platform %q", name)
+}

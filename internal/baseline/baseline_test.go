@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func mnistWorkload() Workload {
+	return Workload{Name: "MNIST", MACs: 784*512 + 512*512 + 512*10}
+}
+
+func vggWorkload() Workload {
+	return Workload{Name: "VGG", MACs: 15e9, Conv: true}
+}
+
+func TestPublishedEfficiencyFigures(t *testing.T) {
+	// §5.5 anchors: ISAAC 479.0 GOPS/mm² & 380.7 GOPS/W; PipeLayer 1485.1 &
+	// 142.9.
+	if got := ISAAC().GOPSPerMM2(); math.Abs(got-479.0) > 1 {
+		t.Fatalf("ISAAC GOPS/mm² = %v", got)
+	}
+	if got := ISAAC().GOPSPerW(); math.Abs(got-380.7) > 1 {
+		t.Fatalf("ISAAC GOPS/W = %v", got)
+	}
+	if got := PipeLayer().GOPSPerMM2(); math.Abs(got-1485.1) > 1 {
+		t.Fatalf("PipeLayer GOPS/mm² = %v", got)
+	}
+	if got := PipeLayer().GOPSPerW(); math.Abs(got-142.9) > 1 {
+		t.Fatalf("PipeLayer GOPS/W = %v", got)
+	}
+}
+
+func TestGPUOverheadDominatesSmallNets(t *testing.T) {
+	g := GPU()
+	w := mnistWorkload()
+	tm := g.TimePerInput(w)
+	if tm < g.OverheadS || tm > 3*g.OverheadS {
+		t.Fatalf("batch-1 MLP GPU time %v should be overhead-dominated (%v)", tm, g.OverheadS)
+	}
+}
+
+func TestGPUComputeDominatesLargeNets(t *testing.T) {
+	g := GPU()
+	tm := g.TimePerInput(vggWorkload())
+	if tm < 10*g.OverheadS {
+		t.Fatalf("VGG-class GPU time %v should be compute-dominated", tm)
+	}
+}
+
+func TestPIMAcceleratorsBeatGPU(t *testing.T) {
+	w := vggWorkload()
+	gpu := GPU().TimePerInput(w)
+	for _, p := range PIMPlatforms() {
+		if p.TimePerInput(w) >= gpu {
+			t.Errorf("%s not faster than GPU on VGG", p.Name)
+		}
+	}
+}
+
+// PipeLayer is faster but far less energy-efficient than ISAAC — the
+// relationship behind Fig. 15's asymmetric speedup/energy ratios.
+func TestPipeLayerFasterButHungrierThanISAAC(t *testing.T) {
+	w := vggWorkload()
+	if PipeLayer().TimePerInput(w) >= ISAAC().TimePerInput(w) {
+		t.Fatal("PipeLayer must be faster than ISAAC")
+	}
+	plE := PipeLayer().GOPSPerW()
+	isE := ISAAC().GOPSPerW()
+	if plE >= isE {
+		t.Fatalf("PipeLayer GOPS/W %v must be below ISAAC's %v", plE, isE)
+	}
+}
+
+func TestSnaPEABeatsEyeriss(t *testing.T) {
+	w := vggWorkload()
+	if SnaPEA().TimePerInput(w) >= Eyeriss().TimePerInput(w) {
+		t.Fatal("SnaPEA must be faster than Eyeriss")
+	}
+	if SnaPEA().EnergyPerInput(w) >= Eyeriss().EnergyPerInput(w) {
+		t.Fatal("SnaPEA must use less energy than Eyeriss")
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	w := mnistWorkload()
+	for _, p := range append(PIMPlatforms(), GPU()) {
+		want := p.TimePerInput(w) * p.PowerW
+		if got := p.EnergyPerInput(w); math.Abs(got-want) > want*1e-12 {
+			t.Fatalf("%s energy %v, want %v", p.Name, got, want)
+		}
+	}
+}
+
+func TestThroughputInverseOfTime(t *testing.T) {
+	w := vggWorkload()
+	p := ISAAC()
+	if got := p.ThroughputIPS(w) * p.TimePerInput(w); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("throughput × time = %v", got)
+	}
+}
+
+func TestConvUtilizationHigher(t *testing.T) {
+	for _, p := range append(PIMPlatforms(), GPU(), Eyeriss()) {
+		if p.UtilConv <= p.UtilFC {
+			t.Errorf("%s: conv utilization must exceed FC", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"GPU", "DaDianNao", "ISAAC", "PipeLayer", "Eyeriss", "SnaPEA"} {
+		p, err := ByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p.Name, err)
+		}
+	}
+	if _, err := ByName("TPU"); err == nil {
+		t.Error("unknown platform must error")
+	}
+}
+
+func TestWorkloadOps(t *testing.T) {
+	w := Workload{MACs: 100}
+	if w.Ops() != 200 {
+		t.Fatalf("Ops = %v", w.Ops())
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/counting"
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// AblationResult quantifies the design choices DESIGN.md calls out:
+// k-means++ seeding, non-linear activation quantization, the shift-add
+// counter decomposition, and tree codebooks vs flat re-clustering.
+type AblationResult struct {
+	// Seeding: aggregate WCSS over restarts, ++ vs uniform (lower is better).
+	SeedingPlusPlusWCSS float64
+	SeedingUniformWCSS  float64
+
+	// Activation quantization: worst-case sigmoid table error at 16 rows.
+	NonLinearTableError float64
+	LinearTableError    float64
+
+	// Counter decomposition: total add/sub operations folding the counts
+	// 1..1023, NAF vs plain binary (lower is better).
+	NAFAddOps    int
+	BinaryAddOps int
+
+	// Codebooks: WCSS of a depth-6 tree's 64-entry level vs flat k-means
+	// with k=64 over the same samples.
+	TreeWCSS float64
+	FlatWCSS float64
+
+	// Codebook construction: k-means vs a uniform (linear) grid at k=16 over
+	// a Gaussian weight population — §6's argument for clustering.
+	KMeansWCSS float64
+	LinearWCSS float64
+}
+
+// Ablations runs all four micro-studies with fixed seeds.
+func Ablations() *AblationResult {
+	out := &AblationResult{}
+
+	// --- Seeding: three tight clusters, aggregate WCSS over 10 restarts.
+	rng := rand.New(rand.NewSource(31))
+	var samples []float32
+	for _, mu := range []float64{-5, 0, 5} {
+		for i := 0; i < 150; i++ {
+			samples = append(samples, float32(mu+rng.NormFloat64()*0.2))
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		pp := cluster.KMeans(samples, 3, cluster.Options{Seed: seed, Seeding: cluster.SeedPlusPlus})
+		un := cluster.KMeans(samples, 3, cluster.Options{Seed: seed, Seeding: cluster.SeedUniform})
+		out.SeedingPlusPlusWCSS += cluster.WCSS(samples, pp)
+		out.SeedingUniformWCSS += cluster.WCSS(samples, un)
+	}
+
+	// --- Activation quantization at a tight row budget.
+	out.NonLinearTableError = quant.BuildActTable(nn.Sigmoid{}, 16, -8, 8, quant.NonLinear).MaxAbsError(nn.Sigmoid{})
+	out.LinearTableError = quant.BuildActTable(nn.Sigmoid{}, 16, -8, 8, quant.Linear).MaxAbsError(nn.Sigmoid{})
+
+	// --- Counter decomposition over every counter value an RNA can hold.
+	for c := 1; c < 1024; c++ {
+		out.NAFAddOps += counting.AddSubOps(c)
+		out.BinaryAddOps += counting.BinaryOps(c)
+	}
+
+	// --- Tree vs flat codebooks over a Gaussian weight population.
+	rng2 := rand.New(rand.NewSource(32))
+	w := make([]float32, 4000)
+	for i := range w {
+		w[i] = float32(rng2.NormFloat64() * 0.2)
+	}
+	tree := cluster.BuildTree(w, 6, cluster.Options{Seed: 33})
+	out.TreeWCSS = cluster.WCSS(w, tree.Level(5))
+	out.FlatWCSS = cluster.WCSS(w, cluster.KMeans(w, 64, cluster.Options{Seed: 33}))
+
+	// --- k-means vs linear grid at a tight budget.
+	out.KMeansWCSS = cluster.WCSS(w, cluster.KMeans(w, 16, cluster.Options{Seed: 34}))
+	lo, hi := w[0], w[0]
+	for _, v := range w {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	grid := make([]float32, 16)
+	for i := range grid {
+		grid[i] = lo + (hi-lo)*float32(i)/15
+	}
+	out.LinearWCSS = cluster.WCSS(w, grid)
+
+	return out
+}
+
+func (a *AblationResult) String() string {
+	s := "Ablations (design choices from DESIGN.md)\n"
+	s += fmt.Sprintf("  k-means seeding (aggregate WCSS, lower better): ++ %.2f vs uniform %.2f\n",
+		a.SeedingPlusPlusWCSS, a.SeedingUniformWCSS)
+	s += fmt.Sprintf("  16-row sigmoid table max error: non-linear %.4f vs linear %.4f\n",
+		a.NonLinearTableError, a.LinearTableError)
+	s += fmt.Sprintf("  count folding adds (c=1..1023): NAF %d vs binary %d (%.1f%% saved)\n",
+		a.NAFAddOps, a.BinaryAddOps, 100*(1-float64(a.NAFAddOps)/float64(a.BinaryAddOps)))
+	s += fmt.Sprintf("  64-entry codebook WCSS: tree %.3f vs flat re-cluster %.3f (tree trades %.0f%% fit for reconfigurability)\n",
+		a.TreeWCSS, a.FlatWCSS, 100*(a.TreeWCSS/a.FlatWCSS-1))
+	s += fmt.Sprintf("  16-entry codebook WCSS: k-means %.3f vs linear grid %.3f (%.1fx better fit)\n",
+		a.KMeansWCSS, a.LinearWCSS, a.LinearWCSS/a.KMeansWCSS)
+	return s
+}

@@ -1,0 +1,201 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§5). Each runner returns structured results and
+// renders the same rows/series the paper reports, so `cmd/rapidnn-bench`
+// and the testing.B benchmarks in the repository root can regenerate every
+// artifact. Absolute numbers come from this repository's simulator and
+// synthetic datasets; EXPERIMENTS.md records them against the paper's.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/composer"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+// Suite shares expensive state (trained baseline models) across experiment
+// runners. Quick mode shrinks datasets, model widths and sweep grids so the
+// whole suite stays test-friendly; full mode is what cmd/rapidnn-bench runs.
+type Suite struct {
+	Quick bool
+	Scale float64
+	Size  dataset.Size
+
+	trained []*Trained
+}
+
+// Trained couples a benchmark with its trained baseline error.
+type Trained struct {
+	*model.Benchmark
+	BaselineError float64
+	TrainSeconds  float64
+}
+
+// NewSuite builds a suite. Quick mode is meant for tests; full mode for the
+// benchmark harness.
+func NewSuite(quick bool) *Suite {
+	s := &Suite{Quick: quick}
+	if quick {
+		s.Scale, s.Size = 0.08, dataset.Small
+	} else {
+		s.Scale, s.Size = 0.25, dataset.Small
+	}
+	return s
+}
+
+// TrainedBenchmarks trains (once) and returns the six Table 2 benchmarks.
+// In quick mode only the three FC benchmarks are trained (convolutional
+// training dominates runtime).
+func (s *Suite) TrainedBenchmarks() []*Trained {
+	if s.trained != nil {
+		return s.trained
+	}
+	all := model.Benchmarks(s.Size, s.Scale)
+	n := len(all)
+	if s.Quick {
+		n = 3
+	}
+	cfg := model.DefaultTrain()
+	if s.Quick {
+		cfg.Epochs = 4
+	} else {
+		cfg.Epochs = 10
+	}
+	for _, b := range all[:n] {
+		start := time.Now()
+		errRate := model.Train(b.Net, b.Dataset, cfg)
+		s.trained = append(s.trained, &Trained{
+			Benchmark:     b,
+			BaselineError: errRate,
+			TrainSeconds:  time.Since(start).Seconds(),
+		})
+	}
+	return s.trained
+}
+
+// ComposerConfig returns a suite-appropriate composer configuration.
+func (s *Suite) ComposerConfig() composer.Config {
+	cfg := composer.DefaultConfig()
+	if s.Quick {
+		cfg.MaxIterations = 2
+		cfg.RetrainEpochs = 1
+	} else {
+		cfg.MaxIterations = 5
+		cfg.RetrainEpochs = 2
+	}
+	return cfg
+}
+
+// HWBench is a full-scale workload for hardware-only experiments: paper
+// topology sizes, synthetic plans, no training required.
+type HWBench struct {
+	Name  string
+	Net   *nn.Network // nil for spec-built paper-scale workloads
+	Conv  bool
+	Plans []*composer.LayerPlan
+	MACs  int64
+
+	replan func(w, u int) []*composer.LayerPlan
+}
+
+// Replan rebuilds the synthetic plans with different codebook sizes.
+func (h *HWBench) Replan(w, u int) []*composer.LayerPlan { return h.replan(w, u) }
+
+// HardwareBenchmarks builds the six Table 2 topologies at full scale with
+// synthetic plans of the given codebook sizes. The ImageNet entry uses the
+// real-dimension VGG-16 spec (224×224 inputs), matching the workload scale
+// of the paper's evaluation.
+func HardwareBenchmarks(w, u int) []*HWBench {
+	specs := []struct {
+		name  string
+		build func() *nn.Network
+		conv  bool
+	}{
+		{"MNIST", func() *nn.Network { return model.FCNet("MNIST", 784, 10, 1, 301) }, false},
+		{"ISOLET", func() *nn.Network { return model.FCNet("ISOLET", 617, 26, 1, 302) }, false},
+		{"HAR", func() *nn.Network { return model.FCNet("HAR", 561, 19, 1, 303) }, false},
+		{"CIFAR-10", func() *nn.Network { return model.ConvNet("CIFAR-10", 3, 32, 32, 10, 1, 304) }, true},
+		{"CIFAR-100", func() *nn.Network { return model.ConvNet("CIFAR-100", 3, 32, 32, 100, 1, 305) }, true},
+	}
+	var out []*HWBench
+	for _, sp := range specs {
+		net := sp.build()
+		hb := &HWBench{
+			Name:  sp.name,
+			Net:   net,
+			Conv:  sp.conv,
+			Plans: composer.SyntheticPlans(net, w, u, 64),
+			MACs:  net.MACs(),
+		}
+		hb.replan = func(net *nn.Network) func(int, int) []*composer.LayerPlan {
+			return func(w, u int) []*composer.LayerPlan { return composer.SyntheticPlans(net, w, u, 64) }
+		}(net)
+		out = append(out, hb)
+	}
+	vgg, err := PaperScaleNet("VGGNet", w, u)
+	if err != nil {
+		panic(err) // unreachable: the name is fixed
+	}
+	vgg.Name = "ImageNet"
+	out = append(out, vgg)
+	return out
+}
+
+// Workload converts a hardware benchmark into a baseline-model workload.
+func (h *HWBench) Workload() baseline.Workload {
+	return baseline.Workload{Name: h.Name, MACs: h.MACs, Conv: h.Conv}
+}
+
+// SimulateRAPIDNN runs the accelerator simulator on the benchmark.
+func (h *HWBench) SimulateRAPIDNN(chips int) (*accel.Report, error) {
+	cfg := accel.DefaultConfig()
+	cfg.Chips = chips
+	return accel.Simulate(h.Name, h.Plans, h.MACs, cfg)
+}
+
+// table renders rows with aligned columns for terminal output.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,503 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rna"
+)
+
+// The suite is shared across tests: training the fixture models dominates
+// runtime and every runner only reads from it.
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+)
+
+func quickSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() { suite = NewSuite(true) })
+	return suite
+}
+
+func TestTable1MatchesPaperNumbers(t *testing.T) {
+	r := Table1()
+	s := r.String()
+	for _, want := range []string{"3136um2", "538.6um2", "83.2um2", "3841um2", "32 tiles"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, s)
+		}
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("Table 1 has %d rows", len(r.Rows))
+	}
+}
+
+func TestTable2BaselinesLearn(t *testing.T) {
+	r := Table2(quickSuite(t))
+	if len(r.Rows) == 0 {
+		t.Fatal("no Table 2 rows")
+	}
+	for _, row := range r.Rows {
+		if row.Error > 0.5 {
+			t.Errorf("%s baseline error %.2f — model did not learn", row.Dataset, row.Error)
+		}
+		if !strings.HasPrefix(row.Topology, "IN:") {
+			t.Errorf("%s topology malformed: %s", row.Dataset, row.Topology)
+		}
+	}
+}
+
+func TestTable3ComposerOverheadBounded(t *testing.T) {
+	r, err := Table3(quickSuite(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Epochs < 0 || row.Epochs > 20 {
+			t.Errorf("%s epochs = %d", row.Dataset, row.Epochs)
+		}
+		if row.Seconds <= 0 {
+			t.Errorf("%s time = %v", row.Dataset, row.Seconds)
+		}
+	}
+}
+
+func TestTable4SharingTrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains four conv models")
+	}
+	r, err := Table4(quickSuite(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatal("need at least two sharing levels")
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.GOPSPerMM2 <= first.GOPSPerMM2 {
+		t.Errorf("sharing must raise computation density: %v → %v",
+			first.GOPSPerMM2, last.GOPSPerMM2)
+	}
+	// Quality loss at heavy sharing should not be dramatically better than
+	// without sharing (coarser conv codebooks can only hurt).
+	for _, style := range r.Styles {
+		if last.QualityLoss[style] < first.QualityLoss[style]-0.05 {
+			t.Errorf("%s: 30%% sharing improved quality by %.3f?", style,
+				first.QualityLoss[style]-last.QualityLoss[style])
+		}
+	}
+}
+
+func TestFigure6ClusteringCollapsesAndRetrainingHolds(t *testing.T) {
+	r, err := Figure6(quickSuite(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BinsClustered > 8 {
+		t.Errorf("clustered bins %d, want ≤ w=8", r.BinsClustered)
+	}
+	if r.BinsBefore <= r.BinsClustered {
+		t.Errorf("clustering must collapse bins: %d → %d", r.BinsBefore, r.BinsClustered)
+	}
+	if len(r.ErrorByIter) < 2 {
+		t.Fatalf("iteration curve too short: %v", r.ErrorByIter)
+	}
+	// Fig. 6d shape: the best iteration is at least as good as iteration 0.
+	best := r.ErrorByIter[0]
+	for _, e := range r.ErrorByIter {
+		if e < best {
+			best = e
+		}
+	}
+	if best > r.ErrorByIter[0]+1e-9 {
+		t.Errorf("retraining never helped: %v", r.ErrorByIter)
+	}
+}
+
+func TestFigure10LargerCodebooksNoWorse(t *testing.T) {
+	r, err := Figure10(quickSuite(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// Aggregate check across benchmarks: the coarsest configuration loses at
+	// least as much accuracy as the finest (Fig. 10 trend).
+	var coarse, fine float64
+	for _, c := range r.Cells {
+		if c.W == r.Ws[0] && c.U == r.Us[0] {
+			coarse += c.DeltaE
+		}
+		if c.W == r.Ws[len(r.Ws)-1] && c.U == r.Us[len(r.Us)-1] {
+			fine += c.DeltaE
+		}
+	}
+	if fine > coarse+0.02 {
+		t.Errorf("finest codebooks lost more accuracy (%.3f) than coarsest (%.3f)", fine, coarse)
+	}
+}
+
+func TestFigure11RAPIDNNBeatsGPU(t *testing.T) {
+	r, err := Figure11(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		if c.Speedup <= 1 {
+			t.Errorf("%s w=%d u=%d speedup %.2f ≤ 1", c.Benchmark, c.W, c.U, c.Speedup)
+		}
+		if c.EnergyImp <= 1 {
+			t.Errorf("%s w=%d u=%d energy improvement %.2f ≤ 1", c.Benchmark, c.W, c.U, c.EnergyImp)
+		}
+	}
+	// Smaller codebooks are at least as fast and efficient (§5.4).
+	for _, bench := range []string{"MNIST", "ISOLET"} {
+		var small, big *Figure11Cell
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			if c.Benchmark != bench {
+				continue
+			}
+			if c.W == 4 && c.U == 4 {
+				small = c
+			}
+			if c.W == 64 && c.U == 64 {
+				big = c
+			}
+		}
+		if small == nil || big == nil {
+			continue
+		}
+		if small.EnergyImp < big.EnergyImp {
+			t.Errorf("%s: w=u=4 energy %.1f < w=u=64 %.1f", bench, small.EnergyImp, big.EnergyImp)
+		}
+	}
+}
+
+func TestFigure12EDPImprovesWithBudget(t *testing.T) {
+	r, err := Figure12(quickSuite(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBench := map[string][]Figure12Row{}
+	for _, row := range r.Rows {
+		byBench[row.Benchmark] = append(byBench[row.Benchmark], row)
+	}
+	for bench, rows := range byBench {
+		prev := math.MaxFloat64
+		for _, row := range rows { // rows are in increasing-budget order
+			if row.NormEDP > prev+1e-9 {
+				t.Errorf("%s: EDP rose with a looser budget", bench)
+			}
+			prev = row.NormEDP
+			if row.NormEDP > 1+1e-9 {
+				t.Errorf("%s: normalized EDP %v > 1", bench, row.NormEDP)
+			}
+		}
+	}
+}
+
+func TestFigure13WeightedAccumDominates(t *testing.T) {
+	r, err := Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"Type 1", "Type 2"} {
+		if wa := r.EnergyShare[g][rna.WeightedAccum]; wa < 0.55 || wa > 0.95 {
+			t.Errorf("%s weighted-accum energy share %.2f, want ≈ 0.77–0.81", g, wa)
+		}
+	}
+	if r.EnergyShare["Type 1"][rna.Pooling] != 0 {
+		t.Error("Type 1 (FC) must have zero pooling share")
+	}
+	if r.EnergyShare["Type 2"][rna.Pooling] <= 0 {
+		t.Error("Type 2 must have a non-zero pooling share")
+	}
+}
+
+func TestFigure14SharesSumToOne(t *testing.T) {
+	r := Figure14()
+	var chip, rnaSum float64
+	for _, v := range r.ChipShares {
+		chip += v
+	}
+	for _, v := range r.RNAShares {
+		rnaSum += v
+	}
+	if math.Abs(chip-1) > 1e-9 {
+		t.Fatalf("chip shares sum to %v", chip)
+	}
+	if math.Abs(rnaSum-1) > 1e-9 {
+		t.Fatalf("RNA shares sum to %v", rnaSum)
+	}
+	if r.RNAShares["Crossbar"] < 0.5 {
+		t.Fatalf("crossbar share %.2f, want dominant (paper: 87.8%%)", r.RNAShares["Crossbar"])
+	}
+	if r.ChipShares["RNA"] < r.ChipShares["Memory"] {
+		t.Fatal("RNA blocks must be the largest chip area share")
+	}
+}
+
+func TestFigure15Orderings(t *testing.T) {
+	r, err := Figure15(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Figure15Cell{}
+	for _, c := range r.Cells {
+		byKey[c.Benchmark+"/"+c.Platform] = c
+	}
+	for _, benchName := range []string{"MNIST", "ImageNet"} {
+		r8 := byKey[benchName+"/RAPIDNN(8-chip)"]
+		for _, p := range []string{"DaDianNao", "ISAAC", "PipeLayer"} {
+			c := byKey[benchName+"/"+p]
+			if r8.Speedup <= c.Speedup {
+				t.Errorf("%s: RAPIDNN(8-chip) %.1fx not faster than %s %.1fx",
+					benchName, r8.Speedup, p, c.Speedup)
+			}
+			if r8.EnergyImp <= c.EnergyImp {
+				t.Errorf("%s: RAPIDNN(8-chip) energy %.1fx not better than %s %.1fx",
+					benchName, r8.EnergyImp, p, c.EnergyImp)
+			}
+		}
+	}
+	// 8 chips help the over-capacity ImageNet workload.
+	im1 := byKey["ImageNet/RAPIDNN(1-chip)"]
+	im8 := byKey["ImageNet/RAPIDNN(8-chip)"]
+	if im8.Speedup <= im1.Speedup {
+		t.Error("8-chip RAPIDNN must be faster than 1-chip on ImageNet")
+	}
+	// Headline ratio bands: within ~2× of the paper's 48.1× / 10.9×.
+	if ratio := r.GeoMeanRatio("RAPIDNN(8-chip)", "ISAAC", false); ratio < 20 || ratio > 120 {
+		t.Errorf("RAPIDNN/ISAAC speedup geomean %.1f, paper 48.1", ratio)
+	}
+	if ratio := r.GeoMeanRatio("RAPIDNN(8-chip)", "PipeLayer", false); ratio < 5 || ratio > 40 {
+		t.Errorf("RAPIDNN/PipeLayer speedup geomean %.1f, paper 10.9", ratio)
+	}
+}
+
+func TestFigure16Orderings(t *testing.T) {
+	r, err := Figure16(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Figure16Cell{}
+	for _, c := range r.Cells {
+		byKey[c.Workload+"/"+c.Platform] = c
+	}
+	for _, wl := range []string{"AlexNet", "VGGNet"} {
+		ey := byKey[wl+"/Eyeriss"]
+		sn := byKey[wl+"/SnaPEA"]
+		rp := byKey[wl+"/RAPIDNN"]
+		if math.Abs(ey.Speedup-1) > 1e-9 {
+			t.Errorf("%s: Eyeriss must be the 1.0 reference", wl)
+		}
+		if sn.Speedup <= ey.Speedup || rp.Speedup <= sn.Speedup {
+			t.Errorf("%s: ordering RAPIDNN > SnaPEA > Eyeriss broken: %v %v %v",
+				wl, rp.Speedup, sn.Speedup, ey.Speedup)
+		}
+		if rp.EnergyImp <= 1 {
+			t.Errorf("%s: RAPIDNN energy improvement %.2f ≤ 1", wl, rp.EnergyImp)
+		}
+	}
+}
+
+func TestEfficiencyMetrics(t *testing.T) {
+	r, err := Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RAPIDNNGOPSPerMM2 < 100 || r.RAPIDNNGOPSPerMM2 > 20000 {
+		t.Errorf("RAPIDNN GOPS/mm² = %v, paper 1904.6", r.RAPIDNNGOPSPerMM2)
+	}
+	if r.RAPIDNNGOPSPerW < 50 || r.RAPIDNNGOPSPerW > 20000 {
+		t.Errorf("RAPIDNN GOPS/W = %v, paper 839.1", r.RAPIDNNGOPSPerW)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("efficiency table rows = %d (RAPIDNN + 3 analytic + 3 structural)", len(r.Rows))
+	}
+}
+
+func TestPaperScaleNets(t *testing.T) {
+	nets, err := PaperScaleNets(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := map[string][2]float64{
+		// Published MAC counts (GMACs) with generous tolerance: the specs
+		// are architectural approximations.
+		"AlexNet":   {0.4, 1.5},
+		"VGGNet":    {12, 18},
+		"GoogLeNet": {0.8, 4},
+		"ResNet":    {6, 16},
+	}
+	for _, hb := range nets {
+		band := macs[hb.Name]
+		g := float64(hb.MACs) / 1e9
+		if g < band[0] || g > band[1] {
+			t.Errorf("%s = %.2f GMACs, want in [%v, %v]", hb.Name, g, band[0], band[1])
+		}
+		if len(hb.Plans) == 0 {
+			t.Errorf("%s has no plans", hb.Name)
+		}
+		re := hb.Replan(8, 8)
+		if len(re) != len(hb.Plans) {
+			t.Errorf("%s replan changed layer count", hb.Name)
+		}
+	}
+}
+
+func TestHardwareBenchmarksComplete(t *testing.T) {
+	hw := HardwareBenchmarks(64, 64)
+	if len(hw) != 6 {
+		t.Fatalf("got %d hardware benchmarks", len(hw))
+	}
+	names := []string{"MNIST", "ISOLET", "HAR", "CIFAR-10", "CIFAR-100", "ImageNet"}
+	for i, hb := range hw {
+		if hb.Name != names[i] {
+			t.Errorf("benchmark %d = %s", i, hb.Name)
+		}
+		if hb.MACs <= 0 || len(hb.Plans) == 0 {
+			t.Errorf("%s incomplete", hb.Name)
+		}
+	}
+	// The ImageNet entry must be the paper-scale VGG (≫ the toy nets).
+	if hw[5].MACs < 100*hw[0].MACs {
+		t.Error("ImageNet workload should dwarf the FC benchmarks")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	a := Ablations()
+	if a.SeedingPlusPlusWCSS > a.SeedingUniformWCSS*1.01 {
+		t.Errorf("k-means++ aggregate WCSS %v worse than uniform %v",
+			a.SeedingPlusPlusWCSS, a.SeedingUniformWCSS)
+	}
+	if a.NonLinearTableError > a.LinearTableError*1.05 {
+		t.Errorf("non-linear table error %v worse than linear %v",
+			a.NonLinearTableError, a.LinearTableError)
+	}
+	if a.NAFAddOps >= a.BinaryAddOps {
+		t.Errorf("NAF folding (%d ops) must beat binary (%d ops)", a.NAFAddOps, a.BinaryAddOps)
+	}
+	if a.TreeWCSS < a.FlatWCSS*0.5 || a.TreeWCSS > a.FlatWCSS*2 {
+		t.Errorf("tree WCSS %v should be near flat WCSS %v", a.TreeWCSS, a.FlatWCSS)
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	f11, err := Figure11(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f11.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(f11.Cells)+1 {
+		t.Fatalf("%d CSV records for %d cells", len(recs), len(f11.Cells))
+	}
+	if recs[0][0] != "benchmark" || len(recs[0]) != 5 {
+		t.Fatalf("bad header %v", recs[0])
+	}
+	for _, rec := range recs[1:] {
+		if _, err := strconv.ParseFloat(rec[4], 64); err != nil {
+			t.Fatalf("non-numeric speedup %q", rec[4])
+		}
+	}
+	if CSVName("f11") != "rapidnn_f11.csv" {
+		t.Fatal("CSVName broken")
+	}
+	f16, err := Figure16(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f16.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty f16 CSV")
+	}
+}
+
+func TestVariationStudyShape(t *testing.T) {
+	v := VariationStudy()
+	if len(v.Rows) < 3 {
+		t.Fatal("too few rows")
+	}
+	prev := -1.0
+	for _, r := range v.Rows {
+		// Monte Carlo noise allows small dips; the trend must hold.
+		if r.ErrorRate < prev*0.85 {
+			t.Fatalf("flip rate decreased at %d bits", r.Bits)
+		}
+		if r.ErrorRate > prev {
+			prev = r.ErrorRate
+		}
+	}
+	// The 8-bit design point must be reliable at 10% variation.
+	for _, r := range v.Rows {
+		if r.Bits == 8 && r.ErrorRate > 0.05 {
+			t.Fatalf("8-bit stage flip rate %v, want < 5%%", r.ErrorRate)
+		}
+	}
+}
+
+func TestFaultStudyDegrades(t *testing.T) {
+	r, err := FaultStudy(quickSuite(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 3 {
+		t.Fatal("too few fault levels")
+	}
+	clean := r.Rows[0].ErrorRate
+	worst := r.Rows[len(r.Rows)-1].ErrorRate
+	if worst <= clean {
+		t.Fatalf("heavy faults did not degrade accuracy: %v → %v", clean, worst)
+	}
+	if r.Rows[0].FlippedBits != 0 {
+		t.Fatal("zero rate must flip nothing")
+	}
+}
+
+func TestFigure5TreeShapes(t *testing.T) {
+	f := Figure5()
+	if len(f.Levels) != 3 {
+		t.Fatalf("%d levels, want 3", len(f.Levels))
+	}
+	prevW := math.MaxFloat64
+	for i, lv := range f.Levels {
+		if want := 1 << (i + 1); len(lv.Codebook) != want {
+			t.Fatalf("level %d has %d centroids, want %d", i+1, len(lv.Codebook), want)
+		}
+		if lv.WCSS > prevW*1.02 {
+			t.Fatalf("WCSS did not improve at level %d", i+1)
+		}
+		prevW = lv.WCSS
+	}
+	// Level 1 should land near the paper's illustrative {−2.1, 1.9}.
+	l1 := f.Levels[0].Codebook
+	if l1[0] > -1 || l1[1] < 1 {
+		t.Fatalf("level-1 centroids %v, want ≈{-2.1, 1.9}", l1)
+	}
+}
+
+func TestAblationKMeansBeatsLinearGrid(t *testing.T) {
+	a := Ablations()
+	if a.KMeansWCSS >= a.LinearWCSS {
+		t.Fatalf("k-means WCSS %v not better than linear grid %v", a.KMeansWCSS, a.LinearWCSS)
+	}
+}

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/dadiannao"
+	"repro/internal/isaac"
+)
+
+// Figure15Cell is one (benchmark, platform) point normalized to the GPU.
+type Figure15Cell struct {
+	Benchmark string
+	Platform  string
+	Speedup   float64 // vs GPU time
+	EnergyImp float64 // vs GPU energy
+}
+
+// Figure15Result reproduces Fig. 15: RAPIDNN (1 and 8 chips) against
+// DaDianNao, ISAAC and PipeLayer, normalized to the GPU.
+type Figure15Result struct {
+	Cells []Figure15Cell
+}
+
+// Figure15 evaluates every platform on the six full-scale workloads.
+func Figure15(quick bool) (*Figure15Result, error) {
+	out := &Figure15Result{}
+	gpu := baseline.GPU()
+	benches := HardwareBenchmarks(64, 64)
+	if quick {
+		benches = []*HWBench{benches[0], benches[5]}
+	}
+	for _, hb := range benches {
+		w := hb.Workload()
+		gpuTime := gpu.TimePerInput(w)
+		gpuEnergy := gpu.EnergyPerInput(w)
+		for _, p := range baseline.PIMPlatforms() {
+			out.Cells = append(out.Cells, Figure15Cell{
+				Benchmark: hb.Name, Platform: p.Name,
+				Speedup:   gpuTime / p.TimePerInput(w),
+				EnergyImp: gpuEnergy / p.EnergyPerInput(w),
+			})
+		}
+		for _, chips := range []int{1, 8} {
+			rep, err := hb.SimulateRAPIDNN(chips)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, Figure15Cell{
+				Benchmark: hb.Name,
+				Platform:  fmt.Sprintf("RAPIDNN(%d-chip)", chips),
+				Speedup:   gpuTime * rep.ThroughputIPS,
+				EnergyImp: gpuEnergy / rep.EnergyPerInputPeakJ,
+			})
+		}
+	}
+	return out, nil
+}
+
+// GeoMeanRatio returns the geometric-mean ratio of platform a over platform
+// b for the given metric across benchmarks.
+func (f *Figure15Result) GeoMeanRatio(a, b string, energy bool) float64 {
+	prod, n := 1.0, 0
+	byKey := map[string]Figure15Cell{}
+	for _, c := range f.Cells {
+		byKey[c.Benchmark+"/"+c.Platform] = c
+	}
+	for _, c := range f.Cells {
+		if c.Platform != a {
+			continue
+		}
+		other, ok := byKey[c.Benchmark+"/"+b]
+		if !ok {
+			continue
+		}
+		if energy {
+			prod *= c.EnergyImp / other.EnergyImp
+		} else {
+			prod *= c.Speedup / other.Speedup
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return pow(prod, 1/float64(n))
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}
+
+func (f *Figure15Result) String() string {
+	var rows [][]string
+	for _, c := range f.Cells {
+		rows = append(rows, []string{c.Benchmark, c.Platform, f1(c.Speedup) + "x", f1(c.EnergyImp) + "x"})
+	}
+	s := "Figure 15: speedup and energy efficiency vs PIM accelerators (normalized to GPU)\n" +
+		table([]string{"Benchmark", "Platform", "Speedup", "EnergyImp"}, rows)
+	s += fmt.Sprintf("geomean RAPIDNN(8-chip)/ISAAC: speedup %.1fx, energy %.1fx (paper: 48.1x, 68.4x)\n",
+		f.GeoMeanRatio("RAPIDNN(8-chip)", "ISAAC", false),
+		f.GeoMeanRatio("RAPIDNN(8-chip)", "ISAAC", true))
+	s += fmt.Sprintf("geomean RAPIDNN(8-chip)/PipeLayer: speedup %.1fx, energy %.1fx (paper: 10.9x, 49.6x)\n",
+		f.GeoMeanRatio("RAPIDNN(8-chip)", "PipeLayer", false),
+		f.GeoMeanRatio("RAPIDNN(8-chip)", "PipeLayer", true))
+	s += fmt.Sprintf("geomean RAPIDNN(1-chip)/DaDianNao: speedup %.1fx, energy %.1fx (paper: 24.3x, 40.3x)\n",
+		f.GeoMeanRatio("RAPIDNN(1-chip)", "DaDianNao", false),
+		f.GeoMeanRatio("RAPIDNN(1-chip)", "DaDianNao", true))
+	return s
+}
+
+// Figure16Cell is one (workload, platform) point normalized to Eyeriss.
+type Figure16Cell struct {
+	Workload  string
+	Platform  string
+	Speedup   float64
+	EnergyImp float64
+}
+
+// Figure16Result reproduces Fig. 16: RAPIDNN versus the Eyeriss and SnaPEA
+// digital ASICs on the ImageNet-class workloads. Following the paper, every
+// design is scaled to the same chip area (platforms are replicated up to
+// RAPIDNN's footprint) and results are normalized to Eyeriss.
+type Figure16Result struct {
+	Cells []Figure16Cell
+}
+
+// Figure16 evaluates the ASIC comparison on the four real-dimension
+// ImageNet architectures.
+func Figure16(quick bool) (*Figure16Result, error) {
+	out := &Figure16Result{}
+	nets, err := PaperScaleNets(64, 64)
+	if err != nil {
+		return nil, err
+	}
+	if quick {
+		nets = nets[:2]
+	}
+	for _, hb := range nets {
+		rep, err := hb.SimulateRAPIDNN(1)
+		if err != nil {
+			return nil, err
+		}
+		w := hb.Workload()
+		eyeriss := scaleToArea(baseline.Eyeriss(), rep.AreaMM2)
+		snapea := scaleToArea(baseline.SnaPEA(), rep.AreaMM2)
+		eyTime, eyEnergy := eyeriss.TimePerInput(w), eyeriss.EnergyPerInput(w)
+		for _, p := range []baseline.Platform{eyeriss, snapea} {
+			out.Cells = append(out.Cells, Figure16Cell{
+				Workload: hb.Name, Platform: p.Name,
+				Speedup:   eyTime / p.TimePerInput(w),
+				EnergyImp: eyEnergy / p.EnergyPerInput(w),
+			})
+		}
+		rTime := 1 / rep.ThroughputIPS
+		out.Cells = append(out.Cells, Figure16Cell{
+			Workload: hb.Name, Platform: "RAPIDNN",
+			Speedup:   eyTime / rTime,
+			EnergyImp: eyEnergy / rep.EnergyPerInputPeakJ,
+		})
+	}
+	return out, nil
+}
+
+// scaleToArea replicates a platform until it fills the given area.
+func scaleToArea(p baseline.Platform, areaMM2 float64) baseline.Platform {
+	k := areaMM2 / p.AreaMM2
+	p.PeakOPS *= k
+	p.PowerW *= k
+	p.AreaMM2 = areaMM2
+	return p
+}
+
+func (f *Figure16Result) String() string {
+	var rows [][]string
+	for _, c := range f.Cells {
+		rows = append(rows, []string{c.Workload, c.Platform, f1(c.Speedup) + "x", f1(c.EnergyImp) + "x"})
+	}
+	return "Figure 16: vs ASIC accelerators, equal-area, normalized to Eyeriss\n" +
+		table([]string{"Workload", "Platform", "Speedup", "EnergyImp"}, rows)
+}
+
+// EfficiencyResult reproduces the §5.5 computation-efficiency text numbers.
+type EfficiencyResult struct {
+	Rows [][]string
+	// RAPIDNNGOPSPerMM2 and RAPIDNNGOPSPerW are the simulator's sustained
+	// metrics on the densest workload.
+	RAPIDNNGOPSPerMM2 float64
+	RAPIDNNGOPSPerW   float64
+}
+
+// Efficiency computes GOPS/s/mm² and GOPS/s/W for RAPIDNN and the PIM
+// baselines. RAPIDNN's figure is its best sustained density across the six
+// workloads (dense FC layers utilize the crossbars most).
+func Efficiency() (*EfficiencyResult, error) {
+	out := &EfficiencyResult{}
+	for _, hb := range HardwareBenchmarks(64, 64) {
+		rep, err := hb.SimulateRAPIDNN(8)
+		if err != nil {
+			return nil, err
+		}
+		if rep.GOPSPerMM2 > out.RAPIDNNGOPSPerMM2 {
+			out.RAPIDNNGOPSPerMM2 = rep.GOPSPerMM2
+		}
+		if rep.GOPSPerW > out.RAPIDNNGOPSPerW {
+			out.RAPIDNNGOPSPerW = rep.GOPSPerW
+		}
+	}
+	rep := struct{ GOPSPerMM2, GOPSPerW float64 }{out.RAPIDNNGOPSPerMM2, out.RAPIDNNGOPSPerW}
+	out.Rows = append(out.Rows, []string{"RAPIDNN",
+		fmt.Sprintf("%.1f", rep.GOPSPerMM2), fmt.Sprintf("%.1f", rep.GOPSPerW),
+		"paper: 1904.6 / 839.1"})
+	for _, p := range baseline.PIMPlatforms() {
+		out.Rows = append(out.Rows, []string{p.Name,
+			fmt.Sprintf("%.1f", p.GOPSPerMM2()), fmt.Sprintf("%.1f", p.GOPSPerW()), ""})
+	}
+	// Cross-check: the structural models (arrays + ADC serialization for the
+	// analog designs, NFU lanes + eDRAM for DaDianNao) reproduce the
+	// published efficiency points independently of the analytical lines.
+	fcNet := HardwareBenchmarks(64, 64)[0]
+	for _, sc := range []struct {
+		name string
+		cfg  isaac.Config
+	}{{"ISAAC(structural)", isaac.Default()}, {"PipeLayer(structural)", isaac.PipeLayer()}} {
+		sr, err := isaac.Simulate(fcNet.Plans, fcNet.MACs, sc.cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, []string{sc.name,
+			fmt.Sprintf("%.1f", sr.GOPSPerMM2), fmt.Sprintf("%.1f", sr.GOPSPerW),
+			fmt.Sprintf("ADC: %.0f%% of energy", 100*sr.ADCEnergyShare)})
+	}
+	dr, err := dadiannao.Simulate(fcNet.Plans, fcNet.MACs, dadiannao.Default())
+	if err != nil {
+		return nil, err
+	}
+	note := "weights resident in eDRAM"
+	if !dr.FitsOnChip {
+		note = "weights overflow eDRAM"
+	}
+	out.Rows = append(out.Rows, []string{"DaDianNao(structural)",
+		fmt.Sprintf("%.1f", dr.GOPSPerMM2), fmt.Sprintf("%.1f", dr.GOPSPerW), note})
+	return out, nil
+}
+
+func (e *EfficiencyResult) String() string {
+	return "Computation efficiency (§5.5)\n" +
+		table([]string{"Platform", "GOPS/s/mm2", "GOPS/s/W", "Note"}, e.Rows)
+}

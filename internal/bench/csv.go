@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export: every figure result can emit its data series as CSV so users
+// can re-plot the paper's figures with their own tooling.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// WriteCSV emits the Δe sweep as benchmark,w,u,delta_e rows.
+func (f *Figure10Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(f.Cells))
+	for _, c := range f.Cells {
+		rows = append(rows, []string{c.Benchmark, itoa(c.W), itoa(c.U), ftoa(c.DeltaE)})
+	}
+	return writeCSV(w, []string{"benchmark", "w", "u", "delta_e"}, rows)
+}
+
+// WriteCSV emits the GPU-normalized efficiency sweep.
+func (f *Figure11Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(f.Cells))
+	for _, c := range f.Cells {
+		rows = append(rows, []string{c.Benchmark, itoa(c.W), itoa(c.U),
+			ftoa(c.EnergyImp), ftoa(c.Speedup)})
+	}
+	return writeCSV(w, []string{"benchmark", "w", "u", "energy_improvement", "speedup"}, rows)
+}
+
+// WriteCSV emits the EDP/memory budget rows.
+func (f *Figure12Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(f.Rows))
+	for _, r := range f.Rows {
+		rows = append(rows, []string{r.Benchmark, ftoa(r.DeltaEBudget), itoa(r.W), itoa(r.U),
+			ftoa(r.NormEDP), strconv.FormatInt(r.MemoryBytes, 10), ftoa(r.NormMemory)})
+	}
+	return writeCSV(w, []string{"benchmark", "delta_e_budget", "w", "u", "norm_edp", "memory_bytes", "norm_memory"}, rows)
+}
+
+// WriteCSV emits the PIM comparison.
+func (f *Figure15Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(f.Cells))
+	for _, c := range f.Cells {
+		rows = append(rows, []string{c.Benchmark, c.Platform, ftoa(c.Speedup), ftoa(c.EnergyImp)})
+	}
+	return writeCSV(w, []string{"benchmark", "platform", "speedup", "energy_improvement"}, rows)
+}
+
+// WriteCSV emits the ASIC comparison.
+func (f *Figure16Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(f.Cells))
+	for _, c := range f.Cells {
+		rows = append(rows, []string{c.Workload, c.Platform, ftoa(c.Speedup), ftoa(c.EnergyImp)})
+	}
+	return writeCSV(w, []string{"workload", "platform", "speedup", "energy_improvement"}, rows)
+}
+
+// WriteCSV emits the sharing sweep: share,style,quality_loss plus density.
+func (t *Table4Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, r := range t.Rows {
+		for _, style := range t.Styles {
+			rows = append(rows, []string{ftoa(r.ShareFraction), style,
+				ftoa(r.QualityLoss[style]), ftoa(r.GOPSPerMM2)})
+		}
+	}
+	return writeCSV(w, []string{"share_fraction", "style", "quality_loss", "gops_per_mm2"}, rows)
+}
+
+// WriteCSV emits the iteration error curve.
+func (f *Figure6Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(f.ErrorByIter))
+	for i, e := range f.ErrorByIter {
+		rows = append(rows, []string{itoa(i), ftoa(e)})
+	}
+	return writeCSV(w, []string{"iteration", "clustered_error"}, rows)
+}
+
+// CSVName returns the canonical file name for an artifact id.
+func CSVName(id string) string { return fmt.Sprintf("rapidnn_%s.csv", id) }

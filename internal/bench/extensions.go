@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/composer"
+	"repro/internal/device"
+	"repro/internal/ndcam"
+	"repro/internal/rna"
+	"repro/internal/tensor"
+)
+
+// Extension experiments — studies the paper motivates but does not plot.
+
+// VariationResult reproduces the §4.2.2 Monte Carlo design study: the
+// comparison-flip rate of an NDCAM stage under transistor process variation,
+// as a function of stage width. The paper's conclusion — 8-bit stages are
+// reliably distinguishable at 10 % variation, wider ones are not — drove the
+// pipeline design.
+type VariationResult struct {
+	Sigma float64
+	Rows  []struct {
+		Bits      int
+		ErrorRate float64
+	}
+}
+
+// VariationStudy sweeps stage widths at the paper's 10 % variation.
+func VariationStudy() *VariationResult {
+	out := &VariationResult{Sigma: 0.10}
+	for _, bits := range []int{2, 4, 8, 16, 32} {
+		out.Rows = append(out.Rows, struct {
+			Bits      int
+			ErrorRate float64
+		}{bits, ndcam.VariationErrorRate(bits, 0.10, 20000, 99)})
+	}
+	return out
+}
+
+func (v *VariationResult) String() string {
+	s := fmt.Sprintf("Extension: NDCAM stage reliability under %.0f%% process variation (5000-trial-class Monte Carlo, §4.2.2)\n", 100*v.Sigma)
+	for _, r := range v.Rows {
+		s += fmt.Sprintf("  %2d-bit stage: %.2f%% comparison flips\n", r.Bits, 100*r.ErrorRate)
+	}
+	return s
+}
+
+// FaultResult is the stuck-at fault sweep on the hardware-in-the-loop path.
+type FaultResult struct {
+	Rows []struct {
+		Rate        float64
+		FlippedBits int
+		ErrorRate   float64
+	}
+}
+
+// FaultStudy trains a small model, lowers it to functional hardware, and
+// measures classification error as stuck-at faults accumulate in the
+// product crossbars — the endurance/yield question every NVM accelerator
+// deployment faces.
+func FaultStudy(s *Suite) (*FaultResult, error) {
+	tb := s.TrainedBenchmarks()[0]
+	cfg := s.ComposerConfig()
+	cfg.WeightClusters, cfg.InputClusters = 16, 16
+	cfg.MaxIterations = 1
+	c, err := composer.Compose(tb.Net, tb.Dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	re := composer.NewReinterpreted(c.Net, c.Plans)
+	const samples = 40
+	in := tb.Dataset.InSize()
+	x := tensor.FromSlice(tb.Dataset.TestX.Data()[:samples*in], samples, in)
+	labels := tb.Dataset.TestY[:samples]
+
+	out := &FaultResult{}
+	for _, rate := range []float64{0, 0.0001, 0.001, 0.01, 0.05, 0.2} {
+		hw, err := rna.BuildHardwareNetwork(re.Net(), c.Plans, device.Default())
+		if err != nil {
+			return nil, err
+		}
+		flipped := 0
+		if rate > 0 {
+			flipped = hw.InjectStuckFaults(rate, 7)
+		}
+		e, err := hw.ErrorRate(x, labels)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, struct {
+			Rate        float64
+			FlippedBits int
+			ErrorRate   float64
+		}{rate, flipped, e})
+	}
+	return out, nil
+}
+
+func (f *FaultResult) String() string {
+	s := "Extension: stuck-at faults in the product crossbars (hardware-in-the-loop)\n"
+	for _, r := range f.Rows {
+		s += fmt.Sprintf("  fault rate %7.4f%%: %5d bits flipped → error %.1f%%\n",
+			100*r.Rate, r.FlippedBits, 100*r.ErrorRate)
+	}
+	return s
+}

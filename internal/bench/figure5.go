@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+)
+
+// Figure5Result reproduces the paper's illustrative tree-based codebook
+// (Fig. 5): a weight population recursively 2-means-split into levels of
+// increasing precision, with per-level WCSS showing the accuracy/size trade.
+type Figure5Result struct {
+	Levels []struct {
+		Level    int
+		Codebook []float32
+		Bits     int
+		WCSS     float64
+	}
+}
+
+// Figure5 builds a three-level tree over a bimodal weight population like
+// the paper's example (centroids ≈ {−2.1, 1.9} at level 1).
+func Figure5() *Figure5Result {
+	rng := rand.New(rand.NewSource(5))
+	var samples []float32
+	for i := 0; i < 600; i++ {
+		samples = append(samples, float32(-2.1+rng.NormFloat64()*0.8))
+		samples = append(samples, float32(1.9+rng.NormFloat64()*0.9))
+	}
+	tree := cluster.BuildTree(samples, 3, cluster.Options{Seed: 5})
+	out := &Figure5Result{}
+	for l := 0; l < tree.Depth(); l++ {
+		out.Levels = append(out.Levels, struct {
+			Level    int
+			Codebook []float32
+			Bits     int
+			WCSS     float64
+		}{l + 1, tree.Level(l), tree.Bits(l), cluster.WCSS(samples, tree.Level(l))})
+	}
+	return out
+}
+
+func (f *Figure5Result) String() string {
+	s := "Figure 5: tree-based codebook (deeper levels → higher accuracy)\n"
+	for _, lv := range f.Levels {
+		s += fmt.Sprintf("  level %d (%d bits): %v  WCSS=%.1f\n", lv.Level, lv.Bits, round2(lv.Codebook), lv.WCSS)
+	}
+	return s
+}
+
+func round2(cb []float32) []float32 {
+	out := make([]float32, len(cb))
+	for i, v := range cb {
+		out[i] = float32(int(v*100+copysign(0.5, v))) / 100
+	}
+	return out
+}
+
+func copysign(mag, sign float32) float32 {
+	if sign < 0 {
+		return -mag
+	}
+	return mag
+}

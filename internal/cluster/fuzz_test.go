@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzAssign checks the nearest-centroid invariant on arbitrary codebooks:
+// the returned index is always within range and never farther from v than
+// any other centroid.
+func FuzzAssign(f *testing.F) {
+	f.Add(float32(0.5), float32(-1), float32(0), float32(1), float32(2))
+	f.Add(float32(-10), float32(3), float32(3), float32(3), float32(3))
+	f.Fuzz(func(t *testing.T, v, c0, c1, c2, c3 float32) {
+		if v != v || c0 != c0 || c1 != c1 || c2 != c2 || c3 != c3 {
+			t.Skip("NaN inputs are out of contract")
+		}
+		cents := []float32{c0, c1, c2, c3}
+		sort.Slice(cents, func(i, j int) bool { return cents[i] < cents[j] })
+		idx := Assign(cents, v)
+		if idx < 0 || idx >= len(cents) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		chosen := abs32(v - cents[idx])
+		for _, c := range cents {
+			if abs32(v-c) < chosen-1e-6*abs32(chosen) {
+				t.Fatalf("Assign(%v) chose %v but %v is nearer", v, cents[idx], c)
+			}
+		}
+		// Quantize must be idempotent.
+		q := Quantize(cents, v)
+		if Quantize(cents, q) != q {
+			t.Fatalf("Quantize not idempotent at %v", v)
+		}
+	})
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

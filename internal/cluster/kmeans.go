@@ -1,0 +1,204 @@
+// Package cluster implements the scalar k-means machinery of the RAPIDNN
+// DNN composer (§3.1): Lloyd's algorithm with k-means++ seeding over the
+// weight/activation populations of a layer, the Within-Cluster Sum of
+// Squares objective (Eq. 1), and the hierarchical tree codebooks of Fig. 5
+// whose per-level encodings preserve value ordering so max-pooling can run
+// directly on encoded data (§4.2.1).
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Seeding selects the centroid initialization strategy.
+type Seeding int
+
+const (
+	// SeedPlusPlus uses k-means++ (D² sampling), the default.
+	SeedPlusPlus Seeding = iota
+	// SeedUniform draws initial centroids uniformly from the samples;
+	// kept for the seeding ablation benchmark.
+	SeedUniform
+)
+
+// Options configures a k-means run. The zero value is usable.
+type Options struct {
+	MaxIter int // default 50
+	Seed    int64
+	Seeding Seeding
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 50
+	}
+	return o.MaxIter
+}
+
+// KMeans clusters scalar samples into k centroids using Lloyd's algorithm
+// and returns them sorted ascending. If the samples contain fewer than k
+// distinct values, the distinct values themselves are returned (the result
+// may then be shorter than k). It panics on k < 1 or no samples.
+func KMeans(samples []float32, k int, opts Options) []float32 {
+	if k < 1 {
+		panic(fmt.Sprintf("cluster: k = %d", k))
+	}
+	if len(samples) == 0 {
+		panic("cluster: no samples")
+	}
+	distinct := distinctSorted(samples)
+	if len(distinct) <= k {
+		return distinct
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cents := seed(samples, k, opts.Seeding, rng)
+
+	assign := make([]int, len(samples))
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for iter := 0; iter < opts.maxIter(); iter++ {
+		sort.Slice(cents, func(i, j int) bool { return cents[i] < cents[j] })
+		changed := false
+		for i := range sums {
+			sums[i], counts[i] = 0, 0
+		}
+		for i, v := range samples {
+			c := Assign(cents, v)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+			sums[c] += float64(v)
+			counts[c]++
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster onto a random sample so k is preserved.
+				cents[c] = samples[rng.Intn(len(samples))]
+				changed = true
+				continue
+			}
+			cents[c] = float32(sums[c] / float64(counts[c]))
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	sort.Slice(cents, func(i, j int) bool { return cents[i] < cents[j] })
+	return cents
+}
+
+func distinctSorted(samples []float32) []float32 {
+	s := append([]float32(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return append([]float32(nil), out...)
+}
+
+func seed(samples []float32, k int, strategy Seeding, rng *rand.Rand) []float32 {
+	cents := make([]float32, 0, k)
+	switch strategy {
+	case SeedUniform:
+		for len(cents) < k {
+			cents = append(cents, samples[rng.Intn(len(samples))])
+		}
+	case SeedPlusPlus:
+		cents = append(cents, samples[rng.Intn(len(samples))])
+		d2 := make([]float64, len(samples))
+		for len(cents) < k {
+			var total float64
+			for i, v := range samples {
+				best := 1e308
+				for _, c := range cents {
+					d := float64(v - c)
+					if dd := d * d; dd < best {
+						best = dd
+					}
+				}
+				d2[i] = best
+				total += best
+			}
+			if total == 0 {
+				cents = append(cents, samples[rng.Intn(len(samples))])
+				continue
+			}
+			r := rng.Float64() * total
+			idx := 0
+			for i, d := range d2 {
+				r -= d
+				if r <= 0 {
+					idx = i
+					break
+				}
+			}
+			cents = append(cents, samples[idx])
+		}
+	}
+	return cents
+}
+
+// Assign returns the index of the centroid nearest to v. Centroids must be
+// sorted ascending (as returned by KMeans); the lookup is a binary search.
+func Assign(centroids []float32, v float32) int {
+	n := len(centroids)
+	if n == 0 {
+		panic("cluster: empty codebook")
+	}
+	i := sort.Search(n, func(i int) bool { return centroids[i] >= v })
+	switch {
+	case i == 0:
+		return 0
+	case i == n:
+		return n - 1
+	}
+	if v-centroids[i-1] <= centroids[i]-v {
+		return i - 1
+	}
+	return i
+}
+
+// Quantize maps v to its nearest centroid value.
+func Quantize(centroids []float32, v float32) float32 {
+	return centroids[Assign(centroids, v)]
+}
+
+// WCSS computes the Within-Cluster Sum of Squares of samples against the
+// (sorted) centroids — the objective of Eq. 1 in the paper.
+func WCSS(samples, centroids []float32) float64 {
+	var s float64
+	for _, v := range samples {
+		d := float64(v - Quantize(centroids, v))
+		s += d * d
+	}
+	return s
+}
+
+// Sample returns every sample with probability frac (deterministic in seed),
+// guaranteeing at least min survivors. The paper samples as little as 2 % of
+// the training activations to build input codebooks (§3.1).
+func Sample(samples []float32, frac float64, min int, seed int64) []float32 {
+	if frac >= 1 {
+		return samples
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, 0, int(float64(len(samples))*frac)+min)
+	for _, v := range samples {
+		if rng.Float64() < frac {
+			out = append(out, v)
+		}
+	}
+	for len(out) < min && len(out) < len(samples) {
+		out = append(out, samples[rng.Intn(len(samples))])
+	}
+	if len(out) == 0 {
+		out = append(out, samples...)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMeansTwoObviousClusters(t *testing.T) {
+	var samples []float32
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		samples = append(samples, float32(rng.NormFloat64()*0.1-2))
+		samples = append(samples, float32(rng.NormFloat64()*0.1+3))
+	}
+	cents := KMeans(samples, 2, Options{Seed: 1})
+	if len(cents) != 2 {
+		t.Fatalf("got %d centroids", len(cents))
+	}
+	if math.Abs(float64(cents[0])+2) > 0.1 || math.Abs(float64(cents[1])-3) > 0.1 {
+		t.Fatalf("centroids %v, want ≈[-2, 3]", cents)
+	}
+}
+
+func TestKMeansSortedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float32, 500)
+	for i := range samples {
+		samples[i] = rng.Float32()*10 - 5
+	}
+	for _, k := range []int{2, 4, 8, 16, 64} {
+		cents := KMeans(samples, k, Options{Seed: 3})
+		if !sort.SliceIsSorted(cents, func(i, j int) bool { return cents[i] < cents[j] }) {
+			t.Fatalf("k=%d centroids not sorted: %v", k, cents)
+		}
+		if len(cents) != k {
+			t.Fatalf("k=%d returned %d centroids", k, len(cents))
+		}
+	}
+}
+
+func TestKMeansFewDistinctValues(t *testing.T) {
+	samples := []float32{1, 1, 1, 2, 2, 3}
+	cents := KMeans(samples, 10, Options{Seed: 1})
+	want := []float32{1, 2, 3}
+	if len(cents) != 3 {
+		t.Fatalf("got %v, want %v", cents, want)
+	}
+	for i := range want {
+		if cents[i] != want[i] {
+			t.Fatalf("got %v, want %v", cents, want)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]float32, 300)
+	for i := range samples {
+		samples[i] = rng.Float32()
+	}
+	a := KMeans(samples, 8, Options{Seed: 9})
+	b := KMeans(samples, 8, Options{Seed: 9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical centroids")
+		}
+	}
+}
+
+func TestKMeansPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { KMeans(nil, 2, Options{}) },
+		func() { KMeans([]float32{1}, 0, Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAssignNearest(t *testing.T) {
+	cents := []float32{-1, 0, 2, 5}
+	cases := []struct {
+		v    float32
+		want int
+	}{
+		{-10, 0}, {-1, 0}, {-0.6, 0}, {-0.4, 1}, {0.9, 1}, {1.1, 2}, {3.4, 2}, {3.6, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := Assign(cents, c.v); got != c.want {
+			t.Errorf("Assign(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: Assign always returns the index minimizing |v − c| over the codebook.
+func TestAssignOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		cents := make([]float32, n)
+		for i := range cents {
+			cents[i] = rng.Float32()*20 - 10
+		}
+		sort.Slice(cents, func(i, j int) bool { return cents[i] < cents[j] })
+		for trial := 0; trial < 50; trial++ {
+			v := rng.Float32()*30 - 15
+			got := Assign(cents, v)
+			bestD := float32(math.MaxFloat32)
+			for _, c := range cents {
+				d := v - c
+				if d < 0 {
+					d = -d
+				}
+				if d < bestD {
+					bestD = d
+				}
+			}
+			gd := v - cents[got]
+			if gd < 0 {
+				gd = -gd
+			}
+			if gd > bestD+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: increasing k never increases WCSS (more centroids fit at least as well).
+func TestWCSSMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]float32, 400)
+	for i := range samples {
+		samples[i] = float32(rng.NormFloat64())
+	}
+	prev := math.MaxFloat64
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		w := WCSS(samples, KMeans(samples, k, Options{Seed: 6}))
+		if w > prev*1.05 { // small slack: Lloyd's is a local optimizer
+			t.Fatalf("WCSS(k=%d) = %v > WCSS(k/2) = %v", k, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestWCSSZeroWhenCodebookCoversSamples(t *testing.T) {
+	samples := []float32{1, 2, 3, 1, 2, 3}
+	if w := WCSS(samples, []float32{1, 2, 3}); w != 0 {
+		t.Fatalf("WCSS = %v, want 0", w)
+	}
+}
+
+func TestKMeansPlusPlusBeatsUniformOnAverage(t *testing.T) {
+	// Three tight, well-separated clusters: ++ seeding should never merge
+	// two of them given enough restarts; uniform sometimes does. We only
+	// require ++ to be no worse on aggregate.
+	rng := rand.New(rand.NewSource(7))
+	var samples []float32
+	for _, mu := range []float64{-10, 0, 10} {
+		for i := 0; i < 100; i++ {
+			samples = append(samples, float32(mu+rng.NormFloat64()*0.05))
+		}
+	}
+	var pp, uni float64
+	for seed := int64(0); seed < 10; seed++ {
+		pp += WCSS(samples, KMeans(samples, 3, Options{Seed: seed, Seeding: SeedPlusPlus}))
+		uni += WCSS(samples, KMeans(samples, 3, Options{Seed: seed, Seeding: SeedUniform}))
+	}
+	if pp > uni*1.01 {
+		t.Fatalf("k-means++ aggregate WCSS %v worse than uniform %v", pp, uni)
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	samples := make([]float32, 10000)
+	for i := range samples {
+		samples[i] = float32(i)
+	}
+	out := Sample(samples, 0.02, 10, 1)
+	if len(out) < 100 || len(out) > 400 {
+		t.Fatalf("2%% sample of 10000 returned %d", len(out))
+	}
+	if got := Sample(samples, 1.0, 1, 1); len(got) != len(samples) {
+		t.Fatal("frac=1 must return everything")
+	}
+	small := Sample([]float32{1, 2, 3}, 0.001, 2, 1)
+	if len(small) < 2 {
+		t.Fatalf("min floor not honored: %d", len(small))
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	cents := []float32{-1, 0.5, 2}
+	for _, v := range []float32{-3, -1, 0, 0.7, 1.9, 5} {
+		q := Quantize(cents, v)
+		if Quantize(cents, q) != q {
+			t.Fatalf("Quantize not idempotent at %v", v)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is the hierarchical codebook of §3.1 / Fig. 5: level ℓ (0-based)
+// holds 2^(ℓ+1) centroids obtained by recursively 2-means-splitting the
+// sample population. Deeper levels give higher multiplication precision;
+// shallower levels cost less memory. Every level is sorted ascending, so an
+// encoded value (the index within its level) compares exactly like the
+// decoded value — the property that lets the hardware run max/min pooling
+// on encoded data (§4.2.1).
+type Tree struct {
+	levels [][]float32
+}
+
+// BuildTree grows a codebook tree of the given depth (≥1). Level ℓ has at
+// most 2^(ℓ+1) centroids; duplicate-poor sample sets may yield fewer.
+func BuildTree(samples []float32, depth int, opts Options) *Tree {
+	if depth < 1 {
+		panic(fmt.Sprintf("cluster: tree depth %d", depth))
+	}
+	if len(samples) == 0 {
+		panic("cluster: no samples")
+	}
+	t := &Tree{levels: make([][]float32, depth)}
+	// groups holds the sample partition at the current depth.
+	groups := [][]float32{samples}
+	for l := 0; l < depth; l++ {
+		var nextGroups [][]float32
+		var level []float32
+		for gi, g := range groups {
+			sub := Options{MaxIter: opts.maxIter(), Seed: opts.Seed + int64(l*1009+gi), Seeding: opts.Seeding}
+			cents := KMeans(g, 2, sub)
+			level = append(level, cents...)
+			if len(cents) == 1 {
+				nextGroups = append(nextGroups, g)
+				continue
+			}
+			lo, hi := splitByCentroid(g, cents)
+			nextGroups = append(nextGroups, lo, hi)
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+		t.levels[l] = dedup(level)
+		groups = nextGroups
+	}
+	return t
+}
+
+func splitByCentroid(g []float32, cents []float32) (lo, hi []float32) {
+	for _, v := range g {
+		if Assign(cents, v) == 0 {
+			lo = append(lo, v)
+		} else {
+			hi = append(hi, v)
+		}
+	}
+	// Guard against a degenerate split (can happen with heavy duplicates).
+	if len(lo) == 0 {
+		lo = hi[:1]
+	}
+	if len(hi) == 0 {
+		hi = lo[:1]
+	}
+	return lo, hi
+}
+
+func dedup(sorted []float32) []float32 {
+	out := sorted[:1]
+	for _, v := range sorted[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Depth returns the number of levels.
+func (t *Tree) Depth() int { return len(t.levels) }
+
+// Level returns the sorted codebook at level l (0-based). The returned slice
+// must not be modified.
+func (t *Tree) Level(l int) []float32 { return t.levels[l] }
+
+// LevelFor returns the deepest level whose codebook size does not exceed
+// maxEntries, letting callers pick precision by memory budget ("an
+// adjustable parameter is utilized to select the level of the codebook
+// tree", §3.3). It returns 0 if even level 0 exceeds the budget.
+func (t *Tree) LevelFor(maxEntries int) int {
+	best := 0
+	for l, cb := range t.levels {
+		if len(cb) <= maxEntries {
+			best = l
+		}
+	}
+	return best
+}
+
+// CodebookFor returns the codebook of LevelFor(maxEntries).
+func (t *Tree) CodebookFor(maxEntries int) []float32 {
+	return t.levels[t.LevelFor(maxEntries)]
+}
+
+// Bits returns the number of encoding bits needed for level l.
+func (t *Tree) Bits(l int) int {
+	n := len(t.levels[l])
+	bits := 0
+	for (1 << bits) < n {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func gaussianSamples(seed int64, n int) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func TestTreeLevelSizes(t *testing.T) {
+	samples := gaussianSamples(1, 2000)
+	tree := BuildTree(samples, 5, Options{Seed: 1})
+	if tree.Depth() != 5 {
+		t.Fatalf("Depth = %d", tree.Depth())
+	}
+	for l := 0; l < 5; l++ {
+		want := 1 << (l + 1)
+		if got := len(tree.Level(l)); got != want {
+			t.Fatalf("level %d has %d centroids, want %d", l, got, want)
+		}
+	}
+}
+
+func TestTreeLevelsSorted(t *testing.T) {
+	samples := gaussianSamples(2, 1000)
+	tree := BuildTree(samples, 4, Options{Seed: 2})
+	for l := 0; l < tree.Depth(); l++ {
+		cb := tree.Level(l)
+		if !sort.SliceIsSorted(cb, func(i, j int) bool { return cb[i] < cb[j] }) {
+			t.Fatalf("level %d not sorted: %v", l, cb)
+		}
+	}
+}
+
+// Deeper levels must fit the data at least as well (Fig. 5: "higher accuracy"
+// further down the tree).
+func TestTreeWCSSImprovesWithDepth(t *testing.T) {
+	samples := gaussianSamples(3, 3000)
+	tree := BuildTree(samples, 6, Options{Seed: 3})
+	prev := 1e308
+	for l := 0; l < tree.Depth(); l++ {
+		w := WCSS(samples, tree.Level(l))
+		if w > prev*1.02 {
+			t.Fatalf("WCSS level %d = %v worse than parent %v", l, w, prev)
+		}
+		prev = w
+	}
+}
+
+// Ordering property from §3.1/§4.2.1: for a sorted per-level codebook, the
+// encoded index order must agree with value order.
+func TestTreeEncodedOrderMatchesValueOrder(t *testing.T) {
+	samples := gaussianSamples(4, 1000)
+	tree := BuildTree(samples, 4, Options{Seed: 4})
+	cb := tree.Level(3)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a := float32(rng.NormFloat64())
+		b := float32(rng.NormFloat64())
+		ia, ib := Assign(cb, a), Assign(cb, b)
+		qa, qb := cb[ia], cb[ib]
+		if (ia < ib) != (qa < qb) && qa != qb {
+			t.Fatalf("index order (%d,%d) disagrees with value order (%v,%v)", ia, ib, qa, qb)
+		}
+	}
+}
+
+func TestTreeLevelFor(t *testing.T) {
+	samples := gaussianSamples(6, 2000)
+	tree := BuildTree(samples, 6, Options{Seed: 6}) // levels of size 2..64
+	if l := tree.LevelFor(64); l != 5 {
+		t.Fatalf("LevelFor(64) = %d, want 5", l)
+	}
+	if l := tree.LevelFor(16); l != 3 {
+		t.Fatalf("LevelFor(16) = %d, want 3", l)
+	}
+	if l := tree.LevelFor(1); l != 0 {
+		t.Fatalf("LevelFor(1) = %d, want 0 (floor)", l)
+	}
+	if got := len(tree.CodebookFor(16)); got > 16 {
+		t.Fatalf("CodebookFor(16) has %d entries", got)
+	}
+}
+
+func TestTreeBits(t *testing.T) {
+	samples := gaussianSamples(7, 2000)
+	tree := BuildTree(samples, 4, Options{Seed: 7})
+	for l, want := range []int{1, 2, 3, 4} {
+		if got := tree.Bits(l); got != want {
+			t.Fatalf("Bits(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestTreeDegenerateSamples(t *testing.T) {
+	// All-identical samples must not loop or panic; every level collapses to
+	// one centroid.
+	samples := []float32{2, 2, 2, 2}
+	tree := BuildTree(samples, 3, Options{Seed: 8})
+	for l := 0; l < 3; l++ {
+		if len(tree.Level(l)) != 1 || tree.Level(l)[0] != 2 {
+			t.Fatalf("level %d = %v, want [2]", l, tree.Level(l))
+		}
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	samples := gaussianSamples(9, 500)
+	a := BuildTree(samples, 4, Options{Seed: 10})
+	b := BuildTree(samples, 4, Options{Seed: 10})
+	for l := 0; l < 4; l++ {
+		la, lb := a.Level(l), b.Level(l)
+		if len(la) != len(lb) {
+			t.Fatal("nondeterministic tree sizes")
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatal("nondeterministic tree centroids")
+			}
+		}
+	}
+}
+
+// Ablation reference: a flat k-means with k=2^depth should be no worse than
+// the tree codebook (the tree trades a little WCSS for reconfigurability).
+func TestTreeVersusFlatKMeans(t *testing.T) {
+	samples := gaussianSamples(11, 3000)
+	tree := BuildTree(samples, 5, Options{Seed: 11})
+	flat := KMeans(samples, 32, Options{Seed: 11})
+	wTree := WCSS(samples, tree.Level(4))
+	wFlat := WCSS(samples, flat)
+	if wFlat > wTree*1.2 {
+		t.Fatalf("flat k-means (%v) unexpectedly much worse than tree (%v)", wFlat, wTree)
+	}
+}
+
+func BenchmarkKMeans64(b *testing.B) {
+	samples := gaussianSamples(12, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(samples, 64, Options{Seed: int64(i)})
+	}
+}
+
+func BenchmarkBuildTreeDepth6(b *testing.B) {
+	samples := gaussianSamples(13, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildTree(samples, 6, Options{Seed: int64(i)})
+	}
+}

@@ -1,0 +1,299 @@
+package composer
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// trainedFixture returns a small trained FC network and its dataset, shared
+// across tests (training dominates test runtime). Tests must not mutate the
+// returned network — clone it instead.
+var (
+	fixtureOnce sync.Once
+	fixtureNet  *nn.Network
+	fixtureDS   *dataset.Dataset
+)
+
+func trainedFixture(t *testing.T) (*nn.Network, *dataset.Dataset) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureDS = dataset.MNIST(dataset.Small)
+		fixtureNet = model.FCNet("MNIST", fixtureDS.InSize(), fixtureDS.NumClasses, 0.08, 1)
+		model.Train(fixtureNet, fixtureDS, model.TrainConfig{Epochs: 4, BatchSize: 32, LR: 0.05, Momentum: 0.9})
+	})
+	return fixtureNet, fixtureDS
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 2
+	cfg.RetrainEpochs = 1
+	cfg.SampleFrac = 0.2
+	return cfg
+}
+
+func TestComposePreservesAccuracyAt64(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	c, err := Compose(net, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DeltaE() > 0.05 {
+		t.Fatalf("Δe = %v with w=u=64, want ≤ 0.05 (baseline %v, final %v)",
+			c.DeltaE(), c.BaselineError, c.FinalError)
+	}
+	if len(c.History) == 0 {
+		t.Fatal("no iteration history recorded")
+	}
+}
+
+func TestComposeDoesNotMutateInput(t *testing.T) {
+	net, ds := trainedFixture(t)
+	before := net.Params()[0].Value.Clone()
+	cfg := fastConfig()
+	if _, err := Compose(net, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Params()[0].Value.Equal(before, 0) {
+		t.Fatal("Compose mutated the caller's network")
+	}
+}
+
+func TestSmallerCodebooksLoseMoreAccuracy(t *testing.T) {
+	net, ds := trainedFixture(t)
+	errAt := func(w, u int) float64 {
+		cfg := fastConfig()
+		cfg.WeightClusters, cfg.InputClusters = w, u
+		cfg.MaxIterations = 1 // isolate pure clustering loss
+		c, err := Compose(net, ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.FinalError
+	}
+	big := errAt(64, 64)
+	tiny := errAt(2, 2)
+	if tiny < big-0.01 {
+		t.Fatalf("w=u=2 error %v unexpectedly better than w=u=64 error %v", tiny, big)
+	}
+}
+
+func TestRetrainingRecoversAccuracy(t *testing.T) {
+	// With an aggressive codebook, iteration 0 (pure clustering) should be
+	// no better than the best error after retraining rounds (Fig. 6d).
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	cfg.WeightClusters, cfg.InputClusters = 4, 8
+	cfg.MaxIterations = 3
+	cfg.RetrainEpochs = 2
+	c, err := Compose(net, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.History[0].ClusteredError
+	if c.FinalError > first+1e-9 {
+		t.Fatalf("final error %v worse than iteration-0 error %v", c.FinalError, first)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	net, ds := trainedFixture(t)
+	bad := []func(*Config){
+		func(c *Config) { c.WeightClusters = 0 },
+		func(c *Config) { c.ActRows = 1 },
+		func(c *Config) { c.MaxIterations = 0 },
+		func(c *Config) { c.SampleFrac = 0 },
+		func(c *Config) { c.ShareFraction = 0.95 },
+	}
+	for i, mutate := range bad {
+		cfg := fastConfig()
+		mutate(&cfg)
+		if _, err := Compose(net, ds, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBuildPlansShapes(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	plans, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(net.Layers) {
+		t.Fatalf("%d plans for %d layers", len(plans), len(net.Layers))
+	}
+	for i, p := range plans {
+		switch net.Layers[i].(type) {
+		case *nn.Dense:
+			if p.Kind != KindDense || len(p.WeightCodebooks) != 1 {
+				t.Fatalf("plan %d: kind %v, %d codebooks", i, p.Kind, len(p.WeightCodebooks))
+			}
+			if p.W() > cfg.WeightClusters || p.U() > cfg.InputClusters {
+				t.Fatalf("plan %d: w=%d u=%d exceed config", i, p.W(), p.U())
+			}
+			if p.Neurons != net.Layers[i].OutSize() || p.Edges != net.Layers[i].InSize() {
+				t.Fatalf("plan %d: neurons/edges wrong", i)
+			}
+		case *nn.Dropout:
+			if p.Kind != KindDropout || p.IsCompute() {
+				t.Fatalf("plan %d should be dropout", i)
+			}
+		}
+	}
+}
+
+func TestReLUComparatorSkipsTable(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	plans, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fc1 uses ReLU → comparator, output layer identity → nil.
+	for _, p := range plans {
+		if p.IsCompute() && p.ActTable != nil {
+			t.Fatalf("layer %s has a table despite ReLU comparator config", p.Name)
+		}
+	}
+	cfg.ReLUAsComparator = false
+	plans, err = BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[0].ActTable == nil {
+		t.Fatal("with comparator disabled, ReLU layers must get a table")
+	}
+	if plans[0].ActTable.Rows() != cfg.ActRows {
+		t.Fatalf("table rows %d, want %d", plans[0].ActTable.Rows(), cfg.ActRows)
+	}
+}
+
+func TestQuantizeWeightsInPlaceSnapsToCodebook(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	cfg.WeightClusters = 8
+	plans, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := nn.CloneNetwork(net)
+	QuantizeWeightsInPlace(work, plans)
+	dense := work.Layers[0].(*nn.Dense)
+	cb := plans[0].WeightCodebooks[0]
+	inBook := func(v float32) bool {
+		for _, c := range cb {
+			if c == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range dense.W.Value.Data() {
+		if !inBook(v) {
+			t.Fatalf("weight %v not in codebook %v", v, cb)
+		}
+	}
+}
+
+func TestReinterpretedUsesOnlyCodebookInputs(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	cfg.InputClusters = 4
+	plans, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := NewReinterpreted(net, plans)
+	out := re.Forward(dsBatch(ds, 8))
+	if out.Dim(0) != 8 || out.Dim(1) != ds.NumClasses {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+}
+
+func TestComposeDeterministic(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	cfg.MaxIterations = 1
+	a, err := Compose(net, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compose(net, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalError != b.FinalError {
+		t.Fatalf("nondeterministic compose: %v vs %v", a.FinalError, b.FinalError)
+	}
+}
+
+func TestHistogramCollapsesAfterClustering(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	cfg.WeightClusters = 8
+	plans, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := WeightHistogram(net, 0, 100)
+	work := nn.CloneNetwork(net)
+	QuantizeWeightsInPlace(work, plans)
+	after := WeightHistogram(work, 0, 100)
+	if after.NonZeroBins() > 8 {
+		t.Fatalf("clustered histogram has %d non-zero bins, want ≤ 8", after.NonZeroBins())
+	}
+	if before.NonZeroBins() <= after.NonZeroBins() {
+		t.Fatalf("clustering did not collapse the distribution: %d → %d",
+			before.NonZeroBins(), after.NonZeroBins())
+	}
+}
+
+func TestMemoryModelScalesWithCodebooks(t *testing.T) {
+	net, ds := trainedFixture(t)
+	mm := DefaultMemoryModel()
+	bytesFor := func(w, u int) int64 {
+		cfg := fastConfig()
+		cfg.WeightClusters, cfg.InputClusters = w, u
+		plans, err := BuildPlans(net, ds, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mm.TotalBytes(plans)
+	}
+	small, big := bytesFor(4, 4), bytesFor(64, 64)
+	if big <= small {
+		t.Fatalf("memory at w=u=64 (%d) not larger than w=u=4 (%d)", big, small)
+	}
+	// Crossbar scales ~quadratically in codebook size: 64²/4² = 256.
+	if ratio := float64(big) / float64(small); ratio < 20 {
+		t.Fatalf("memory ratio %v, want ≫ 1", ratio)
+	}
+}
+
+// The paper's ≈5 KB/neuron figure at w=u=64 (§1).
+func TestNeuronBytesNearPaperFigure(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	plans, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := DefaultMemoryModel()
+	nb := mm.NeuronBytes(plans[0])
+	if nb < 4000 || nb > 8000 {
+		t.Fatalf("per-neuron bytes %d, want ≈5 KB", nb)
+	}
+}
+
+func dsBatch(ds *dataset.Dataset, n int) *tensor.Tensor {
+	in := ds.InSize()
+	return tensor.FromSlice(ds.TestX.Data()[:n*in], n, in)
+}

@@ -1,0 +1,209 @@
+package composer
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// This file serializes composed models: the quantized network together with
+// its layer plans — everything the accelerator needs at configuration time
+// (§3.3) — in a self-contained gob stream. A deployment can therefore run
+// the composer once offline and ship the artifact, exactly as the paper
+// amortizes the composer across "all future executions" (§5.2).
+
+const serialMagic = "RAPIDNN1"
+
+type layerSnapshot struct {
+	Kind string // dense | conv | pool | dropout | recurrent
+	Name string
+	Act  string
+	Skip bool
+
+	// dense
+	In, Out int
+	// conv / pool
+	Geom     tensor.ConvGeom
+	OutC     int
+	PoolKind int
+	// recurrent
+	Hidden, Steps int
+	// dropout
+	Size int
+	Rate float64
+
+	W, B, Wx, Wh []float32
+}
+
+type planSnapshot struct {
+	Kind            int
+	Name            string
+	WeightCodebooks [][]float32
+	ChannelCodebook []int
+	InputCodebook   []float32
+	ActName         string
+	ActY, ActZ      []float32
+	Neurons, Edges  int
+}
+
+type modelSnapshot struct {
+	Magic         string
+	NetName       string
+	Layers        []layerSnapshot
+	Plans         []planSnapshot
+	BaselineError float64
+	FinalError    float64
+	TotalEpochs   int
+}
+
+// Save writes the composed model (retrained network + plans + quality
+// metadata) to w.
+func (c *Composed) Save(w io.Writer) error {
+	snap := modelSnapshot{
+		Magic:         serialMagic,
+		NetName:       c.Net.Name,
+		BaselineError: c.BaselineError,
+		FinalError:    c.FinalError,
+		TotalEpochs:   c.TotalEpochs,
+	}
+	for _, l := range c.Net.Layers {
+		ls, err := snapshotLayer(l)
+		if err != nil {
+			return err
+		}
+		snap.Layers = append(snap.Layers, ls)
+	}
+	for _, p := range c.Plans {
+		snap.Plans = append(snap.Plans, snapshotPlan(p))
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a composed model written by Save.
+func Load(r io.Reader) (*Composed, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("composer: decode: %w", err)
+	}
+	if snap.Magic != serialMagic {
+		return nil, fmt.Errorf("composer: bad magic %q", snap.Magic)
+	}
+	net := nn.NewNetwork(snap.NetName)
+	for _, ls := range snap.Layers {
+		l, err := restoreLayer(ls)
+		if err != nil {
+			return nil, err
+		}
+		net.Add(l)
+	}
+	c := &Composed{
+		Net:           net,
+		BaselineError: snap.BaselineError,
+		FinalError:    snap.FinalError,
+		TotalEpochs:   snap.TotalEpochs,
+	}
+	for _, ps := range snap.Plans {
+		c.Plans = append(c.Plans, restorePlan(ps))
+	}
+	if len(c.Plans) != len(net.Layers) {
+		return nil, fmt.Errorf("composer: %d plans for %d layers", len(c.Plans), len(net.Layers))
+	}
+	return c, nil
+}
+
+func snapshotLayer(l nn.Layer) (layerSnapshot, error) {
+	switch t := l.(type) {
+	case *nn.Dense:
+		return layerSnapshot{
+			Kind: "dense", Name: t.Name(), Act: t.Act.Name(), Skip: t.Skip,
+			In: t.InSize(), Out: t.OutSize(),
+			W: t.W.Value.Data(), B: t.B.Value.Data(),
+		}, nil
+	case *nn.Conv2D:
+		return layerSnapshot{
+			Kind: "conv", Name: t.Name(), Act: t.Act.Name(), Skip: t.Skip,
+			Geom: t.Geom, OutC: t.OutC,
+			W: t.W.Value.Data(), B: t.B.Value.Data(),
+		}, nil
+	case *nn.Pool2D:
+		return layerSnapshot{Kind: "pool", Name: t.Name(), Geom: t.Geom, PoolKind: int(t.Kind)}, nil
+	case *nn.Dropout:
+		return layerSnapshot{Kind: "dropout", Name: t.Name(), Size: t.InSize(), Rate: t.Rate}, nil
+	case *nn.Recurrent:
+		return layerSnapshot{
+			Kind: "recurrent", Name: t.Name(), Act: t.Act.Name(),
+			In: t.In, Hidden: t.H, Steps: t.Steps,
+			Wx: t.Wx.Value.Data(), Wh: t.Wh.Value.Data(), B: t.B.Value.Data(),
+		}, nil
+	}
+	return layerSnapshot{}, fmt.Errorf("composer: cannot serialize layer %T", l)
+}
+
+func restoreLayer(ls layerSnapshot) (nn.Layer, error) {
+	// The RNG only seeds initial weights, which are overwritten below.
+	rng := rand.New(rand.NewSource(1))
+	act := nn.ActivationByName(ls.Act)
+	if act == nil && (ls.Kind == "dense" || ls.Kind == "conv" || ls.Kind == "recurrent") {
+		return nil, fmt.Errorf("composer: unknown activation %q", ls.Act)
+	}
+	switch ls.Kind {
+	case "dense":
+		d := nn.NewDense(ls.Name, ls.In, ls.Out, act, rng)
+		d.Skip = ls.Skip
+		copy(d.W.Value.Data(), ls.W)
+		copy(d.B.Value.Data(), ls.B)
+		return d, nil
+	case "conv":
+		c := nn.NewConv2D(ls.Name, ls.Geom, ls.OutC, act, rng)
+		c.Skip = ls.Skip
+		copy(c.W.Value.Data(), ls.W)
+		copy(c.B.Value.Data(), ls.B)
+		return c, nil
+	case "pool":
+		return nn.NewPool2D(ls.Name, nn.PoolKind(ls.PoolKind), ls.Geom), nil
+	case "dropout":
+		return nn.NewDropout(ls.Name, ls.Size, ls.Rate, rng), nil
+	case "recurrent":
+		r := nn.NewRecurrent(ls.Name, ls.In, ls.Hidden, ls.Steps, act, rng)
+		copy(r.Wx.Value.Data(), ls.Wx)
+		copy(r.Wh.Value.Data(), ls.Wh)
+		copy(r.B.Value.Data(), ls.B)
+		return r, nil
+	}
+	return nil, fmt.Errorf("composer: unknown layer kind %q", ls.Kind)
+}
+
+func snapshotPlan(p *LayerPlan) planSnapshot {
+	ps := planSnapshot{
+		Kind: int(p.Kind), Name: p.Name,
+		WeightCodebooks: p.WeightCodebooks,
+		ChannelCodebook: p.ChannelCodebook,
+		InputCodebook:   p.InputCodebook,
+		Neurons:         p.Neurons, Edges: p.Edges,
+	}
+	if p.ActTable != nil {
+		ps.ActName = p.ActTable.Name
+		ps.ActY = p.ActTable.Y
+		ps.ActZ = p.ActTable.Z
+	}
+	return ps
+}
+
+func restorePlan(ps planSnapshot) *LayerPlan {
+	p := &LayerPlan{
+		Kind: LayerKind(ps.Kind), Name: ps.Name,
+		WeightCodebooks: ps.WeightCodebooks,
+		ChannelCodebook: ps.ChannelCodebook,
+		InputCodebook:   ps.InputCodebook,
+		Neurons:         ps.Neurons, Edges: ps.Edges,
+	}
+	if len(ps.ActY) > 0 {
+		p.ActTable = &quant.ActTable{Name: ps.ActName, Y: ps.ActY, Z: ps.ActZ}
+	}
+	return p
+}

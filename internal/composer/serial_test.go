@@ -1,0 +1,123 @@
+package composer
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTripDense(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	cfg.MaxIterations = 1
+	c, err := Compose(net, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.FinalError != c.FinalError || loaded.BaselineError != c.BaselineError {
+		t.Fatal("quality metadata lost")
+	}
+	// The loaded model must classify identically.
+	reA := NewReinterpreted(c.Net, c.Plans)
+	reB := NewReinterpreted(loaded.Net, loaded.Plans)
+	in := ds.InSize()
+	x := tensor.FromSlice(ds.TestX.Data()[:16*in], 16, in)
+	pa, pb := reA.Predict(x), reB.Predict(x)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("prediction %d differs after round trip: %d vs %d", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestSaveLoadAllLayerKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := nn.NewConv2D("cv", g, 2, nn.Sigmoid{}, rng)
+	pg := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 2, KW: 2, Stride: 2}
+	net := nn.NewNetwork("kinds").
+		Add(conv).
+		Add(nn.NewPool2D("pl", nn.MaxPool, pg)).
+		Add(nn.NewDense("fc", 18, 18, nn.Tanh{}, rng)).
+		Add(nn.NewResidualDense("res", 18, nn.ReLU{}, rng)).
+		Add(nn.NewDropout("do", 18, 0.1, rng)).
+		Add(nn.NewDense("out", 18, 3, nn.Identity{}, rng))
+	plans := SyntheticPlans(net, 8, 8, 16)
+	c := &Composed{Net: net, Plans: plans, BaselineError: 0.1, FinalError: 0.12, TotalEpochs: 3}
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Net.Layers) != len(net.Layers) {
+		t.Fatalf("layer count %d, want %d", len(loaded.Net.Layers), len(net.Layers))
+	}
+	// Residual flag and weights must survive.
+	res := loaded.Net.Layers[3].(*nn.Dense)
+	if !res.Skip {
+		t.Fatal("residual flag lost")
+	}
+	orig := net.Layers[3].(*nn.Dense)
+	if !res.W.Value.Equal(orig.W.Value, 0) {
+		t.Fatal("weights corrupted")
+	}
+	// Forward passes agree exactly.
+	x := tensor.New(2, net.InSize())
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()
+	}
+	if !loaded.Net.Forward(x, false).Equal(net.Forward(x, false), 1e-6) {
+		t.Fatal("loaded network computes differently")
+	}
+}
+
+func TestSaveLoadRecurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	net := nn.NewNetwork("rnn").
+		Add(nn.NewRecurrent("rnn", 3, 6, 4, nn.Tanh{}, rng)).
+		Add(nn.NewDense("out", 6, 2, nn.Identity{}, rng))
+	plans := SyntheticPlans(net, 8, 8, 16)
+	if plans[0].Kind != KindRecurrent || plans[0].Edges != 4*(3+6) {
+		t.Fatalf("synthetic recurrent plan malformed: %+v", plans[0])
+	}
+	c := &Composed{Net: net, Plans: plans}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 12)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()
+	}
+	if !loaded.Net.Forward(x, false).Equal(net.Forward(x, false), 1e-6) {
+		t.Fatal("loaded RNN computes differently")
+	}
+	if loaded.Plans[0].Kind != KindRecurrent {
+		t.Fatal("plan kind lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}

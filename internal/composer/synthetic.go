@@ -1,0 +1,81 @@
+package composer
+
+import (
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// SyntheticPlans builds layer plans directly from a network's *shape*,
+// with evenly spaced placeholder codebooks instead of trained k-means
+// centroids. Hardware studies (area, latency, energy, Figs. 13–16) depend
+// only on layer geometry and codebook cardinalities, so this lets the
+// benchmark harness evaluate paper-scale topologies (VGG-16-class neuron
+// counts) without training them.
+func SyntheticPlans(net *nn.Network, w, u, actRows int) []*LayerPlan {
+	plans := make([]*LayerPlan, len(net.Layers))
+	wcb := evenCodebook(w, 1)
+	ucb := evenCodebook(u, 1)
+	for i, l := range net.Layers {
+		p := &LayerPlan{Index: i, Name: l.Name()}
+		switch t := l.(type) {
+		case *nn.Dense:
+			p.Kind = KindDense
+			p.Neurons = t.OutSize()
+			p.Edges = t.InSize()
+			p.WeightCodebooks = [][]float32{wcb}
+			p.ChannelCodebook = []int{0}
+			p.InputCodebook = ucb
+			p.ActTable = syntheticTable(t.Act, actRows)
+		case *nn.Conv2D:
+			p.Kind = KindConv
+			p.Neurons = t.OutSize()
+			p.Edges = t.Geom.InC * t.Geom.KH * t.Geom.KW
+			p.WeightCodebooks = make([][]float32, t.OutC)
+			p.ChannelCodebook = make([]int, t.OutC)
+			for ch := 0; ch < t.OutC; ch++ {
+				p.WeightCodebooks[ch] = wcb
+				p.ChannelCodebook[ch] = ch
+			}
+			p.InputCodebook = ucb
+			p.ActTable = syntheticTable(t.Act, actRows)
+		case *nn.Recurrent:
+			p.Kind = KindRecurrent
+			p.Neurons = t.H
+			p.Edges = t.Steps * (t.In + t.H)
+			p.WeightCodebooks = [][]float32{wcb}
+			p.ChannelCodebook = []int{0}
+			p.InputCodebook = ucb
+			p.ActTable = syntheticTable(t.Act, actRows)
+		case *nn.Pool2D:
+			p.Kind = KindPool
+			p.Neurons = t.OutSize()
+			p.Edges = t.Geom.KH * t.Geom.KW
+		case *nn.Dropout:
+			p.Kind = KindDropout
+		}
+		plans[i] = p
+	}
+	for _, p := range plans {
+		if p.IsCompute() {
+			p.RawInputs = net.InSize()
+			break
+		}
+	}
+	return plans
+}
+
+func evenCodebook(n int, scale float32) []float32 {
+	cb := make([]float32, n)
+	for i := range cb {
+		cb[i] = scale * (2*float32(i)/float32(max(n-1, 1)) - 1)
+	}
+	return cb
+}
+
+func syntheticTable(act nn.Activation, rows int) *quant.ActTable {
+	switch act.(type) {
+	case nn.ReLU, nn.Identity:
+		return nil // comparator / exact logits
+	}
+	return quant.BuildActTable(act, rows, -8, 8, quant.NonLinear)
+}

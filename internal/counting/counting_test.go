@@ -1,0 +1,150 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelCountMatchesHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const w, u, edges = 8, 16, 500
+	pairs := make([]Pair, edges)
+	want := make(map[Pair]int)
+	for i := range pairs {
+		pairs[i] = Pair{W: rng.Intn(w), U: rng.Intn(u)}
+		want[pairs[i]]++
+	}
+	res := ParallelCount(pairs, w)
+	if len(res.Counts) != len(want) {
+		t.Fatalf("distinct pairs %d, want %d", len(res.Counts), len(want))
+	}
+	for p, c := range want {
+		if res.Counts[p] != c {
+			t.Fatalf("count[%v] = %d, want %d", p, res.Counts[p], c)
+		}
+	}
+	if res.Increments != edges {
+		t.Fatalf("increments %d, want %d", res.Increments, edges)
+	}
+}
+
+func TestParallelCountCyclesIsMaxBucket(t *testing.T) {
+	// Weight 0 gets 5 edges, weight 1 gets 2 → 5 cycles.
+	pairs := []Pair{{0, 0}, {0, 1}, {0, 2}, {0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	res := ParallelCount(pairs, 2)
+	if res.Cycles != 5 {
+		t.Fatalf("cycles = %d, want 5", res.Cycles)
+	}
+	if res.SerialCycles != 7 {
+		t.Fatalf("serial cycles = %d, want 7", res.SerialCycles)
+	}
+}
+
+func TestParallelCountSpeedupOverSerial(t *testing.T) {
+	// Uniform distribution over w weights → ≈ edges/w cycles, a ~w× speedup.
+	rng := rand.New(rand.NewSource(2))
+	const w, edges = 64, 1024
+	pairs := make([]Pair, edges)
+	for i := range pairs {
+		pairs[i] = Pair{W: i % w, U: rng.Intn(64)}
+	}
+	res := ParallelCount(pairs, w)
+	if res.Cycles != edges/w {
+		t.Fatalf("balanced buckets: cycles = %d, want %d", res.Cycles, edges/w)
+	}
+}
+
+func TestParallelCountValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { ParallelCount([]Pair{{0, 0}}, 0) },
+		func() { ParallelCount([]Pair{{5, 0}}, 2) },
+		func() { ParallelCount([]Pair{{-1, 0}}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDecomposePaperExamples(t *testing.T) {
+	// §4.1.1: 4 → one shift; 9 = 8+1; 15 = 16−1.
+	if terms := Decompose(4); len(terms) != 1 || terms[0].Shift != 2 || terms[0].Sub {
+		t.Fatalf("Decompose(4) = %v", terms)
+	}
+	if terms := Decompose(9); len(terms) != 2 {
+		t.Fatalf("Decompose(9) = %v, want two terms (8+1)", terms)
+	}
+	terms := Decompose(15)
+	if len(terms) != 2 {
+		t.Fatalf("Decompose(15) = %v, want 16−1", terms)
+	}
+	if !terms[0].Sub || terms[0].Shift != 0 || terms[1].Sub || terms[1].Shift != 4 {
+		t.Fatalf("Decompose(15) = %v, want −2^0 + 2^4", terms)
+	}
+}
+
+// Property: the decomposition always evaluates back to c·v.
+func TestDecomposeCorrectProperty(t *testing.T) {
+	f := func(c uint16, v int32) bool {
+		terms := Decompose(int(c))
+		return Apply(terms, int64(v)) == int64(c)*int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NAF never uses more add/sub ops than plain binary.
+func TestDecomposeNeverWorseThanBinary(t *testing.T) {
+	for c := 0; c < 4096; c++ {
+		if AddSubOps(c) > BinaryOps(c) {
+			t.Fatalf("NAF ops %d > binary ops %d at c=%d", AddSubOps(c), BinaryOps(c), c)
+		}
+	}
+}
+
+// Property: NAF has no two adjacent non-zero digits.
+func TestDecomposeNonAdjacentProperty(t *testing.T) {
+	for c := 1; c < 4096; c++ {
+		terms := Decompose(c)
+		for i := 1; i < len(terms); i++ {
+			if terms[i].Shift-terms[i-1].Shift < 2 {
+				t.Fatalf("adjacent digits at c=%d: %v", c, terms)
+			}
+		}
+	}
+}
+
+func TestDecomposeRunsOfOnesWin(t *testing.T) {
+	// 255 = 11111111 → binary needs 7 adds, NAF needs 1 (256−1).
+	if got := AddSubOps(255); got != 1 {
+		t.Fatalf("AddSubOps(255) = %d, want 1", got)
+	}
+	if got := BinaryOps(255); got != 7 {
+		t.Fatalf("BinaryOps(255) = %d, want 7", got)
+	}
+}
+
+func TestDecomposeZero(t *testing.T) {
+	if terms := Decompose(0); len(terms) != 0 {
+		t.Fatalf("Decompose(0) = %v", terms)
+	}
+	if AddSubOps(0) != 0 || BinaryOps(0) != 0 {
+		t.Fatal("zero count must cost nothing")
+	}
+}
+
+func TestDecomposeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative count did not panic")
+		}
+	}()
+	Decompose(-1)
+}

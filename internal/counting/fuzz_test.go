@@ -1,0 +1,25 @@
+package counting
+
+import "testing"
+
+// FuzzDecompose checks the NAF invariants on arbitrary counter values:
+// the decomposition evaluates back to c·v and never uses adjacent digits.
+func FuzzDecompose(f *testing.F) {
+	for _, seed := range []uint16{0, 1, 2, 9, 15, 255, 1023, 4096, 65535} {
+		f.Add(seed, int32(3))
+	}
+	f.Fuzz(func(t *testing.T, c uint16, v int32) {
+		terms := Decompose(int(c))
+		if got, want := Apply(terms, int64(v)), int64(c)*int64(v); got != want {
+			t.Fatalf("Apply(Decompose(%d), %d) = %d, want %d", c, v, got, want)
+		}
+		for i := 1; i < len(terms); i++ {
+			if terms[i].Shift-terms[i-1].Shift < 2 {
+				t.Fatalf("adjacent NAF digits for c=%d: %v", c, terms)
+			}
+		}
+		if AddSubOps(int(c)) > BinaryOps(int(c)) {
+			t.Fatalf("NAF worse than binary at c=%d", c)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+// Package dadiannao is a structural model of the DaDianNao machine-learning
+// supercomputer node (Chen et al., MICRO 2014) — the digital ASIC in the
+// paper's Fig. 15 comparison. Its defining property is keeping all synapses
+// in on-chip eDRAM (36 MB per node): models that fit run at the NFU's full
+// rate, models that do not fall off the off-chip-bandwidth cliff — the
+// behaviour that separates it from both the GPU and the PIM designs.
+package dadiannao
+
+import (
+	"fmt"
+
+	"repro/internal/composer"
+)
+
+// Config is the published single-node configuration: 16 tiles at 606 MHz,
+// each tile an NFU pipeline fed from 2 MB of eDRAM.
+type Config struct {
+	Tiles       int
+	MACsPerTile int // multiplier-adder lanes per tile
+	ClockHz     float64
+	// WeightBytes is the stored synapse width (16-bit fixed point).
+	WeightBytes int
+	// EDRAMBytes is the on-chip synapse capacity.
+	EDRAMBytes int64
+
+	MACEnergyJ       float64 // one multiply-accumulate
+	EDRAMReadPerByte float64 // on-chip synapse fetch
+	DRAMReadPerByte  float64 // off-chip fetch once eDRAM overflows
+	// DRAMBandwidth throttles overflowing models (bytes/s).
+	DRAMBandwidth float64
+
+	AreaMM2 float64
+	PowerW  float64
+}
+
+// Default returns the published node configuration.
+func Default() Config {
+	return Config{
+		Tiles:       16,
+		MACsPerTile: 288, // 16×16 multipliers + adder tree lanes
+		ClockHz:     606e6,
+		WeightBytes: 2,
+		EDRAMBytes:  36 << 20,
+
+		MACEnergyJ:       0.8e-12,
+		EDRAMReadPerByte: 1.2e-12,
+		DRAMReadPerByte:  20e-12,
+		DRAMBandwidth:    25e9,
+
+		AreaMM2: 67.7,
+		PowerW:  15.97,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Tiles < 1 || c.MACsPerTile < 1 || c.ClockHz <= 0 || c.WeightBytes < 1 {
+		return fmt.Errorf("dadiannao: invalid config %+v", c)
+	}
+	if c.EDRAMBytes < 1 || c.DRAMBandwidth <= 0 {
+		return fmt.Errorf("dadiannao: invalid memory config")
+	}
+	return nil
+}
+
+// Report is the structural simulation result.
+type Report struct {
+	Config Config
+
+	// WeightBytes is the model's resident synapse footprint; FitsOnChip
+	// reports whether it stays inside the eDRAM.
+	WeightBytes int64
+	FitsOnChip  bool
+
+	LatencyS       float64
+	ThroughputIPS  float64
+	EnergyPerInput float64
+	GOPS           float64
+	GOPSPerMM2     float64
+	GOPSPerW       float64
+}
+
+// Simulate maps the planned network onto the node. Plans supply layer
+// geometry; macs is the MAC count of one inference.
+func Simulate(plans []*composer.LayerPlan, macs int64, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{Config: cfg}
+	for _, p := range plans {
+		if !p.IsCompute() {
+			continue
+		}
+		weights := int64(p.Edges)
+		switch p.Kind {
+		case composer.KindDense:
+			weights *= int64(p.Neurons)
+		case composer.KindConv:
+			weights *= int64(len(p.ChannelCodebook))
+		case composer.KindRecurrent:
+			weights *= int64(p.Neurons)
+		}
+		r.WeightBytes += weights * int64(cfg.WeightBytes)
+	}
+	if r.WeightBytes == 0 {
+		return nil, fmt.Errorf("dadiannao: no compute layers")
+	}
+	r.FitsOnChip = r.WeightBytes <= cfg.EDRAMBytes
+
+	// Compute time: the NFU lanes stream MACs at the clock rate.
+	computeS := float64(macs) / (float64(cfg.Tiles) * float64(cfg.MACsPerTile) * cfg.ClockHz)
+	// Synapse traffic: resident weights stream from eDRAM every inference;
+	// the overflow spills to DRAM and is bandwidth-bound.
+	overflow := r.WeightBytes - cfg.EDRAMBytes
+	if overflow < 0 {
+		overflow = 0
+	}
+	memS := float64(overflow) / cfg.DRAMBandwidth
+	r.LatencyS = computeS
+	if memS > r.LatencyS {
+		r.LatencyS = memS // compute hides under the DRAM stream
+	}
+	r.ThroughputIPS = 1 / r.LatencyS
+
+	onChip := r.WeightBytes - overflow
+	r.EnergyPerInput = float64(macs)*cfg.MACEnergyJ +
+		float64(onChip)*cfg.EDRAMReadPerByte +
+		float64(overflow)*cfg.DRAMReadPerByte
+
+	ops := 2 * float64(macs)
+	r.GOPS = ops * r.ThroughputIPS / 1e9
+	r.GOPSPerMM2 = r.GOPS / cfg.AreaMM2
+	r.GOPSPerW = ops / r.EnergyPerInput / 1e9
+	return r, nil
+}

@@ -1,0 +1,108 @@
+package dadiannao
+
+import (
+	"testing"
+
+	"repro/internal/composer"
+	"repro/internal/model"
+)
+
+func mnistPlans() ([]*composer.LayerPlan, int64) {
+	net := model.FCNet("MNIST", 784, 10, 1.0, 1)
+	return composer.SyntheticPlans(net, 64, 64, 64), net.MACs()
+}
+
+// The published node peaks at ~5.58 TOPS; our lane model must land within 2×.
+func TestPeakThroughputNearPublished(t *testing.T) {
+	cfg := Default()
+	peak := 2 * float64(cfg.Tiles) * float64(cfg.MACsPerTile) * cfg.ClockHz / 1e12
+	if peak < 5.58/2 || peak > 5.58*2 {
+		t.Fatalf("peak = %.2f TOPS, want within 2x of 5.58", peak)
+	}
+}
+
+func TestSmallModelFitsAndStreams(t *testing.T) {
+	plans, macs := mnistPlans()
+	r, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 666k weights × 2 B ≈ 1.3 MB ≪ 36 MB.
+	if !r.FitsOnChip {
+		t.Fatalf("MNIST MLP (%d bytes) must fit the eDRAM", r.WeightBytes)
+	}
+	if r.ThroughputIPS <= 0 || r.EnergyPerInput <= 0 {
+		t.Fatalf("degenerate report %+v", r)
+	}
+}
+
+// The eDRAM cliff: a VGG-16-scale model (~276 MB of 16-bit synapses)
+// overflows the 36 MB eDRAM. Comparing the same model against a
+// hypothetical node with enough eDRAM isolates the cliff: residency must
+// buy both throughput and efficiency — the design's whole argument.
+func TestEDRAMOverflowCliff(t *testing.T) {
+	// A VGG-16-class FC tail: 25088→4096→4096→1000 alone holds ~123M
+	// 16-bit synapses (~246 MB).
+	plans := []*composer.LayerPlan{
+		{Kind: composer.KindDense, Name: "fc6", Neurons: 4096, Edges: 25088,
+			WeightCodebooks: [][]float32{{0}}, ChannelCodebook: []int{0}, InputCodebook: []float32{0, 1}},
+		{Kind: composer.KindDense, Name: "fc7", Neurons: 4096, Edges: 4096,
+			WeightCodebooks: [][]float32{{0}}, ChannelCodebook: []int{0}, InputCodebook: []float32{0, 1}},
+		{Kind: composer.KindDense, Name: "fc8", Neurons: 1000, Edges: 4096,
+			WeightCodebooks: [][]float32{{0}}, ChannelCodebook: []int{0}, InputCodebook: []float32{0, 1}},
+	}
+	var macs int64
+	for _, p := range plans {
+		macs += int64(p.Neurons) * int64(p.Edges)
+	}
+	overflowed, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := Default()
+	big.EDRAMBytes = 512 << 20
+	resident, err := Simulate(plans, macs, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overflowed.FitsOnChip {
+		t.Fatalf("VGG-16 FC tail (%d MB) should overflow 36 MB", overflowed.WeightBytes>>20)
+	}
+	if !resident.FitsOnChip {
+		t.Fatal("512 MB eDRAM must hold the FC tail")
+	}
+	if overflowed.ThroughputIPS >= resident.ThroughputIPS {
+		t.Fatalf("overflow should throttle throughput: %.1f vs %.1f ips",
+			overflowed.ThroughputIPS, resident.ThroughputIPS)
+	}
+	if overflowed.GOPSPerW >= resident.GOPSPerW {
+		t.Fatalf("overflow should cost efficiency: %.1f vs %.1f GOPS/W",
+			overflowed.GOPSPerW, resident.GOPSPerW)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	plans, macs := mnistPlans()
+	bad := Default()
+	bad.Tiles = 0
+	if _, err := Simulate(plans, macs, bad); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := Simulate(nil, macs, Default()); err == nil {
+		t.Fatal("empty plans accepted")
+	}
+}
+
+// Cross-validation against the analytical line used in Fig. 15: sustained
+// density must land in the same decade.
+func TestDensitySameOrderAsAnalytic(t *testing.T) {
+	plans, macs := mnistPlans()
+	r, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published single-node peak density 5.58 TOPS / 67.7 mm² ≈ 82 GOPS/mm².
+	if r.GOPSPerMM2 < 20 || r.GOPSPerMM2 > 200 {
+		t.Fatalf("GOPS/mm² = %.1f, want same order as 82", r.GOPSPerMM2)
+	}
+}

@@ -1,0 +1,97 @@
+package dataset
+
+// Size selects how much synthetic data to generate. Small keeps unit tests
+// fast; Full is used by examples and the benchmark harness.
+type Size int
+
+const (
+	// Small generates a few hundred samples — enough for the composer's
+	// statistics and for fast tests.
+	Small Size = iota
+	// Full generates a few thousand samples, used by the experiment harness.
+	Full
+)
+
+func (s Size) counts() (train, test int) {
+	if s == Small {
+		return 600, 200
+	}
+	return 4000, 1000
+}
+
+// countsFor scales the split with the class count so many-class stand-ins
+// (CIFAR-100's 100 classes, ImageNet's 40) keep enough samples per class to
+// be learnable at all.
+func (s Size) countsFor(classes int) (train, test int) {
+	train, test = s.counts()
+	if min := 30 * classes; train < min {
+		train = min
+		test = min / 5
+	}
+	return train, test
+}
+
+// MNIST returns the handwriting-classification stand-in: 784 features
+// (28×28 grayscale), 10 classes.
+func MNIST(s Size) *Dataset {
+	train, test := s.counts()
+	return Generate(Config{
+		Name: "MNIST", NumClasses: 10, InputShape: []int{784},
+		Train: train, Test: test, Noise: 0.22, Sparsity: 0.35, LabelNoise: 0.015, ClassSimilarity: 0.8, Seed: 101,
+	})
+}
+
+// ISOLET returns the voice-recognition stand-in: 617 features, 26 classes.
+func ISOLET(s Size) *Dataset {
+	train, test := s.countsFor(26)
+	return Generate(Config{
+		Name: "ISOLET", NumClasses: 26, InputShape: []int{617},
+		Train: train, Test: test, Noise: 0.26, Sparsity: 0.1, LabelNoise: 0.035, ClassSimilarity: 0.4, Seed: 102,
+	})
+}
+
+// HAR returns the activity-recognition stand-in: 561 features, 19 classes
+// (the paper uses the Daily & Sports Activities set with 19 activities).
+func HAR(s Size) *Dataset {
+	train, test := s.counts()
+	return Generate(Config{
+		Name: "HAR", NumClasses: 19, InputShape: []int{561},
+		Train: train, Test: test, Noise: 0.22, Sparsity: 0.1, LabelNoise: 0.015, ClassSimilarity: 0.5, Seed: 103,
+	})
+}
+
+// CIFAR10 returns the object-recognition stand-in: 3×32×32 images, 10 classes.
+func CIFAR10(s Size) *Dataset {
+	train, test := s.counts()
+	return Generate(Config{
+		Name: "CIFAR-10", NumClasses: 10, InputShape: []int{3, 32, 32},
+		Train: train, Test: test, Noise: 0.34, Sparsity: 0.05, LabelNoise: 0.05, ClassSimilarity: 0.65, Seed: 104,
+	})
+}
+
+// CIFAR100 returns the 100-class variant: harder, matching the paper's much
+// higher baseline error.
+func CIFAR100(s Size) *Dataset {
+	train, test := s.countsFor(100)
+	return Generate(Config{
+		Name: "CIFAR-100", NumClasses: 100, InputShape: []int{3, 32, 32},
+		Train: train, Test: test, Noise: 0.36, Sparsity: 0.05, LabelNoise: 0.20, ClassSimilarity: 0.3, Seed: 105,
+	})
+}
+
+// ImageNet returns a scaled-down image-classification stand-in: the real
+// 224×224×1000-class task is far outside a laptop-scale simulator, so this
+// keeps the *role* of the workload — the hardest, deepest-model benchmark —
+// at 3×32×32 with 40 classes and high noise.
+func ImageNet(s Size) *Dataset {
+	train, test := s.countsFor(40)
+	return Generate(Config{
+		Name: "ImageNet", NumClasses: 40, InputShape: []int{3, 32, 32},
+		Train: train, Test: test, Noise: 0.34, Sparsity: 0.05, LabelNoise: 0.15, ClassSimilarity: 0.3, Seed: 106,
+	})
+}
+
+// AllBenchmarks returns the six paper benchmarks in Table 2 order.
+func AllBenchmarks(s Size) []*Dataset {
+	return []*Dataset{MNIST(s), ISOLET(s), HAR(s), CIFAR10(s), CIFAR100(s), ImageNet(s)}
+}

@@ -1,0 +1,182 @@
+// Package dataset provides deterministic synthetic stand-ins for the six
+// benchmark datasets of the RAPIDNN paper (Table 2): MNIST, ISOLET, HAR,
+// CIFAR-10, CIFAR-100 and ImageNet.
+//
+// The real datasets cannot be downloaded in this offline environment, so
+// each stand-in is generated procedurally with the same input
+// dimensionality and class count as the original, and with class
+// separability tuned so trained baseline networks land near the error rates
+// the paper reports. The composer's behaviour — codebook clustering, lookup
+// table construction, retraining — depends only on the statistics of
+// weights and activations, which these sets exercise the same way real data
+// would (see DESIGN.md, "Substitutions").
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dataset is a labelled train/test split with a flat feature layout.
+// InputShape records the logical (C,H,W) or (features,) structure.
+type Dataset struct {
+	Name       string
+	NumClasses int
+	InputShape []int
+	TrainX     *tensor.Tensor
+	TrainY     []int
+	TestX      *tensor.Tensor
+	TestY      []int
+}
+
+// InSize returns the flattened feature count.
+func (d *Dataset) InSize() int {
+	n := 1
+	for _, s := range d.InputShape {
+		n *= s
+	}
+	return n
+}
+
+// String summarizes the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s: %v → %d classes, %d train / %d test",
+		d.Name, d.InputShape, d.NumClasses, d.TrainX.Dim(0), d.TestX.Dim(0))
+}
+
+// Batches invokes fn with consecutive mini-batches of the training split.
+func (d *Dataset) Batches(batchSize int, fn func(x *tensor.Tensor, labels []int)) {
+	total := d.TrainX.Dim(0)
+	in := d.InSize()
+	for start := 0; start < total; start += batchSize {
+		end := start + batchSize
+		if end > total {
+			end = total
+		}
+		b := end - start
+		x := tensor.FromSlice(d.TrainX.Data()[start*in:end*in], b, in)
+		fn(x, d.TrainY[start:end])
+	}
+}
+
+// Config controls synthetic generation.
+type Config struct {
+	Name       string
+	NumClasses int
+	InputShape []int
+	Train      int
+	Test       int
+	// Noise is the per-feature Gaussian noise sigma added to the class
+	// prototype; larger values make the task harder.
+	Noise float64
+	// Sparsity zeroes this fraction of prototype features (images are mostly
+	// background), keeping activation distributions realistically skewed.
+	Sparsity float64
+	// LabelNoise flips this fraction of labels to a random other class in
+	// both splits. Prototype-plus-noise data is otherwise linearly separable,
+	// so this is what gives each stand-in the irreducible error floor of its
+	// real counterpart (Table 2's baseline error rates).
+	LabelNoise float64
+	// ClassSimilarity ∈ [0,1) blends a shared prototype into every class
+	// prototype, tightening decision margins: classes differ only in the
+	// remaining (1−similarity) fraction of the signal. Real image classes
+	// share most of their statistics, and without this the stand-ins are so
+	// separable that codebook quantization never costs accuracy (flattening
+	// Fig. 10's gradients).
+	ClassSimilarity float64
+	// Seed makes generation fully deterministic.
+	Seed int64
+}
+
+// Generate builds a synthetic classification dataset: each class has a
+// smooth random prototype (low-frequency mixture so convolution kernels have
+// local structure to exploit) and samples are noisy copies clipped to [0,1].
+func Generate(cfg Config) *Dataset {
+	if cfg.NumClasses < 2 {
+		panic(fmt.Sprintf("dataset: need ≥2 classes, got %d", cfg.NumClasses))
+	}
+	if cfg.Train <= 0 || cfg.Test <= 0 {
+		panic("dataset: need positive train/test sizes")
+	}
+	d := &Dataset{
+		Name:       cfg.Name,
+		NumClasses: cfg.NumClasses,
+		InputShape: append([]int(nil), cfg.InputShape...),
+	}
+	in := d.InSize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	shared := smoothPrototype(rng, in, cfg.Sparsity)
+	protos := make([][]float32, cfg.NumClasses)
+	sim := float32(cfg.ClassSimilarity)
+	for c := range protos {
+		unique := smoothPrototype(rng, in, cfg.Sparsity)
+		p := make([]float32, in)
+		for j := range p {
+			p[j] = sim*shared[j] + (1-sim)*unique[j]
+		}
+		protos[c] = p
+	}
+
+	gen := func(n int) (*tensor.Tensor, []int) {
+		x := tensor.New(n, in)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := i % cfg.NumClasses // balanced classes
+			y[i] = c
+			row := x.Data()[i*in : (i+1)*in]
+			for j := range row {
+				v := float64(protos[c][j]) + rng.NormFloat64()*cfg.Noise
+				row[j] = float32(clamp01(v))
+			}
+			if cfg.LabelNoise > 0 && rng.Float64() < cfg.LabelNoise {
+				y[i] = (c + 1 + rng.Intn(cfg.NumClasses-1)) % cfg.NumClasses
+			}
+		}
+		return x, y
+	}
+	d.TrainX, d.TrainY = gen(cfg.Train)
+	d.TestX, d.TestY = gen(cfg.Test)
+	return d
+}
+
+// smoothPrototype draws a prototype whose features vary smoothly with index,
+// built from a few random sinusoids plus pointwise jitter, then sparsified.
+func smoothPrototype(rng *rand.Rand, n int, sparsity float64) []float32 {
+	const waves = 6
+	freq := make([]float64, waves)
+	phase := make([]float64, waves)
+	amp := make([]float64, waves)
+	for w := 0; w < waves; w++ {
+		freq[w] = 1 + rng.Float64()*24
+		phase[w] = rng.Float64() * 2 * math.Pi
+		amp[w] = rng.Float64()
+	}
+	p := make([]float32, n)
+	for j := 0; j < n; j++ {
+		t := float64(j) / float64(n)
+		var v float64
+		for w := 0; w < waves; w++ {
+			v += amp[w] * math.Sin(2*math.Pi*freq[w]*t+phase[w])
+		}
+		v = v/waves + 0.5 + rng.NormFloat64()*0.05
+		if rng.Float64() < sparsity {
+			v = 0
+		}
+		p[j] = float32(clamp01(v))
+	}
+	return p
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "x", NumClasses: 3, InputShape: []int{16}, Train: 30, Test: 9, Noise: 0.2, Seed: 5}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !a.TrainX.Equal(b.TrainX, 0) || !a.TestX.Equal(b.TestX, 0) {
+		t.Fatal("same seed must generate identical data")
+	}
+	for i := range a.TrainY {
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatal("labels differ across identical generations")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := Config{Name: "x", NumClasses: 3, InputShape: []int{16}, Train: 30, Test: 9, Noise: 0.2, Seed: 5}
+	a := Generate(cfg)
+	cfg.Seed = 6
+	b := Generate(cfg)
+	if a.TrainX.Equal(b.TrainX, 0) {
+		t.Fatal("different seeds must generate different data")
+	}
+}
+
+func TestGenerateRangeAndBalance(t *testing.T) {
+	d := Generate(Config{Name: "x", NumClasses: 4, InputShape: []int{8}, Train: 400, Test: 100, Noise: 0.3, Seed: 1})
+	for _, v := range d.TrainX.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("feature %v outside [0,1]", v)
+		}
+	}
+	counts := make([]int, 4)
+	for _, y := range d.TrainY {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("class %d has %d samples, want 100 (balanced)", c, n)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	bad := []Config{
+		{NumClasses: 1, InputShape: []int{4}, Train: 10, Test: 10},
+		{NumClasses: 2, InputShape: []int{4}, Train: 0, Test: 10},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestBenchmarkShapes(t *testing.T) {
+	cases := []struct {
+		d       *Dataset
+		in      int
+		classes int
+	}{
+		{MNIST(Small), 784, 10},
+		{ISOLET(Small), 617, 26},
+		{HAR(Small), 561, 19},
+		{CIFAR10(Small), 3 * 32 * 32, 10},
+		{CIFAR100(Small), 3 * 32 * 32, 100},
+		{ImageNet(Small), 3 * 32 * 32, 40},
+	}
+	for _, c := range cases {
+		if c.d.InSize() != c.in {
+			t.Errorf("%s InSize = %d, want %d", c.d.Name, c.d.InSize(), c.in)
+		}
+		if c.d.NumClasses != c.classes {
+			t.Errorf("%s classes = %d, want %d", c.d.Name, c.d.NumClasses, c.classes)
+		}
+	}
+}
+
+func TestAllBenchmarksOrder(t *testing.T) {
+	names := []string{"MNIST", "ISOLET", "HAR", "CIFAR-10", "CIFAR-100", "ImageNet"}
+	all := AllBenchmarks(Small)
+	if len(all) != len(names) {
+		t.Fatalf("got %d benchmarks", len(all))
+	}
+	for i, d := range all {
+		if d.Name != names[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, d.Name, names[i])
+		}
+	}
+}
+
+func TestBatchesCoverAllSamples(t *testing.T) {
+	d := Generate(Config{Name: "x", NumClasses: 2, InputShape: []int{4}, Train: 25, Test: 5, Noise: 0.1, Seed: 2})
+	seen := 0
+	d.Batches(8, func(x *tensor.Tensor, labels []int) {
+		if x.Dim(0) != len(labels) {
+			t.Fatal("batch size mismatch")
+		}
+		seen += len(labels)
+	})
+	if seen != 25 {
+		t.Fatalf("batches covered %d samples, want 25", seen)
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Prototypes of different classes must be farther apart than the noise
+	// radius, otherwise no network can learn anything.
+	d := Generate(Config{Name: "x", NumClasses: 3, InputShape: []int{64}, Train: 300, Test: 60, Noise: 0.1, Seed: 3})
+	in := d.InSize()
+	mean := func(class int) []float64 {
+		m := make([]float64, in)
+		n := 0
+		for i, y := range d.TrainY {
+			if y != class {
+				continue
+			}
+			row := d.TrainX.Data()[i*in : (i+1)*in]
+			for j, v := range row {
+				m[j] += float64(v)
+			}
+			n++
+		}
+		for j := range m {
+			m[j] /= float64(n)
+		}
+		return m
+	}
+	m0, m1 := mean(0), mean(1)
+	var dist float64
+	for j := range m0 {
+		dd := m0[j] - m1[j]
+		dist += dd * dd
+	}
+	if dist < 0.1 {
+		t.Fatalf("class means too close: %v", dist)
+	}
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import "testing"
+
+func TestGenerateSequencesShape(t *testing.T) {
+	d := GenerateSequences(SequenceConfig{
+		Name: "seq", Steps: 8, Features: 4, NumClasses: 4, Train: 40, Test: 12, Seed: 1,
+	})
+	if d.InSize() != 32 {
+		t.Fatalf("InSize = %d, want 32", d.InSize())
+	}
+	if d.TrainX.Dim(0) != 40 || d.TestX.Dim(0) != 12 {
+		t.Fatal("split sizes wrong")
+	}
+	for _, v := range d.TrainX.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("feature %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestGenerateSequencesBurstStructure(t *testing.T) {
+	d := GenerateSequences(SequenceConfig{
+		Name: "seq", Steps: 8, Features: 2, NumClasses: 2, Train: 20, Test: 4, Seed: 2,
+	})
+	// Class 0's energy must sit in the first half, class 1's in the second.
+	in := d.InSize()
+	for i, label := range d.TrainY {
+		row := d.TrainX.Data()[i*in : (i+1)*in]
+		var first, second float64
+		for j, v := range row {
+			if j < in/2 {
+				first += float64(v)
+			} else {
+				second += float64(v)
+			}
+		}
+		if label == 0 && first <= second {
+			t.Fatalf("class 0 sample %d has energy in the wrong half", i)
+		}
+		if label == 1 && second <= first {
+			t.Fatalf("class 1 sample %d has energy in the wrong half", i)
+		}
+	}
+}
+
+func TestGenerateSequencesDeterministic(t *testing.T) {
+	cfg := SequenceConfig{Name: "seq", Steps: 4, Features: 3, NumClasses: 2, Train: 10, Test: 4, Seed: 3}
+	a := GenerateSequences(cfg)
+	b := GenerateSequences(cfg)
+	if !a.TrainX.Equal(b.TrainX, 0) {
+		t.Fatal("same seed must generate identical sequences")
+	}
+}
+
+func TestGenerateSequencesValidation(t *testing.T) {
+	bad := []SequenceConfig{
+		{Steps: 4, Features: 2, NumClasses: 1, Train: 4, Test: 4},
+		{Steps: 2, Features: 2, NumClasses: 4, Train: 4, Test: 4}, // classes > steps
+		{Steps: 4, Features: 2, NumClasses: 2, Train: 0, Test: 4},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			GenerateSequences(cfg)
+		}()
+	}
+}

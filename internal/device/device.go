@@ -1,0 +1,150 @@
+// Package device holds the circuit-level parameters of the RAPIDNN
+// hardware: per-block area, power, latency and energy numbers taken from the
+// paper's HSPICE/NVSim characterization (Table 1, §4.2.2, §5.1). The paper's
+// post-layout simulation under TSMC 45 nm is replaced here by this
+// parameterized analytical model — every formula in §4 is implemented on top
+// of these constants, so relative behaviour (breakdowns, scaling in w·u,
+// crossovers) is preserved even though no SPICE runs happen.
+package device
+
+// Params is the full device/circuit parameter set. All energies are joules,
+// areas are µm², powers are watts.
+type Params struct {
+	// ClockHz converts cycles to seconds. The NDCAM search completes in
+	// 0.5 ns (§4.2.2), which supports a 1 GHz digital clock.
+	ClockHz float64
+
+	// Crossbar memory block (1K×1K in Table 1).
+	CrossbarRows        int
+	CrossbarCols        int
+	CrossbarAreaUm2     float64
+	CrossbarPowerW      float64
+	CrossbarReadEnergy  float64 // per row fetch (pre-stored product lookup)
+	CrossbarWriteEnergy float64 // per bit programmed (RNA reconfiguration)
+	NOREnergy           float64 // per row-wise NOR cycle (§4.1.2)
+
+	// Counter block (1k × 12-bit in Table 1).
+	CounterBits      int
+	CounterAreaUm2   float64
+	CounterPowerW    float64
+	CounterIncEnergy float64 // per parallel increment
+
+	// Associative-memory blocks (activation + encoder, 64 rows each).
+	AMRows         int
+	AMAreaUm2      float64
+	AMPowerW       float64
+	AMSearchCycles int     // single-cycle nearest-distance search (§4.2.2)
+	AMSearchEnergy float64 // 920 fJ for the reference 16-row search, scaled
+	AMWriteEnergy  float64 // per row written (pooling reuses the encoder AM)
+
+	// In-memory addition (§4.1.2): each carry-save tree stage takes
+	// AddStageCycles cycles; the final carry-propagating stage takes
+	// AddFinalCyclesPerBit × N cycles for N-bit operands.
+	AddStageCycles       int
+	AddFinalCyclesPerBit int
+	AddTreeRadixNum      int // the paper's log_{4/3}: stages = ceil(log(terms)/log(4/3))
+	AddTreeRadixDen      int
+
+	// Broadcast buffer (1K registers per tile) and controller.
+	BufferAreaUm2       float64
+	BufferPowerW        float64
+	BufferEnergyPerBit  float64 // bit-serial encoded transfer (§4.3)
+	ControllerAreaShare float64 // fraction of chip area (Fig. 14: 1.7 %)
+	OtherAreaShare      float64 // MUXs etc. (Fig. 14: 1.2 %)
+
+	// Structure.
+	RNAsPerTile  int
+	TilesPerChip int
+
+	// ProductBits is the stored width of each precomputed product; the
+	// accumulated sum width grows by log2(#terms).
+	ProductBits int
+}
+
+// Default returns the paper's Table 1 configuration at a 1 GHz clock.
+func Default() Params {
+	return Params{
+		ClockHz: 1e9,
+
+		// Per-operation energies are calibrated so the reference neuron
+		// (1024 edges, w = u = 64) reproduces the Fig. 13 breakdown:
+		// weighted accumulation ≈ 78 %, activation + encoding ≈ 10 %,
+		// broadcast-buffer-dominated "others" ≈ 12 %.
+		CrossbarRows:        1024,
+		CrossbarCols:        1024,
+		CrossbarAreaUm2:     3136,
+		CrossbarPowerW:      3.7e-3,
+		CrossbarReadEnergy:  2.0e-14,
+		CrossbarWriteEnergy: 1.0e-13, // per bit; NVM writes are costly
+		NOREnergy:           1.4e-15,
+
+		CounterBits:      12,
+		CounterAreaUm2:   538.6,
+		CounterPowerW:    0.7e-3,
+		CounterIncEnergy: 1.5e-14,
+
+		AMRows:         64,
+		AMAreaUm2:      83.2,
+		AMPowerW:       0.2e-3,
+		AMSearchCycles: 1,
+		AMSearchEnergy: 6.5e-12, // 920 fJ reference search scaled to 64 rows + drivers
+		AMWriteEnergy:  0.2e-12,
+
+		AddStageCycles:       13,
+		AddFinalCyclesPerBit: 13,
+		AddTreeRadixNum:      4,
+		AddTreeRadixDen:      3,
+
+		BufferAreaUm2:       37.6,
+		BufferPowerW:        2.8e-3,
+		BufferEnergyPerBit:  1.05e-12,
+		ControllerAreaShare: 0.017,
+		OtherAreaShare:      0.012,
+
+		RNAsPerTile:  1024,
+		TilesPerChip: 32,
+
+		ProductBits: 10,
+	}
+}
+
+// RNAAreaUm2 returns the area of one RNA block: crossbar + counter +
+// activation AM + encoder AM (Table 1: 3841 µm²).
+func (p Params) RNAAreaUm2() float64 {
+	return p.CrossbarAreaUm2 + p.CounterAreaUm2 + 2*p.AMAreaUm2
+}
+
+// RNAPowerW returns the peak power of one RNA block (Table 1: 4.8 mW).
+func (p Params) RNAPowerW() float64 {
+	return p.CrossbarPowerW + p.CounterPowerW + 2*p.AMPowerW
+}
+
+// TileAreaUm2 returns the area of one tile: 1k RNAs + broadcast buffer
+// (Table 1: 3.88 mm²).
+func (p Params) TileAreaUm2() float64 {
+	return float64(p.RNAsPerTile)*p.RNAAreaUm2() + p.BufferAreaUm2
+}
+
+// TilePowerW returns the peak power of one tile (Table 1: 4.8 W).
+func (p Params) TilePowerW() float64 {
+	return float64(p.RNAsPerTile)*p.RNAPowerW() + p.BufferPowerW
+}
+
+// ChipAreaMM2 returns the total chip area (Table 1: 124.1 mm² for 32 tiles;
+// the controller/MUX share of Fig. 14 is folded into the tile figure).
+func (p Params) ChipAreaMM2() float64 {
+	return float64(p.TilesPerChip) * p.TileAreaUm2() / 1e6
+}
+
+// ChipPowerW returns the maximum chip power (Table 1: 153.6 W).
+func (p Params) ChipPowerW() float64 {
+	return float64(p.TilesPerChip) * p.TilePowerW()
+}
+
+// RNAsPerChip returns the number of RNA blocks on one chip.
+func (p Params) RNAsPerChip() int { return p.RNAsPerTile * p.TilesPerChip }
+
+// CycleSeconds converts a cycle count to seconds.
+func (p Params) CycleSeconds(cycles int64) float64 {
+	return float64(cycles) / p.ClockHz
+}

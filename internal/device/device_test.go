@@ -1,0 +1,66 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// Table 1 cross-checks: the derived block totals must land on the paper's
+// published numbers.
+func TestRNAAreaMatchesTable1(t *testing.T) {
+	p := Default()
+	if got := p.RNAAreaUm2(); math.Abs(got-3841) > 1 {
+		t.Fatalf("RNA area = %v µm², Table 1 says 3841", got)
+	}
+}
+
+func TestRNAPowerMatchesTable1(t *testing.T) {
+	p := Default()
+	if got := p.RNAPowerW(); math.Abs(got-4.8e-3) > 1e-5 {
+		t.Fatalf("RNA power = %v W, Table 1 says 4.8 mW", got)
+	}
+}
+
+func TestTileTotalsMatchTable1(t *testing.T) {
+	p := Default()
+	if got := p.TileAreaUm2() / 1e6; math.Abs(got-3.88) > 0.06 {
+		t.Fatalf("tile area = %v mm², Table 1 says 3.88", got)
+	}
+	if got := p.TilePowerW(); math.Abs(got-4.8) > 0.2 {
+		t.Fatalf("tile power = %v W, Table 1 says 4.8", got)
+	}
+}
+
+func TestChipTotalsMatchTable1(t *testing.T) {
+	p := Default()
+	if got := p.ChipAreaMM2(); math.Abs(got-124.1) > 5 {
+		t.Fatalf("chip area = %v mm², Table 1 says 124.1", got)
+	}
+	if got := p.ChipPowerW(); math.Abs(got-153.6) > 5 {
+		t.Fatalf("chip power = %v W, Table 1 says 153.6", got)
+	}
+}
+
+func TestRNAsPerChip(t *testing.T) {
+	p := Default()
+	if got := p.RNAsPerChip(); got != 32*1024 {
+		t.Fatalf("RNAs per chip = %d, want 32768", got)
+	}
+}
+
+func TestCycleSeconds(t *testing.T) {
+	p := Default()
+	if got := p.CycleSeconds(1e9); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("1e9 cycles at 1 GHz = %v s, want 1", got)
+	}
+}
+
+func TestNDCAMFasterAndCheaperThanCMOS(t *testing.T) {
+	// §4.2.2: NDCAM 4×4 max pooling takes 0.5 ns / 920 fJ vs CMOS
+	// 1.2 ns / 378 fJ·… — the search must fit in one 1 GHz cycle.
+	p := Default()
+	searchNs := float64(p.AMSearchCycles) / p.ClockHz * 1e9
+	if searchNs > 1.01 {
+		t.Fatalf("AM search takes %v ns, must fit a 1 GHz cycle", searchNs)
+	}
+}

@@ -1,0 +1,58 @@
+package device
+
+import "testing"
+
+// §5.1: the HSPICE numbers were "cross-validated using NVSim". Our
+// NVSim-style estimator must land within 15 % of the Table 1 block areas.
+func TestGeometryCrossValidatesTable1(t *testing.T) {
+	g := DefaultGeometry()
+	if worst := g.CrossValidate(Default()); worst > 0.15 {
+		t.Fatalf("worst deviation %.1f%% from Table 1, want ≤ 15%%", 100*worst)
+	}
+}
+
+func TestGeometryCrossbarScaling(t *testing.T) {
+	g := DefaultGeometry()
+	full := g.CrossbarAreaUm2(1024, 1024)
+	quarter := g.CrossbarAreaUm2(512, 512)
+	ratio := full / quarter
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("area should scale ~4× with doubled rows+cols, got %.2f", ratio)
+	}
+}
+
+func TestGeometryCAMScalesWithRows(t *testing.T) {
+	g := DefaultGeometry()
+	if g.CAMAreaUm2(128) <= g.CAMAreaUm2(64) {
+		t.Fatal("more rows must cost more area")
+	}
+	r := g.CAMAreaUm2(128) / g.CAMAreaUm2(64)
+	if r < 1.9 || r > 2.1 {
+		t.Fatalf("CAM area ratio %.2f, want ≈2", r)
+	}
+}
+
+func TestGeometryNodeScaling(t *testing.T) {
+	g := DefaultGeometry()
+	g28 := g.ScaleToNode(28)
+	// Area shrinks quadratically with the node.
+	a45 := g.CrossbarAreaUm2(1024, 1024)
+	a28 := g28.CrossbarAreaUm2(1024, 1024)
+	want := (28.0 / 45.0) * (28.0 / 45.0)
+	if got := a28 / a45; got < want*0.99 || got > want*1.01 {
+		t.Fatalf("area scale factor %.3f, want %.3f", got, want)
+	}
+	if g28.ReadEnergyPerBitJ >= g.ReadEnergyPerBitJ {
+		t.Fatal("energy must shrink at smaller nodes")
+	}
+}
+
+func TestGeometryEnergyOrdering(t *testing.T) {
+	g := DefaultGeometry()
+	if g.CrossbarWriteEnergyJ() <= g.ReadEnergyPerBitJ {
+		t.Fatal("NVM writes must cost more than reads")
+	}
+	if g.CrossbarReadEnergyJ(1024) <= g.CrossbarReadEnergyJ(64) {
+		t.Fatal("wider reads must cost more")
+	}
+}

@@ -1,0 +1,170 @@
+package isaac
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/composer"
+	"repro/internal/model"
+)
+
+func mnistPlans() ([]*composer.LayerPlan, int64) {
+	net := model.FCNet("MNIST", 784, 10, 1.0, 1)
+	return composer.SyntheticPlans(net, 64, 64, 64), net.MACs()
+}
+
+func TestArrayCountMath(t *testing.T) {
+	plans, macs := mnistPlans()
+	r, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fc1: 784×512 at 16-bit weights over 2-bit cells → 8 columns/weight.
+	// rowTiles = ceil(784/128) = 7, colTiles = ceil(512·8/128) = 32.
+	fc1 := r.Layers[0]
+	if fc1.RowTiles != 7 || fc1.ColTiles != 32 || fc1.Arrays != 224 {
+		t.Fatalf("fc1 mapping %dx%d = %d arrays, want 7x32 = 224", fc1.RowTiles, fc1.ColTiles, fc1.Arrays)
+	}
+}
+
+// The RAPIDNN paper's motivation (§1): ADC/DAC conversion dominates analog
+// PIM designs' area and energy.
+func TestADCDominates(t *testing.T) {
+	plans, macs := mnistPlans()
+	r, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ADCEnergyShare < 0.5 {
+		t.Fatalf("ADC energy share %.2f, want dominant", r.ADCEnergyShare)
+	}
+	if share := r.ADCAreaShare(); share < 0.8 {
+		t.Fatalf("converter area share %.2f, want ≫ array area (paper: 'majority of chip area')", share)
+	}
+}
+
+func TestBitSerialLatency(t *testing.T) {
+	plans, macs := mnistPlans()
+	cfg := Default()
+	r, err := Simulate(plans, macs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense layers: InputBits input bits × ArraySize column readouts
+	// (positions = 1).
+	want := int64(cfg.InputBits) * int64(cfg.ArraySize)
+	if r.Layers[0].CyclesPerInput != want {
+		t.Fatalf("fc1 cycles %d, want %d", r.Layers[0].CyclesPerInput, want)
+	}
+	// Conv layers repeat per output position.
+	convNet := model.ConvNet("C", 3, 32, 32, 10, 1.0, 1)
+	cplans := composer.SyntheticPlans(convNet, 64, 64, 64)
+	cr, err := Simulate(cplans, convNet.MACs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Layers[0].CyclesPerInput <= want {
+		t.Fatal("conv layer must pay per-position streaming")
+	}
+}
+
+func TestADCSharingTradesAreaForTime(t *testing.T) {
+	plans, macs := mnistPlans()
+	base, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.ArraysPerADC = 8
+	shared, err := Simulate(plans, macs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.AreaMM2 >= base.AreaMM2 {
+		t.Fatal("sharing the ADC must shrink area")
+	}
+	if shared.ThroughputIPS >= base.ThroughputIPS {
+		t.Fatal("sharing the ADC must serialize conversions")
+	}
+}
+
+// The structural model must land near ISAAC's published efficiency metrics
+// (§5.5: 479.0 GOPS/s/mm², 380.7 GOPS/s/W), which also anchor the
+// analytical baseline used by the figures.
+func TestCrossValidatesPublishedEfficiency(t *testing.T) {
+	plans, macs := mnistPlans()
+	r, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GOPSPerMM2 < 479.0/2 || r.GOPSPerMM2 > 479.0*2 {
+		t.Fatalf("GOPS/mm² = %.1f, want within 2x of 479", r.GOPSPerMM2)
+	}
+	if r.GOPSPerW < 380.7/2 || r.GOPSPerW > 380.7*2 {
+		t.Fatalf("GOPS/W = %.1f, want within 2x of 380.7", r.GOPSPerW)
+	}
+	// And it must agree with the analytical peak-density line.
+	if a := baseline.ISAAC().GOPSPerMM2(); r.GOPSPerMM2 < a/3 || r.GOPSPerMM2 > a*3 {
+		t.Fatalf("structural density %.1f vs analytic %.1f", r.GOPSPerMM2, a)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	plans, macs := mnistPlans()
+	bad := Default()
+	bad.ArraySize = 0
+	if _, err := Simulate(plans, macs, bad); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	if _, err := Simulate(nil, macs, Default()); err == nil {
+		t.Fatal("empty plans accepted")
+	}
+}
+
+// Head-to-head on identical workloads: RAPIDNN's digital lookup pipeline
+// must beat the analog design on both latency-derived throughput and
+// per-inference energy — Fig. 15's axes.
+func TestRAPIDNNBeatsStructuralISAAC(t *testing.T) {
+	plans, macs := mnistPlans()
+	is, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := accel.Simulate("MNIST", plans, macs, accel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ThroughputIPS <= is.ThroughputIPS {
+		t.Fatalf("RAPIDNN %.0f ips not faster than ISAAC %.0f ips", rp.ThroughputIPS, is.ThroughputIPS)
+	}
+	if rp.EnergyPerInputJ >= is.EnergyPerInput {
+		t.Fatalf("RAPIDNN %.3g J not cheaper than ISAAC %.3g J", rp.EnergyPerInputJ, is.EnergyPerInput)
+	}
+}
+
+// The PipeLayer preset must reproduce its §5.5 profile: ~3× ISAAC's compute
+// density, but clearly worse energy efficiency.
+func TestPipeLayerProfile(t *testing.T) {
+	plans, macs := mnistPlans()
+	is, err := Simulate(plans, macs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Simulate(plans, macs, PipeLayer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.GOPSPerMM2 <= is.GOPSPerMM2 {
+		t.Fatalf("PipeLayer density %.1f not above ISAAC %.1f", pl.GOPSPerMM2, is.GOPSPerMM2)
+	}
+	if pl.GOPSPerW >= is.GOPSPerW {
+		t.Fatalf("PipeLayer efficiency %.1f not below ISAAC %.1f", pl.GOPSPerW, is.GOPSPerW)
+	}
+	if pl.GOPSPerMM2 < 1485.1/2 || pl.GOPSPerMM2 > 1485.1*2 {
+		t.Fatalf("PipeLayer GOPS/mm² = %.1f, want within 2x of 1485.1", pl.GOPSPerMM2)
+	}
+	if pl.GOPSPerW < 142.9/2 || pl.GOPSPerW > 142.9*2 {
+		t.Fatalf("PipeLayer GOPS/W = %.1f, want within 2x of 142.9", pl.GOPSPerW)
+	}
+}

@@ -1,0 +1,123 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+func TestFCNetTopology(t *testing.T) {
+	net := FCNet("MNIST", 784, 10, 1.0, 1)
+	want := "IN:784, FC:512, FC:512, FC:10"
+	if got := net.Topology(); got != want {
+		t.Fatalf("Topology = %q, want %q", got, want)
+	}
+}
+
+func TestConvNetTopology(t *testing.T) {
+	net := ConvNet("CIFAR", 3, 32, 32, 10, 1.0, 1)
+	want := "IN:3072, CV:32x3x3, PL:2x2, CV:64x3x3, CV:64x3x3, FC:512, FC:10"
+	if got := net.Topology(); got != want {
+		t.Fatalf("Topology = %q, want %q", got, want)
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	net := FCNet("tiny", 20, 5, 0.001, 1)
+	for _, l := range net.Layers {
+		if l.OutSize() < 4 && l.Name() != "out" {
+			t.Fatalf("layer %s shrank below floor: %d", l.Name(), l.OutSize())
+		}
+	}
+}
+
+func TestImageNetStylesDiffer(t *testing.T) {
+	var depths []int
+	for _, style := range []ImageNetStyle{AlexNet, VGGNet, GoogLeNet, ResNet} {
+		net := ImageNetNet(style, 3, 32, 32, 40, 0.25, 1)
+		convs := 0
+		for _, l := range net.Layers {
+			if _, ok := l.(*nn.Conv2D); ok {
+				convs++
+			}
+		}
+		depths = append(depths, convs)
+		if net.OutSize() != 40 {
+			t.Fatalf("%s OutSize = %d", style, net.OutSize())
+		}
+	}
+	// AlexNet < VGG < GoogLeNet < ResNet conv depth ordering.
+	for i := 1; i < len(depths); i++ {
+		if depths[i] <= depths[i-1] {
+			t.Fatalf("conv depth not increasing: %v", depths)
+		}
+	}
+}
+
+func TestImageNetStyleStrings(t *testing.T) {
+	names := []string{"AlexNet", "VGGNet", "GoogLeNet", "ResNet"}
+	for i, s := range []ImageNetStyle{AlexNet, VGGNet, GoogLeNet, ResNet} {
+		if s.String() != names[i] {
+			t.Fatalf("style %d = %q", i, s.String())
+		}
+	}
+}
+
+// TestTrainLearnsSynthetic trains the scaled-down MNIST FC net and requires
+// it to beat chance by a wide margin.
+func TestTrainLearnsSynthetic(t *testing.T) {
+	ds := dataset.MNIST(dataset.Small)
+	net := FCNet("MNIST", ds.InSize(), ds.NumClasses, 0.1, 1)
+	cfg := TrainConfig{Epochs: 4, BatchSize: 32, LR: 0.05, Momentum: 0.9}
+	errRate := Train(net, ds, cfg)
+	if errRate > 0.4 {
+		t.Fatalf("trained error rate %v, want < 0.4 (chance = 0.9)", errRate)
+	}
+}
+
+func TestBenchmarksComplete(t *testing.T) {
+	bs := Benchmarks(dataset.Small, 0.05)
+	if len(bs) != 6 {
+		t.Fatalf("got %d benchmarks", len(bs))
+	}
+	names := []string{"MNIST", "ISOLET", "HAR", "CIFAR-10", "CIFAR-100", "ImageNet"}
+	for i, b := range bs {
+		if b.Dataset.Name != names[i] {
+			t.Errorf("benchmark %d dataset = %s", i, b.Dataset.Name)
+		}
+		if b.Net.InSize() != b.Dataset.InSize() {
+			t.Errorf("%s: net in %d != data in %d", names[i], b.Net.InSize(), b.Dataset.InSize())
+		}
+		if b.Net.OutSize() != b.Dataset.NumClasses {
+			t.Errorf("%s: net out %d != classes %d", names[i], b.Net.OutSize(), b.Dataset.NumClasses)
+		}
+		if b.PaperError <= 0 || b.PaperError >= 1 {
+			t.Errorf("%s: paper error %v", names[i], b.PaperError)
+		}
+	}
+	if !strings.HasPrefix(bs[3].Net.Topology(), "IN:3072, CV:") {
+		t.Errorf("CIFAR-10 should be convolutional: %s", bs[3].Net.Topology())
+	}
+}
+
+func TestResNetStyleUsesResidualBlocks(t *testing.T) {
+	net := ImageNetNet(ResNet, 3, 32, 32, 40, 0.5, 1)
+	skips := 0
+	for _, l := range net.Layers {
+		if c, ok := l.(*nn.Conv2D); ok && c.Skip {
+			skips++
+		}
+	}
+	if skips == 0 {
+		t.Fatal("ResNet-style model has no residual blocks")
+	}
+	// Other styles must not have skips.
+	vgg := ImageNetNet(VGGNet, 3, 32, 32, 40, 0.5, 1)
+	for _, l := range vgg.Layers {
+		if c, ok := l.(*nn.Conv2D); ok && c.Skip {
+			t.Fatal("VGG-style model must not have residual blocks")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package ndcam models the nearest-distance content-addressable memory of
+// §4.2.2 (Fig. 8). Cells operate inversely to a conventional CAM — a match
+// discharges the match line — so the row with the most matched bits
+// discharges fastest and a simple sense amplifier finds the nearest-Hamming
+// row. For precise search, access transistors are sized 2× per bit position,
+// making the discharge current proportional to the binary weight of matched
+// bits; with 8-bit pipeline stages searched from the most significant bits
+// down, the winning row is the one minimizing the bit-weighted mismatch —
+// an in-memory approximation of smallest absolute distance.
+package ndcam
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/device"
+)
+
+// Mode selects the search semantics.
+type Mode int
+
+const (
+	// Hamming finds the row with the fewest mismatched bits (uniform access
+	// transistors).
+	Hamming Mode = iota
+	// Weighted sizes access transistors by bit significance and searches
+	// stage-by-stage from the MSBs: the winner minimizes the mismatch
+	// pattern interpreted as an integer, approximating absolute distance.
+	Weighted
+)
+
+func (m Mode) String() string {
+	if m == Hamming {
+		return "hamming"
+	}
+	return "weighted"
+}
+
+// Stats accumulates search activity.
+type Stats struct {
+	Searches int64
+	Writes   int64
+	Cycles   int64
+	EnergyJ  float64
+}
+
+// NDCAM is a bank of fixed-width patterns with nearest-distance search.
+type NDCAM struct {
+	dev       device.Params
+	bits      int
+	stageBits int
+	mode      Mode
+	rows      []uint64
+	Stats     Stats
+}
+
+// New creates an empty NDCAM for patterns of the given bit width. Widths are
+// searched in 8-bit pipeline stages, the widest group HSPICE showed to be
+// reliably distinguishable under process variation (§4.2.2).
+func New(dev device.Params, bitWidth int, mode Mode) *NDCAM {
+	if bitWidth < 1 || bitWidth > 64 {
+		panic(fmt.Sprintf("ndcam: bit width %d out of [1,64]", bitWidth))
+	}
+	return &NDCAM{dev: dev, bits: bitWidth, stageBits: 8, mode: mode}
+}
+
+// Write appends a pattern row and returns its index. Pooling reuses the
+// encoder NDCAM by writing the window's encoded values before searching
+// (§4.2.1).
+func (n *NDCAM) Write(pattern uint64) int {
+	n.rows = append(n.rows, pattern&n.mask())
+	n.Stats.Writes++
+	n.Stats.Cycles++
+	n.Stats.EnergyJ += n.dev.AMWriteEnergy
+	return len(n.rows) - 1
+}
+
+// Reset clears all rows (refilling the pooling CAM for the next window).
+func (n *NDCAM) Reset() { n.rows = n.rows[:0] }
+
+// Len returns the number of stored rows.
+func (n *NDCAM) Len() int { return len(n.rows) }
+
+// Row returns a stored pattern.
+func (n *NDCAM) Row(i int) uint64 { return n.rows[i] }
+
+func (n *NDCAM) mask() uint64 {
+	if n.bits == 64 {
+		return ^uint64(0)
+	}
+	return (1 << n.bits) - 1
+}
+
+// Stages returns the number of 8-bit pipeline stages a search traverses.
+func (n *NDCAM) Stages() int { return (n.bits + n.stageBits - 1) / n.stageBits }
+
+// Search returns the index of the stored row nearest the query under the
+// configured mode. Ties resolve to the lowest row index (the first row to
+// be sensed). It panics if the CAM is empty.
+func (n *NDCAM) Search(query uint64) int {
+	if len(n.rows) == 0 {
+		panic("ndcam: search on empty CAM")
+	}
+	n.Stats.Searches++
+	n.Stats.Cycles += int64(n.Stages() * n.dev.AMSearchCycles)
+	n.Stats.EnergyJ += n.dev.AMSearchEnergy * float64(len(n.rows)) / float64(n.dev.AMRows)
+	query &= n.mask()
+	switch n.mode {
+	case Hamming:
+		best, bestD := 0, math.MaxInt
+		for i, r := range n.rows {
+			if d := bits.OnesCount64(r ^ query); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	default:
+		return n.searchWeighted(query)
+	}
+}
+
+// searchWeighted filters candidates stage by stage from the most significant
+// bits: within a stage every row's discharge current is proportional to the
+// binary-weighted sum of its matched bits, so the surviving rows are those
+// minimizing the stage's mismatch integer. Lexicographic minimization over
+// MSB-first stages equals minimizing the full bit-weighted mismatch.
+func (n *NDCAM) searchWeighted(query uint64) int {
+	cand := make([]int, len(n.rows))
+	for i := range cand {
+		cand[i] = i
+	}
+	stages := n.Stages()
+	for s := stages - 1; s >= 0 && len(cand) > 1; s-- {
+		shift := uint(s * n.stageBits)
+		stageMask := uint64((1 << n.stageBits) - 1)
+		bestXor := uint64(math.MaxUint64)
+		var next []int
+		for _, i := range cand {
+			x := ((n.rows[i] ^ query) >> shift) & stageMask
+			switch {
+			case x < bestXor:
+				bestXor = x
+				next = next[:0]
+				next = append(next, i)
+			case x == bestXor:
+				next = append(next, i)
+			}
+		}
+		cand = next
+	}
+	return cand[0]
+}
+
+// FixedPoint maps real values onto the CAM's unsigned integer domain. The
+// mapping is monotone, so value ordering is preserved and the weighted
+// search's prefix-first semantics align with numeric closeness.
+type FixedPoint struct {
+	Lo, Hi float64
+	Bits   int
+}
+
+// Encode converts v to its fixed-point code, clamping to the domain.
+func (f FixedPoint) Encode(v float64) uint64 {
+	if f.Hi <= f.Lo {
+		panic("ndcam: bad fixed-point domain")
+	}
+	maxCode := float64(uint64(1)<<f.Bits - 1)
+	t := (v - f.Lo) / (f.Hi - f.Lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return uint64(math.Round(t * maxCode))
+}
+
+// Decode converts a code back to the domain midpoint it represents.
+func (f FixedPoint) Decode(code uint64) float64 {
+	maxCode := float64(uint64(1)<<f.Bits - 1)
+	return f.Lo + (f.Hi-f.Lo)*float64(code)/maxCode
+}

@@ -1,0 +1,61 @@
+package ndcam
+
+import "math/rand"
+
+// This file models the process-variation study of §4.2.2: the paper ran
+// 5000 HSPICE Monte Carlo simulations with 10 % variation on transistor
+// sizes and threshold voltages and found the discharge speeds "sufficiently
+// distinguishable when an ML has 8 subsequent bits" — hence the 8-bit
+// pipeline stages. Here each matched bit contributes its binary-weighted
+// discharge current perturbed by a Gaussian factor, and a search is correct
+// when the perturbed current ordering agrees with the ideal one.
+
+// stageCurrent returns the discharge current of one stage of a row: the sum
+// of matched-bit weights, each scaled by (1 + ε) with ε ~ N(0, sigma).
+func stageCurrent(row, query uint64, bits int, sigma float64, rng *rand.Rand) float64 {
+	matched := ^(row ^ query)
+	var current float64
+	for i := 0; i < bits; i++ {
+		if matched>>uint(i)&1 == 1 {
+			w := float64(uint64(1) << uint(i))
+			current += w * (1 + rng.NormFloat64()*sigma)
+		}
+	}
+	return current
+}
+
+// VariationErrorRate estimates, by Monte Carlo, how often process variation
+// flips the winner of a two-row stage comparison for stages of the given
+// bit width. Each trial draws two distinct random patterns and a query,
+// computes ideal and perturbed discharge currents, and counts a failure when
+// the perturbed ordering disagrees with the ideal (strict) ordering.
+func VariationErrorRate(bits int, sigma float64, trials int, seed int64) float64 {
+	if bits < 1 || bits > 63 {
+		panic("ndcam: variation study bits out of range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mask := uint64(1)<<uint(bits) - 1
+	fails := 0
+	decided := 0
+	for t := 0; t < trials; t++ {
+		a := rng.Uint64() & mask
+		b := rng.Uint64() & mask
+		q := rng.Uint64() & mask
+		// Ideal scores: matched-bit weighted sums.
+		ia := float64(mask ^ (a^q)&mask)
+		ib := float64(mask ^ (b^q)&mask)
+		if ia == ib {
+			continue // ties carry no information about variation robustness
+		}
+		decided++
+		pa := stageCurrent(a, q, bits, sigma, rng)
+		pb := stageCurrent(b, q, bits, sigma, rng)
+		if (ia > ib) != (pa > pb) {
+			fails++
+		}
+	}
+	if decided == 0 {
+		return 0
+	}
+	return float64(fails) / float64(decided)
+}

@@ -1,0 +1,48 @@
+package ndcam
+
+import "testing"
+
+// The §4.2.2 process-variation study: with 10 % variation, 8-bit stages
+// remain reliably distinguishable — the design rationale for splitting
+// 32-bit searches into four pipeline stages.
+func TestVariationEightBitStagesReliable(t *testing.T) {
+	err := VariationErrorRate(8, 0.10, 20000, 1)
+	if err > 0.05 {
+		t.Fatalf("8-bit stage at 10%% variation flips %.2f%% of comparisons, want < 5%%", 100*err)
+	}
+}
+
+func TestVariationGrowsWithStageWidth(t *testing.T) {
+	e4 := VariationErrorRate(4, 0.10, 20000, 2)
+	e8 := VariationErrorRate(8, 0.10, 20000, 2)
+	e16 := VariationErrorRate(16, 0.10, 20000, 2)
+	if e4 > e8 || e8 > e16*1.2 {
+		t.Fatalf("error rate not increasing with width: %v %v %v", e4, e8, e16)
+	}
+}
+
+func TestVariationGrowsWithSigma(t *testing.T) {
+	prev := -1.0
+	for _, sigma := range []float64{0.02, 0.05, 0.1, 0.2} {
+		e := VariationErrorRate(8, sigma, 20000, 3)
+		if e < prev {
+			t.Fatalf("error rate decreased at sigma=%v", sigma)
+		}
+		prev = e
+	}
+}
+
+func TestVariationZeroSigmaPerfect(t *testing.T) {
+	if e := VariationErrorRate(8, 0, 5000, 4); e != 0 {
+		t.Fatalf("no variation must mean no errors, got %v", e)
+	}
+}
+
+func TestVariationValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad bit width")
+		}
+	}()
+	VariationErrorRate(0, 0.1, 10, 1)
+}

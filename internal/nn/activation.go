@@ -1,0 +1,96 @@
+// Package nn is a from-scratch deep-neural-network library: fully-connected,
+// convolution and pooling layers, the activation functions the RAPIDNN paper
+// models (ReLU, Sigmoid, Tanh, Softsign), softmax cross-entropy, dropout, and
+// SGD-with-momentum training. It is the substrate both for training the
+// benchmark models (Table 2) and for the composer's retraining loop (§3.2).
+package nn
+
+import "math"
+
+// Activation is a scalar non-linearity. Eval computes f(x); Grad computes
+// f'(x) and may use the already-computed output y when that is cheaper
+// (e.g. sigmoid's y·(1−y)).
+type Activation interface {
+	Name() string
+	Eval(x float64) float64
+	Grad(x, y float64) float64
+}
+
+// ReLU is max(0, x) — the hidden-layer activation of every benchmark model
+// in the paper (§5.2). The paper notes it can be implemented by a single
+// comparator rather than a lookup table.
+type ReLU struct{}
+
+func (ReLU) Name() string { return "relu" }
+
+func (ReLU) Eval(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func (ReLU) Grad(x, _ float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Sigmoid is the logistic function 1/(1+e^−x); the paper's running example
+// for lookup-table activation modeling (Fig. 2c).
+type Sigmoid struct{}
+
+func (Sigmoid) Name() string { return "sigmoid" }
+
+func (Sigmoid) Eval(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func (Sigmoid) Grad(_, y float64) float64 { return y * (1 - y) }
+
+// Tanh is the hyperbolic tangent.
+type Tanh struct{}
+
+func (Tanh) Name() string { return "tanh" }
+
+func (Tanh) Eval(x float64) float64 { return math.Tanh(x) }
+
+func (Tanh) Grad(_, y float64) float64 { return 1 - y*y }
+
+// Softsign is x/(1+|x|), cited by the paper as a recently popular
+// activation (§2.2).
+type Softsign struct{}
+
+func (Softsign) Name() string { return "softsign" }
+
+func (Softsign) Eval(x float64) float64 { return x / (1 + math.Abs(x)) }
+
+func (Softsign) Grad(x, _ float64) float64 {
+	d := 1 + math.Abs(x)
+	return 1 / (d * d)
+}
+
+// Identity passes x through unchanged; used for the virtual encoding layer.
+type Identity struct{}
+
+func (Identity) Name() string { return "identity" }
+
+func (Identity) Eval(x float64) float64 { return x }
+
+func (Identity) Grad(_, _ float64) float64 { return 1 }
+
+// ActivationByName returns the named activation, or nil if unknown.
+func ActivationByName(name string) Activation {
+	switch name {
+	case "relu":
+		return ReLU{}
+	case "sigmoid":
+		return Sigmoid{}
+	case "tanh":
+		return Tanh{}
+	case "softsign":
+		return Softsign{}
+	case "identity":
+		return Identity{}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestActivationValues(t *testing.T) {
+	cases := []struct {
+		act  Activation
+		x    float64
+		want float64
+	}{
+		{ReLU{}, 3, 3},
+		{ReLU{}, -3, 0},
+		{ReLU{}, 0, 0},
+		{Sigmoid{}, 0, 0.5},
+		{Tanh{}, 0, 0},
+		{Softsign{}, 0, 0},
+		{Softsign{}, 1, 0.5},
+		{Softsign{}, -1, -0.5},
+		{Identity{}, 2.5, 2.5},
+	}
+	for _, c := range cases {
+		if got := c.act.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s(%v) = %v, want %v", c.act.Name(), c.x, got, c.want)
+		}
+	}
+}
+
+// TestActivationGradNumeric checks every analytic Grad against a central
+// finite difference away from non-differentiable points.
+func TestActivationGradNumeric(t *testing.T) {
+	acts := []Activation{ReLU{}, Sigmoid{}, Tanh{}, Softsign{}, Identity{}}
+	const h = 1e-5
+	rng := rand.New(rand.NewSource(7))
+	for _, a := range acts {
+		for i := 0; i < 200; i++ {
+			x := rng.Float64()*8 - 4
+			if math.Abs(x) < 1e-3 { // skip kinks (ReLU, Softsign at 0)
+				continue
+			}
+			y := a.Eval(x)
+			num := (a.Eval(x+h) - a.Eval(x-h)) / (2 * h)
+			got := a.Grad(x, y)
+			if math.Abs(got-num) > 1e-4 {
+				t.Fatalf("%s'(%v) = %v, numeric %v", a.Name(), x, got, num)
+			}
+		}
+	}
+}
+
+// Property: sigmoid output is always in (0,1), tanh in (−1,1), softsign in (−1,1).
+func TestActivationRangeProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := Sigmoid{}.Eval(x)
+		th := Tanh{}.Eval(x)
+		ss := Softsign{}.Eval(x)
+		// softsign reaches ±1 exactly at float64 extremes where 1+|x| rounds to |x|
+		return s >= 0 && s <= 1 && th >= -1 && th <= 1 && ss >= -1 && ss <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivationByName(t *testing.T) {
+	for _, name := range []string{"relu", "sigmoid", "tanh", "softsign", "identity"} {
+		a := ActivationByName(name)
+		if a == nil || a.Name() != name {
+			t.Errorf("ActivationByName(%q) = %v", name, a)
+		}
+	}
+	if ActivationByName("gelu") != nil {
+		t.Error("unknown activation must return nil")
+	}
+}

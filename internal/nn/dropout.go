@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dropout zeroes a random fraction of activations during training and
+// rescales the survivors by 1/(1−rate) (inverted dropout), so inference is a
+// pass-through. The paper trains all FC benchmark layers with rate 0.5
+// (§5.2).
+type Dropout struct {
+	name string
+	size int
+	Rate float64
+	rng  *rand.Rand
+
+	lastMask []float32
+}
+
+// NewDropout creates a dropout layer over `size` features.
+func NewDropout(name string, size int, rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{name: name, size: size, Rate: rate, rng: rng}
+}
+
+func (d *Dropout) Name() string     { return d.name }
+func (d *Dropout) InSize() int      { return d.size }
+func (d *Dropout) OutSize() int     { return d.size }
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward masks activations in training mode and is the identity otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		return x
+	}
+	keep := float32(1 / (1 - d.Rate))
+	out := tensor.New(x.Shape()...)
+	d.lastMask = make([]float32, x.Len())
+	for i, v := range x.Data() {
+		if d.rng.Float64() >= d.Rate {
+			d.lastMask[i] = keep
+			out.Data()[i] = v * keep
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastMask == nil {
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data() {
+		out.Data()[i] = g * d.lastMask[i]
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dθ for every parameter scalar by central
+// differences, where loss is cross-entropy of net(x) against labels.
+func numericalGrad(t *testing.T, net *Network, x *tensor.Tensor, labels []int, p *Param, idx int) float64 {
+	t.Helper()
+	const h = 1e-3
+	orig := p.Value.Data()[idx]
+	p.Value.Data()[idx] = orig + h
+	lp, _ := CrossEntropy(net.Forward(x, false), labels)
+	p.Value.Data()[idx] = orig - h
+	lm, _ := CrossEntropy(net.Forward(x, false), labels)
+	p.Value.Data()[idx] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func analyticGrads(net *Network, x *tensor.Tensor, labels []int) {
+	for _, p := range net.Params() {
+		p.ZeroGrad()
+	}
+	logits := net.Forward(x, true)
+	_, grad := CrossEntropy(logits, labels)
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		grad = net.Layers[i].Backward(grad)
+	}
+}
+
+func checkGrads(t *testing.T, net *Network, x *tensor.Tensor, labels []int, tol float64) {
+	t.Helper()
+	analyticGrads(net, x, labels)
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range net.Params() {
+		n := p.Value.Len()
+		// Sample a handful of coordinates per parameter to keep runtime low.
+		for k := 0; k < 12; k++ {
+			idx := rng.Intn(n)
+			got := float64(p.Grad.Data()[idx])
+			want := numericalGrad(t, net, x, labels, p, idx)
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("%s[%d]: analytic %.6g vs numeric %.6g", p.Name, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork("gc").
+		Add(NewDense("fc1", 6, 5, Tanh{}, rng)).
+		Add(NewDense("fc2", 5, 3, Identity{}, rng))
+	x := tensor.New(4, 6)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()*2 - 1
+	}
+	checkGrads(t, net, x, []int{0, 2, 1, 2}, 1e-2)
+}
+
+func TestConvGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := tensor.ConvGeom{InC: 2, InH: 5, InW: 5, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D("cv", g, 3, Tanh{}, rng)
+	c, h, w := conv.OutGeom()
+	net := NewNetwork("gc").
+		Add(conv).
+		Add(NewDense("fc", c*h*w, 3, Identity{}, rng))
+	x := tensor.New(2, 2*5*5)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()*2 - 1
+	}
+	checkGrads(t, net, x, []int{1, 0}, 1e-2)
+}
+
+func TestMaxPoolGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := tensor.ConvGeom{InC: 2, InH: 4, InW: 4, KH: 2, KW: 2, Stride: 2}
+	pool := NewPool2D("pl", MaxPool, g)
+	net := NewNetwork("gc").
+		Add(NewDense("fc0", 32, 32, Tanh{}, rng)).
+		Add(pool).
+		Add(NewDense("fc1", 8, 3, Identity{}, rng))
+	x := tensor.New(3, 32)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()*2 - 1
+	}
+	checkGrads(t, net, x, []int{2, 0, 1}, 1e-2)
+}
+
+func TestAvgPoolGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := tensor.ConvGeom{InC: 2, InH: 4, InW: 4, KH: 2, KW: 2, Stride: 2}
+	pool := NewPool2D("pl", AvgPool, g)
+	net := NewNetwork("gc").
+		Add(NewDense("fc0", 32, 32, Sigmoid{}, rng)).
+		Add(pool).
+		Add(NewDense("fc1", 8, 3, Identity{}, rng))
+	x := tensor.New(3, 32)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()*2 - 1
+	}
+	checkGrads(t, net, x, []int{2, 0, 1}, 1e-2)
+}

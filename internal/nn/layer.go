@@ -1,0 +1,37 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Layer is one stage of a feed-forward network. Activations flow as
+// [batch, features] tensors; layers that are spatially structured
+// (convolution, pooling) carry their own geometry and interpret the feature
+// axis as channel-major C×H×W.
+//
+// Forward must cache whatever Backward needs; Backward receives the gradient
+// of the loss with respect to the layer output and returns the gradient with
+// respect to the layer input, accumulating parameter gradients into Params.
+type Layer interface {
+	Name() string
+	// InSize and OutSize are the flattened feature counts.
+	InSize() int
+	OutSize() int
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+	// momentum buffer, managed by the optimizer
+	velocity *tensor.Tensor
+}
+
+func newParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Softmax computes row-wise softmax of logits [batch, classes] into a new
+// tensor, using the max-subtraction trick for numerical stability.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(batch, classes)
+	for i := 0; i < batch; i++ {
+		row := logits.Data()[i*classes : (i+1)*classes]
+		dst := out.Data()[i*classes : (i+1)*classes]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// CrossEntropy returns the mean negative log-likelihood of the integer
+// labels under softmax(logits), together with the gradient of that loss with
+// respect to the logits (softmax − onehot, scaled by 1/batch).
+func CrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: %d labels for batch %d", len(labels), batch))
+	}
+	probs := Softmax(logits)
+	grad = probs.Clone()
+	inv := float32(1.0 / float64(batch))
+	for i, label := range labels {
+		if label < 0 || label >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, classes))
+		}
+		p := probs.At(i, label)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+		grad.Set(grad.At(i, label)-1, i, label)
+	}
+	grad.ScaleInPlace(inv)
+	return loss / float64(batch), grad
+}
+
+// Argmax returns the index of the largest value in each row.
+func Argmax(t *tensor.Tensor) []int {
+	batch, classes := t.Dim(0), t.Dim(1)
+	out := make([]int, batch)
+	for i := 0; i < batch; i++ {
+		row := t.Data()[i*classes : (i+1)*classes]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

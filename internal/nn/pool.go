@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// PoolKind selects the pooling reduction.
+type PoolKind int
+
+const (
+	// MaxPool keeps the maximum of each window — implemented in hardware by
+	// the encoding/pooling NDCAM searching for the largest encoded value
+	// (§4.2.1; codebook levels are sorted so encoded comparisons agree with
+	// value comparisons).
+	MaxPool PoolKind = iota
+	// AvgPool averages each window — implemented in hardware by the crossbar
+	// adder with the division folded into the next layer's weights offline.
+	AvgPool
+)
+
+func (k PoolKind) String() string {
+	if k == MaxPool {
+		return "max"
+	}
+	return "avg"
+}
+
+// Pool2D is a channel-wise pooling layer over (C,H,W)-flattened features.
+type Pool2D struct {
+	name string
+	Kind PoolKind
+	Geom tensor.ConvGeom // KH/KW is window, InC channels pooled independently
+
+	lastArg []int // flat input index chosen per output element (max pooling)
+	batch   int
+}
+
+// NewPool2D creates a pooling layer. The geometry's channel count is the
+// number of independent planes; padding must be zero.
+func NewPool2D(name string, kind PoolKind, g tensor.ConvGeom) *Pool2D {
+	if g.Pad != 0 {
+		panic("nn: pooling with padding is not supported")
+	}
+	if err := g.Validate(); err != nil {
+		panic("nn: " + err.Error())
+	}
+	return &Pool2D{name: name, Kind: kind, Geom: g}
+}
+
+func (p *Pool2D) Name() string { return p.name }
+
+func (p *Pool2D) InSize() int { return p.Geom.InC * p.Geom.InH * p.Geom.InW }
+
+func (p *Pool2D) OutSize() int { return p.Geom.InC * p.Geom.OutH() * p.Geom.OutW() }
+
+func (p *Pool2D) Params() []*Param { return nil }
+
+// OutGeom returns the (C,H,W) geometry of the layer output.
+func (p *Pool2D) OutGeom() (ch, h, w int) { return p.Geom.InC, p.Geom.OutH(), p.Geom.OutW() }
+
+// Forward applies the pooling reduction window by window.
+func (p *Pool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dim(1) != p.InSize() {
+		panic(fmt.Sprintf("nn: %s expects %d features, got %d", p.name, p.InSize(), x.Dim(1)))
+	}
+	batch := x.Dim(0)
+	outH, outW := p.Geom.OutH(), p.Geom.OutW()
+	out := tensor.New(batch, p.OutSize())
+	if train && p.Kind == MaxPool {
+		p.lastArg = make([]int, batch*p.OutSize())
+		p.batch = batch
+	}
+	window := float32(p.Geom.KH * p.Geom.KW)
+	for i := 0; i < batch; i++ {
+		in := x.Data()[i*p.InSize() : (i+1)*p.InSize()]
+		dst := out.Data()[i*p.OutSize() : (i+1)*p.OutSize()]
+		oi := 0
+		for c := 0; c < p.Geom.InC; c++ {
+			plane := c * p.Geom.InH * p.Geom.InW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					switch p.Kind {
+					case MaxPool:
+						best := float32(0)
+						bestIdx := -1
+						for ky := 0; ky < p.Geom.KH; ky++ {
+							for kx := 0; kx < p.Geom.KW; kx++ {
+								idx := plane + (oy*p.Geom.Stride+ky)*p.Geom.InW + ox*p.Geom.Stride + kx
+								if bestIdx < 0 || in[idx] > best {
+									best, bestIdx = in[idx], idx
+								}
+							}
+						}
+						dst[oi] = best
+						if train {
+							p.lastArg[i*p.OutSize()+oi] = bestIdx
+						}
+					case AvgPool:
+						var s float32
+						for ky := 0; ky < p.Geom.KH; ky++ {
+							for kx := 0; kx < p.Geom.KW; kx++ {
+								s += in[plane+(oy*p.Geom.Stride+ky)*p.Geom.InW+ox*p.Geom.Stride+kx]
+							}
+						}
+						dst[oi] = s / window
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax position (max) or spreads them
+// uniformly (avg).
+func (p *Pool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch := grad.Dim(0)
+	dx := tensor.New(batch, p.InSize())
+	outH, outW := p.Geom.OutH(), p.Geom.OutW()
+	window := float32(p.Geom.KH * p.Geom.KW)
+	for i := 0; i < batch; i++ {
+		g := grad.Data()[i*p.OutSize() : (i+1)*p.OutSize()]
+		d := dx.Data()[i*p.InSize() : (i+1)*p.InSize()]
+		switch p.Kind {
+		case MaxPool:
+			if p.lastArg == nil {
+				panic("nn: Backward before Forward(train=true) on " + p.name)
+			}
+			for oi, gv := range g {
+				d[p.lastArg[i*p.OutSize()+oi]] += gv
+			}
+		case AvgPool:
+			oi := 0
+			for c := 0; c < p.Geom.InC; c++ {
+				plane := c * p.Geom.InH * p.Geom.InW
+				for oy := 0; oy < outH; oy++ {
+					for ox := 0; ox < outW; ox++ {
+						gv := g[oi] / window
+						for ky := 0; ky < p.Geom.KH; ky++ {
+							for kx := 0; kx < p.Geom.KW; kx++ {
+								d[plane+(oy*p.Geom.Stride+ky)*p.Geom.InW+ox*p.Geom.Stride+kx] += gv
+							}
+						}
+						oi++
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

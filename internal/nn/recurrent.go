@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Recurrent is a simple Elman RNN layer unrolled over a fixed number of
+// steps — the recurrent layer type the RAPIDNN controller supports (§4.3).
+// The input is a flattened [batch, Steps×In] sequence; each step computes
+// h_t = act(x_t·Wx + h_{t−1}·Wh + b) and the layer outputs the final hidden
+// state. On the accelerator the same RNA block evaluates every step, its
+// input FIFO alternating between the incoming sequence and the fed-back
+// hidden state.
+type Recurrent struct {
+	name  string
+	In    int // features per step
+	H     int // hidden size
+	Steps int
+	Wx    *Param // [In, H]
+	Wh    *Param // [H, H]
+	B     *Param // [1, H]
+	Act   Activation
+
+	lastX    *tensor.Tensor
+	lastPre  []*tensor.Tensor // per step, [batch, H]
+	lastH    []*tensor.Tensor // per step (h_0 .. h_T), [batch, H]
+	lastFlat *tensor.Tensor   // concatenated pre-activations for the composer
+}
+
+// NewRecurrent creates an RNN layer over sequences of `steps` frames with
+// `in` features each.
+func NewRecurrent(name string, in, hidden, steps int, act Activation, rng *rand.Rand) *Recurrent {
+	if in <= 0 || hidden <= 0 || steps <= 0 {
+		panic(fmt.Sprintf("nn: invalid Recurrent dims in=%d h=%d steps=%d", in, hidden, steps))
+	}
+	wx := tensor.New(in, hidden)
+	wh := tensor.New(hidden, hidden)
+	bx := float32(math.Sqrt(6.0 / float64(in)))
+	bh := float32(math.Sqrt(6.0 / float64(hidden)))
+	for i := range wx.Data() {
+		wx.Data()[i] = (rng.Float32()*2 - 1) * bx
+	}
+	for i := range wh.Data() {
+		wh.Data()[i] = (rng.Float32()*2 - 1) * bh
+	}
+	return &Recurrent{
+		name: name, In: in, H: hidden, Steps: steps,
+		Wx:  newParam(name+".Wx", wx),
+		Wh:  newParam(name+".Wh", wh),
+		B:   newParam(name+".b", tensor.New(1, hidden)),
+		Act: act,
+	}
+}
+
+func (r *Recurrent) Name() string     { return r.name }
+func (r *Recurrent) InSize() int      { return r.In * r.Steps }
+func (r *Recurrent) OutSize() int     { return r.H }
+func (r *Recurrent) Params() []*Param { return []*Param{r.Wx, r.Wh, r.B} }
+
+// Forward unrolls the recurrence over the sequence.
+func (r *Recurrent) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dim(1) != r.InSize() {
+		panic(fmt.Sprintf("nn: %s expects %d features, got %d", r.name, r.InSize(), x.Dim(1)))
+	}
+	batch := x.Dim(0)
+	h := tensor.New(batch, r.H)
+	r.lastX = x
+	r.lastPre = make([]*tensor.Tensor, r.Steps)
+	r.lastH = make([]*tensor.Tensor, r.Steps+1)
+	r.lastH[0] = h
+	bias := r.B.Value.Data()
+	for t := 0; t < r.Steps; t++ {
+		xt := r.stepInput(x, t)
+		pre := tensor.MatMul(xt, r.Wx.Value)
+		pre.AddInPlace(tensor.MatMul(h, r.Wh.Value))
+		for i := 0; i < batch; i++ {
+			row := pre.Data()[i*r.H : (i+1)*r.H]
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+		next := tensor.New(batch, r.H)
+		for i, v := range pre.Data() {
+			next.Data()[i] = float32(r.Act.Eval(float64(v)))
+		}
+		r.lastPre[t] = pre
+		r.lastH[t+1] = next
+		h = next
+	}
+	// Flattened pre-activations for composer statistics.
+	flat := tensor.New(batch, r.Steps*r.H)
+	for t := 0; t < r.Steps; t++ {
+		for i := 0; i < batch; i++ {
+			copy(flat.Data()[i*r.Steps*r.H+t*r.H:], r.lastPre[t].Data()[i*r.H:(i+1)*r.H])
+		}
+	}
+	r.lastFlat = flat
+	return h
+}
+
+// stepInput slices step t's frame out of the flattened sequence.
+func (r *Recurrent) stepInput(x *tensor.Tensor, t int) *tensor.Tensor {
+	batch := x.Dim(0)
+	xt := tensor.New(batch, r.In)
+	for i := 0; i < batch; i++ {
+		copy(xt.Data()[i*r.In:(i+1)*r.In], x.Data()[i*r.InSize()+t*r.In:i*r.InSize()+(t+1)*r.In])
+	}
+	return xt
+}
+
+// Backward runs truncated-free BPTT through all unrolled steps.
+func (r *Recurrent) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastPre == nil {
+		panic("nn: Backward before Forward on " + r.name)
+	}
+	batch := grad.Dim(0)
+	dx := tensor.New(batch, r.InSize())
+	gh := grad.Clone() // ∂L/∂h_t flowing backwards
+	bg := r.B.Grad.Data()
+	for t := r.Steps - 1; t >= 0; t-- {
+		// Through the activation.
+		gPre := tensor.New(batch, r.H)
+		for i := range gh.Data() {
+			x := float64(r.lastPre[t].Data()[i])
+			y := float64(r.lastH[t+1].Data()[i])
+			gPre.Data()[i] = gh.Data()[i] * float32(r.Act.Grad(x, y))
+		}
+		xt := r.stepInput(r.lastX, t)
+		r.Wx.Grad.AddInPlace(tensor.MatMulTransA(xt, gPre))
+		r.Wh.Grad.AddInPlace(tensor.MatMulTransA(r.lastH[t], gPre))
+		for i := 0; i < batch; i++ {
+			row := gPre.Data()[i*r.H : (i+1)*r.H]
+			for j, v := range row {
+				bg[j] += v
+			}
+		}
+		// Into this step's input slice.
+		dxt := tensor.MatMulTransB(gPre, r.Wx.Value)
+		for i := 0; i < batch; i++ {
+			copy(dx.Data()[i*r.InSize()+t*r.In:i*r.InSize()+(t+1)*r.In], dxt.Data()[i*r.In:(i+1)*r.In])
+		}
+		// Into the previous hidden state.
+		gh = tensor.MatMulTransB(gPre, r.Wh.Value)
+	}
+	return dx
+}
+
+// PreActivations returns the concatenated per-step pre-activations from the
+// last forward pass (the composer's table-domain statistics).
+func (r *Recurrent) PreActivations() *tensor.Tensor { return r.lastFlat }
+
+// HiddenStates returns the concatenated hidden activations (h_1 … h_T) of
+// the last forward pass. The composer samples them into the layer's input
+// codebook population: on the accelerator the fed-back state re-enters
+// through the same encoded FIFO as the frames, so the codebook must cover
+// both domains.
+func (r *Recurrent) HiddenStates() []float32 {
+	if r.lastH == nil {
+		return nil
+	}
+	var out []float32
+	for _, h := range r.lastH[1:] {
+		out = append(out, h.Data()...)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package nn
+
+import "repro/internal/tensor"
+
+// SGD is stochastic gradient descent with classical momentum, the optimizer
+// the paper trains every benchmark model with (§5.2, citing Sutskever et al.).
+type SGD struct {
+	LR       float64
+	Momentum float64
+	// WeightDecay applies L2 regularization decoupled into the gradient.
+	WeightDecay float64
+}
+
+// Step applies one update to each parameter from its accumulated gradient
+// and then clears the gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if p.velocity == nil {
+			p.velocity = tensor.New(p.Value.Shape()...)
+		}
+		g := p.Grad
+		if s.WeightDecay != 0 {
+			g.AxpyInPlace(float32(s.WeightDecay), p.Value)
+		}
+		// v = momentum·v − lr·g ; w += v
+		p.velocity.ScaleInPlace(float32(s.Momentum))
+		p.velocity.AxpyInPlace(float32(-s.LR), g)
+		p.Value.AddInPlace(p.velocity)
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,158 @@
+// Package quant builds the step-wise function approximations of RAPIDNN's
+// neuron reinterpretation (§2.2): lookup tables that replace activation
+// functions (Fig. 2c) and encoding tables that map activation outputs onto
+// the next layer's input codebook (Fig. 2d). The activation domain is
+// clipped at its saturation points (A/B in Fig. 2) and quantized either
+// linearly or non-linearly, with more table rows where the function changes
+// fastest.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/nn"
+)
+
+// Mode selects how activation-table input coordinates are placed.
+type Mode int
+
+const (
+	// Linear spaces rows evenly across the clipped domain — the naive
+	// baseline the paper improves upon (§1).
+	Linear Mode = iota
+	// NonLinear places rows with density proportional to the local slope of
+	// the activation, "putting more points on the regions that [the]
+	// activation function has sharper changes" (§2.2).
+	NonLinear
+)
+
+func (m Mode) String() string {
+	if m == Linear {
+		return "linear"
+	}
+	return "nonlinear"
+}
+
+// ActTable is the (y, z) lookup table modeling an activation function. The
+// hardware realization is an NDCAM holding the Y column plus a crossbar
+// holding the Z column (§4.2.1); Eval is the nearest-distance search.
+type ActTable struct {
+	Name string
+	Y    []float32 // sorted input coordinates
+	Z    []float32 // activation outputs
+}
+
+// Rows returns the number of table rows.
+func (t *ActTable) Rows() int { return len(t.Y) }
+
+// Eval returns the z whose y coordinate is nearest the query.
+func (t *ActTable) Eval(y float32) float32 {
+	return t.Z[cluster.Assign(t.Y, y)]
+}
+
+// MaxAbsError returns the worst-case |table − act| over a dense probe of the
+// table's domain.
+func (t *ActTable) MaxAbsError(act nn.Activation) float64 {
+	lo, hi := float64(t.Y[0]), float64(t.Y[len(t.Y)-1])
+	worst := 0.0
+	const probes = 2000
+	for i := 0; i <= probes; i++ {
+		x := lo + (hi-lo)*float64(i)/probes
+		e := math.Abs(float64(t.Eval(float32(x))) - act.Eval(x))
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// SaturationDomain finds the clipped domain [A, B] of §2.2: the points
+// beyond which the activation's slope falls below eps (it is "saturated").
+// Activations that never saturate (ReLU's positive side, identity) are
+// clipped at ±limit.
+func SaturationDomain(act nn.Activation, eps, limit float64) (lo, hi float64) {
+	const h = 1e-4
+	slope := func(x float64) float64 {
+		return math.Abs(act.Eval(x+h)-act.Eval(x-h)) / (2 * h)
+	}
+	lo, hi = -limit, limit
+	for x := -limit; x < 0; x += limit / 256 {
+		if slope(x) >= eps {
+			lo = x
+			break
+		}
+	}
+	for x := limit; x > 0; x -= limit / 256 {
+		if slope(x) >= eps {
+			hi = x
+			break
+		}
+	}
+	if lo >= hi {
+		lo, hi = -limit, limit
+	}
+	return lo, hi
+}
+
+// BuildActTable builds a rows-entry lookup table for act over [lo, hi].
+func BuildActTable(act nn.Activation, rows int, lo, hi float64, mode Mode) *ActTable {
+	if rows < 2 {
+		panic(fmt.Sprintf("quant: need ≥2 rows, got %d", rows))
+	}
+	if !(lo < hi) {
+		panic(fmt.Sprintf("quant: bad domain [%v, %v]", lo, hi))
+	}
+	t := &ActTable{Name: act.Name(), Y: make([]float32, rows), Z: make([]float32, rows)}
+	switch mode {
+	case Linear:
+		for i := 0; i < rows; i++ {
+			x := lo + (hi-lo)*float64(i)/float64(rows-1)
+			t.Y[i] = float32(x)
+			t.Z[i] = float32(act.Eval(x))
+		}
+	case NonLinear:
+		xs := importanceQuantiles(act, rows, lo, hi)
+		for i, x := range xs {
+			t.Y[i] = float32(x)
+			t.Z[i] = float32(act.Eval(x))
+		}
+	}
+	// Guarantee strictly sorted Y so cluster.Assign's binary search is valid
+	// (duplicate Y rows can appear for flat activations).
+	sort.Slice(t.Y, func(i, j int) bool { return t.Y[i] < t.Y[j] })
+	return t
+}
+
+// importanceQuantiles places rows at equal quantiles of cumulative slope
+// magnitude, so flat regions get few rows and steep regions get many. The
+// first and last rows pin the domain endpoints.
+func importanceQuantiles(act nn.Activation, rows int, lo, hi float64) []float64 {
+	const grid = 4096
+	step := (hi - lo) / grid
+	cum := make([]float64, grid+1)
+	for i := 1; i <= grid; i++ {
+		x := lo + step*(float64(i)-0.5)
+		w := math.Abs(act.Eval(x+step/2)-act.Eval(x-step/2)) + 1e-6*step
+		cum[i] = cum[i-1] + w
+	}
+	total := cum[grid]
+	xs := make([]float64, rows)
+	xs[0], xs[rows-1] = lo, hi
+	j := 0
+	for i := 1; i < rows-1; i++ {
+		target := total * float64(i) / float64(rows-1)
+		for j < grid && cum[j+1] < target {
+			j++
+		}
+		// Linear interpolation inside grid cell j.
+		frac := 0.0
+		if d := cum[j+1] - cum[j]; d > 0 {
+			frac = (target - cum[j]) / d
+		}
+		xs[i] = lo + step*(float64(j)+frac)
+	}
+	return xs
+}

@@ -1,0 +1,58 @@
+package quant
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Encoder is the encoding block of Fig. 2d: it maps a real value (an
+// activation output, or a raw input in the virtual first layer) to the index
+// of the nearest entry of the *next* layer's input codebook. In hardware it
+// is the second AM block of an RNA; in the reinterpreted software model it
+// is a nearest-centroid assignment.
+type Encoder struct {
+	// Codebook holds the sorted cluster centers of the consuming layer's
+	// inputs.
+	Codebook []float32
+}
+
+// NewEncoder wraps a sorted codebook. It panics on an empty codebook and on
+// unsorted input, because Encode's binary search silently misbehaves
+// otherwise.
+func NewEncoder(codebook []float32) *Encoder {
+	if len(codebook) == 0 {
+		panic("quant: empty encoder codebook")
+	}
+	for i := 1; i < len(codebook); i++ {
+		if codebook[i] < codebook[i-1] {
+			panic(fmt.Sprintf("quant: codebook not sorted at %d", i))
+		}
+	}
+	return &Encoder{Codebook: codebook}
+}
+
+// Encode returns the index of the nearest codebook entry.
+func (e *Encoder) Encode(v float32) int { return cluster.Assign(e.Codebook, v) }
+
+// Decode returns the codebook value for an encoded index.
+func (e *Encoder) Decode(idx int) float32 { return e.Codebook[idx] }
+
+// Quantize is Decode∘Encode: the nearest representative of v.
+func (e *Encoder) Quantize(v float32) float32 { return e.Codebook[e.Encode(v)] }
+
+// Size returns the codebook cardinality.
+func (e *Encoder) Size() int { return len(e.Codebook) }
+
+// Bits returns the number of bits needed to transmit an encoded value — the
+// bit-serial width of the broadcast buffer transfer (§4.3).
+func (e *Encoder) Bits() int {
+	b := 0
+	for (1 << b) < len(e.Codebook) {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

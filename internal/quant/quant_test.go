@@ -1,0 +1,192 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+)
+
+func TestSaturationDomainSigmoid(t *testing.T) {
+	lo, hi := SaturationDomain(nn.Sigmoid{}, 1e-3, 20)
+	if lo > -4 || lo < -12 {
+		t.Fatalf("sigmoid lower clip %v, want ≈ −8", lo)
+	}
+	if hi < 4 || hi > 12 {
+		t.Fatalf("sigmoid upper clip %v, want ≈ 8", hi)
+	}
+	if math.Abs(lo+hi) > 0.5 {
+		t.Fatalf("sigmoid domain should be symmetric: [%v, %v]", lo, hi)
+	}
+}
+
+func TestSaturationDomainIdentityFallsBack(t *testing.T) {
+	lo, hi := SaturationDomain(nn.Identity{}, 1e-3, 20)
+	if lo != -20 || hi != 20 {
+		t.Fatalf("identity domain [%v, %v], want [-20, 20]", lo, hi)
+	}
+}
+
+// The paper's headline claim for activation tables: 64 rows reproduce
+// sigmoid to visually-indistinguishable accuracy (§5.3).
+func TestSigmoid64RowsAccurate(t *testing.T) {
+	lo, hi := SaturationDomain(nn.Sigmoid{}, 1e-3, 20)
+	tab := BuildActTable(nn.Sigmoid{}, 64, lo, hi, NonLinear)
+	if e := tab.MaxAbsError(nn.Sigmoid{}); e > 0.02 {
+		t.Fatalf("64-row sigmoid table max error %v, want < 0.02", e)
+	}
+}
+
+func TestNonLinearBeatsLinear(t *testing.T) {
+	// Non-linear placement concentrates rows where sigmoid is steep, so its
+	// worst-case error must not exceed the linear table's.
+	lo, hi := -8.0, 8.0
+	for _, rows := range []int{8, 16, 32, 64} {
+		nl := BuildActTable(nn.Sigmoid{}, rows, lo, hi, NonLinear).MaxAbsError(nn.Sigmoid{})
+		lin := BuildActTable(nn.Sigmoid{}, rows, lo, hi, Linear).MaxAbsError(nn.Sigmoid{})
+		if nl > lin*1.05 {
+			t.Fatalf("rows=%d: nonlinear error %v worse than linear %v", rows, nl, lin)
+		}
+	}
+}
+
+// Property: table error decreases (weakly) as rows double.
+func TestActTableErrorShrinksWithRows(t *testing.T) {
+	for _, act := range []nn.Activation{nn.Sigmoid{}, nn.Tanh{}, nn.Softsign{}} {
+		prev := math.MaxFloat64
+		for _, rows := range []int{4, 8, 16, 32, 64, 128} {
+			e := BuildActTable(act, rows, -6, 6, NonLinear).MaxAbsError(act)
+			if e > prev*1.1 {
+				t.Fatalf("%s: error grew from %v to %v at rows=%d", act.Name(), prev, e, rows)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestActTableEvalMatchesNearestRow(t *testing.T) {
+	tab := BuildActTable(nn.Tanh{}, 16, -4, 4, Linear)
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		z := tab.Eval(v)
+		// z must be one of the table's Z entries.
+		for _, zz := range tab.Z {
+			if zz == z {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActTableReLUComparatorEquivalence(t *testing.T) {
+	// The paper replaces the ReLU table with a comparator; the table route
+	// must still be a sane approximation for users who keep it.
+	tab := BuildActTable(nn.ReLU{}, 64, -1, 8, NonLinear)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()*9 - 1
+		got := float64(tab.Eval(float32(x)))
+		want := nn.ReLU{}.Eval(x)
+		if math.Abs(got-want) > 0.15 {
+			t.Fatalf("ReLU table at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestBuildActTablePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BuildActTable(nn.Sigmoid{}, 1, -1, 1, Linear) },
+		func() { BuildActTable(nn.Sigmoid{}, 8, 2, 2, Linear) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEncoderRoundTrip(t *testing.T) {
+	e := NewEncoder([]float32{-2, -0.5, 0.5, 2})
+	for idx := 0; idx < e.Size(); idx++ {
+		if got := e.Encode(e.Decode(idx)); got != idx {
+			t.Fatalf("Encode(Decode(%d)) = %d", idx, got)
+		}
+	}
+}
+
+func TestEncoderNearest(t *testing.T) {
+	e := NewEncoder([]float32{0, 1, 10})
+	cases := map[float32]int{-5: 0, 0.4: 0, 0.6: 1, 5: 1, 6: 2, 100: 2}
+	for v, want := range cases {
+		if got := e.Encode(v); got != want {
+			t.Errorf("Encode(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestEncoderBits(t *testing.T) {
+	cases := []struct {
+		size int
+		bits int
+	}{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {64, 6}, {128, 7}}
+	for _, c := range cases {
+		cb := make([]float32, c.size)
+		for i := range cb {
+			cb[i] = float32(i)
+		}
+		if got := NewEncoder(cb).Bits(); got != c.bits {
+			t.Errorf("Bits(size %d) = %d, want %d", c.size, got, c.bits)
+		}
+	}
+}
+
+func TestEncoderRejectsBadCodebooks(t *testing.T) {
+	for _, cb := range [][]float32{{}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("codebook %v did not panic", cb)
+				}
+			}()
+			NewEncoder(cb)
+		}()
+	}
+}
+
+// Property: quantization error is bounded by half the widest codebook gap
+// for in-range values.
+func TestEncoderErrorBoundProperty(t *testing.T) {
+	cb := []float32{-3, -1, 0, 0.5, 2, 4}
+	maxGap := float32(0)
+	for i := 1; i < len(cb); i++ {
+		if g := cb[i] - cb[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	e := NewEncoder(cb)
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || v < cb[0] || v > cb[len(cb)-1] {
+			return true
+		}
+		d := v - e.Quantize(v)
+		if d < 0 {
+			d = -d
+		}
+		return d <= maxGap/2+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package rna
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/counting"
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/ndcam"
+	"repro/internal/quant"
+)
+
+// FuncRNA is a functional RNA block: it evaluates one neuron end-to-end
+// through the hardware substrates — parallel counting, shift-add expansion,
+// NOR-decomposed in-memory addition of fixed-point products, an NDCAM
+// activation lookup and an NDCAM encoder — rather than through float math.
+// It exists to validate that the hardware path computes what the software
+// reinterpreted model promises.
+type FuncRNA struct {
+	dev      device.Params
+	wcb, ucb []float32
+	products [][]int64 // fixed-point pre-computed products [w][u]
+	bias     int64
+	fracBits uint
+
+	actTable *quant.ActTable
+	actCAM   *ndcam.NDCAM
+	actFP    ndcam.FixedPoint
+	relu     bool
+
+	encCB  []float32
+	encCAM *ndcam.NDCAM
+	encFP  ndcam.FixedPoint
+
+	// LastStats reports substrate activity of the most recent Fire.
+	LastStats crossbar.Stats
+}
+
+const sumWidth = 32
+
+// NewFuncRNA configures a functional RNA for one neuron. actTable may be
+// nil with relu=true for the comparator path; nextCodebook is the consuming
+// layer's input codebook the output is encoded with.
+func NewFuncRNA(dev device.Params, wcb, ucb []float32, bias float32,
+	actTable *quant.ActTable, relu bool, nextCodebook []float32, fracBits uint) *FuncRNA {
+	if len(wcb) == 0 || len(ucb) == 0 || len(nextCodebook) == 0 {
+		panic("rna: empty codebook")
+	}
+	if actTable == nil && !relu {
+		panic("rna: need an activation table or the ReLU comparator")
+	}
+	r := &FuncRNA{
+		dev: dev, wcb: wcb, ucb: ucb,
+		bias: toFixed(float64(bias), fracBits), fracBits: fracBits,
+		actTable: actTable, relu: relu, encCB: nextCodebook,
+	}
+	// Pre-compute the crossbar product table (what the composer writes at
+	// configuration time, §3.3).
+	r.products = make([][]int64, len(wcb))
+	for wi, wv := range wcb {
+		r.products[wi] = make([]int64, len(ucb))
+		for ui, uv := range ucb {
+			r.products[wi][ui] = toFixed(float64(wv)*float64(uv), fracBits)
+		}
+	}
+	if actTable != nil {
+		lo, hi := float64(actTable.Y[0]), float64(actTable.Y[len(actTable.Y)-1])
+		r.actFP = ndcam.FixedPoint{Lo: lo, Hi: hi, Bits: 16}
+		r.actCAM = ndcam.New(dev, 16, ndcam.Weighted)
+		for _, y := range actTable.Y {
+			r.actCAM.Write(r.actFP.Encode(float64(y)))
+		}
+	}
+	lo, hi := float64(nextCodebook[0]), float64(nextCodebook[len(nextCodebook)-1])
+	if hi <= lo {
+		hi = lo + 1
+	}
+	r.encFP = ndcam.FixedPoint{Lo: lo, Hi: hi, Bits: 16}
+	r.encCAM = ndcam.New(dev, 16, ndcam.Weighted)
+	for _, v := range nextCodebook {
+		r.encCAM.Write(r.encFP.Encode(float64(v)))
+	}
+	return r
+}
+
+// Fire evaluates the neuron on encoded operands: weightIdx[i] and
+// inputIdx[i] are the codebook indices of edge i. It returns the encoded
+// output index and its decoded codebook value.
+func (r *FuncRNA) Fire(weightIdx, inputIdx []int) (encoded int, value float32) {
+	return r.EncodeValue(r.Activate(r.Accumulate(weightIdx, inputIdx)))
+}
+
+// Accumulate runs the weighted-accumulation pipeline — parallel counting
+// (§4.1.1), shift-add expansion of the counts, and NOR-decomposed in-memory
+// addition (§4.1.2) — returning the real-valued pre-activation.
+func (r *FuncRNA) Accumulate(weightIdx, inputIdx []int) float64 {
+	if len(weightIdx) != len(inputIdx) {
+		panic(fmt.Sprintf("rna: %d weights vs %d inputs", len(weightIdx), len(inputIdx)))
+	}
+	// 1. Parallel counting of product occurrences (§4.1.1).
+	pairs := make([]counting.Pair, len(weightIdx))
+	for i := range pairs {
+		pairs[i] = counting.Pair{W: weightIdx[i], U: inputIdx[i]}
+	}
+	counts := counting.ParallelCount(pairs, len(r.wcb))
+
+	// 2. Shift-add expansion of each counted product into tree addends.
+	var addends []uint64
+	for p, c := range counts.Counts {
+		prod := r.products[p.W][p.U]
+		for _, t := range counting.Decompose(c) {
+			v := prod << t.Shift
+			if t.Sub {
+				v = -v
+			}
+			addends = append(addends, uint64(v)&math.MaxUint32)
+		}
+	}
+	addends = append(addends, uint64(r.bias)&math.MaxUint32)
+
+	// 3. NOR-decomposed in-memory addition (§4.1.2).
+	raw, stats := crossbar.AddMany(r.dev, addends, sumWidth)
+	r.LastStats = stats
+	sum := int64(int32(uint32(raw)))
+	return fromFixed(sum, r.fracBits)
+}
+
+// Activate applies the activation stage: an NDCAM table search, or the ReLU
+// comparator (§4.2.1).
+func (r *FuncRNA) Activate(pre float64) float64 {
+	if r.relu {
+		if pre > 0 {
+			return pre
+		}
+		return 0
+	}
+	row := r.actCAM.Search(r.actFP.Encode(pre))
+	return float64(r.actTable.Z[row])
+}
+
+// EncodeValue maps an activation output onto the consuming layer's codebook
+// through the encoder NDCAM (§2.2, Fig. 2d).
+func (r *FuncRNA) EncodeValue(z float64) (encoded int, value float32) {
+	encoded = r.encCAM.Search(r.encFP.Encode(z))
+	return encoded, r.encCB[encoded]
+}
+
+// MaxPool runs the pooling path (§4.2.1): the window's encoded values are
+// written into the encoder CAM and a search over the codebook extremes
+// finds the largest entry. Because codebook levels are sorted, comparing
+// encoded indices equals comparing values, so the result is simply the
+// maximum index — which is what the hardware's nearest-to-+∞ search yields.
+func (r *FuncRNA) MaxPool(encodedWindow []int) int {
+	if len(encodedWindow) == 0 {
+		panic("rna: empty pooling window")
+	}
+	cam := ndcam.New(r.dev, 16, ndcam.Weighted)
+	for _, e := range encodedWindow {
+		cam.Write(r.encFP.Encode(float64(r.encCB[e])))
+	}
+	row := cam.Search(r.encFP.Encode(math.Inf(1)))
+	return encodedWindow[row]
+}
+
+// InjectStuckFaults flips each bit of every pre-stored product with the
+// given probability, modeling stuck-at faults in the crossbar's resistive
+// cells. Products are ProductBits-significant fixed-point words; faults hit
+// the stored word's low dev.ProductBits + sign bits. It returns how many
+// bits flipped.
+func (r *FuncRNA) InjectStuckFaults(rate float64, rng *rand.Rand) int {
+	if rate <= 0 {
+		return 0
+	}
+	bits := uint(r.dev.ProductBits)
+	flipped := 0
+	for wi := range r.products {
+		for ui := range r.products[wi] {
+			word := uint64(r.products[wi][ui]) & math.MaxUint32
+			for b := uint(0); b < bits+uint(r.fracBits)/2; b++ {
+				if rng.Float64() < rate {
+					word ^= 1 << b
+					flipped++
+				}
+			}
+			r.products[wi][ui] = int64(int32(uint32(word)))
+		}
+	}
+	return flipped
+}
+
+func toFixed(v float64, frac uint) int64 {
+	return int64(math.Round(v * float64(int64(1)<<frac)))
+}
+
+func fromFixed(v int64, frac uint) float64 {
+	return float64(v) / float64(int64(1)<<frac)
+}

@@ -1,0 +1,445 @@
+package rna
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/composer"
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// HardwareNetwork executes a composed model end-to-end through functional
+// RNA blocks: every neuron's weighted accumulation runs as parallel counting
+// plus gate-level NOR addition, every activation and encoding as an NDCAM
+// search. It is the hardware-in-the-loop validation of the whole RAPIDNN
+// stack — the software reinterpreted model predicts its behaviour, and tests
+// assert the two agree.
+//
+// It is deliberately built for fidelity, not speed: classifying one CIFAR
+// image simulates hundreds of thousands of NOR cycles. Use small models.
+type HardwareNetwork struct {
+	dev    device.Params
+	layers []*hwLayer
+	// classCount is the size of the logit layer.
+	classCount int
+	inSize     int
+	// Stats aggregates the substrate activity of every inference so far.
+	Stats crossbar.Stats
+}
+
+type hwLayer struct {
+	kind composer.LayerKind
+	plan *composer.LayerPlan
+	skip bool
+
+	// Compute layers: one functional RNA per codebook group (all neurons of
+	// a group share tables; their per-edge weight indices differ).
+	rnas []*FuncRNA
+	// weightIdx[n][i] is the weight-codebook index of neuron n's edge i;
+	// edgeOf[n][i] is the input-feature position edge i reads.
+	weightIdx [][]int
+	edgeOf    [][]int
+	groupOf   []int // codebook group per neuron
+	bias      []float32
+	// skipPos[n] is the input position a residual neuron adds back.
+	skipPos []int
+	isLogit bool
+
+	// Pooling layers.
+	poolWindows [][]int // input positions per output
+	poolAvg     bool
+	poolCB      []float32 // codebook the pooled values are encoded with
+
+	// Recurrent layers (§4.3): the hidden state re-enters through the input
+	// FIFO, re-encoded onto the layer's own codebook by rnnLoop; the final
+	// step encodes onto the consumer codebook through rnas[0].
+	rnnIn, rnnH, rnnSteps int
+	rnnLoop               *FuncRNA
+}
+
+// BuildHardwareNetwork lowers a quantized network and its plans into
+// functional hardware. qnet must be the reinterpreted clone (weights already
+// snapped to the codebooks); plans must come from the same composition.
+func BuildHardwareNetwork(qnet *nn.Network, plans []*composer.LayerPlan, dev device.Params) (*HardwareNetwork, error) {
+	if len(qnet.Layers) != len(plans) {
+		return nil, fmt.Errorf("rna: %d layers vs %d plans", len(qnet.Layers), len(plans))
+	}
+	h := &HardwareNetwork{dev: dev, inSize: qnet.InSize(), classCount: qnet.OutSize()}
+	for i, l := range qnet.Layers {
+		p := plans[i]
+		switch t := l.(type) {
+		case *nn.Dense:
+			hl, err := buildDenseHW(t, p, nextCodebook(plans, i), dev)
+			if err != nil {
+				return nil, err
+			}
+			h.layers = append(h.layers, hl)
+		case *nn.Conv2D:
+			hl, err := buildConvHW(t, p, nextCodebook(plans, i), dev)
+			if err != nil {
+				return nil, err
+			}
+			h.layers = append(h.layers, hl)
+		case *nn.Recurrent:
+			hl, err := buildRecurrentHW(t, p, nextCodebook(plans, i), dev)
+			if err != nil {
+				return nil, err
+			}
+			h.layers = append(h.layers, hl)
+		case *nn.Pool2D:
+			h.layers = append(h.layers, buildPoolHW(t, p, nextCodebook(plans, i)))
+		case *nn.Dropout:
+			// Identity at inference; no hardware.
+		default:
+			return nil, fmt.Errorf("rna: hardware path cannot lower %T", l)
+		}
+	}
+	if len(h.layers) == 0 {
+		return nil, fmt.Errorf("rna: empty network")
+	}
+	last := h.layers[len(h.layers)-1]
+	if !last.plan.IsCompute() {
+		return nil, fmt.Errorf("rna: final layer must be a compute layer")
+	}
+	last.isLogit = true
+	return h, nil
+}
+
+// nextCodebook finds the input codebook of the consuming compute layer —
+// the encoder table of layer i's RNAs. The final layer has no consumer; its
+// raw logit sums feed the class comparator instead.
+func nextCodebook(plans []*composer.LayerPlan, i int) []float32 {
+	for j := i + 1; j < len(plans); j++ {
+		if plans[j].IsCompute() {
+			return plans[j].InputCodebook
+		}
+	}
+	return nil
+}
+
+const hwFracBits = 16
+
+func buildDenseHW(t *nn.Dense, p *composer.LayerPlan, next []float32, dev device.Params) (*hwLayer, error) {
+	wcb := p.WeightCodebooks[0]
+	relu := p.ActTable == nil
+	if next == nil {
+		next = []float32{0} // logits bypass encoding
+	}
+	rna := NewFuncRNA(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits)
+	hl := &hwLayer{kind: p.Kind, plan: p, skip: t.Skip, rnas: []*FuncRNA{rna}}
+	in, out := t.InSize(), t.OutSize()
+	hl.weightIdx = make([][]int, out)
+	hl.edgeOf = make([][]int, out)
+	hl.groupOf = make([]int, out)
+	hl.bias = make([]float32, out)
+	if t.Skip {
+		hl.skipPos = make([]int, out)
+	}
+	for n := 0; n < out; n++ {
+		hl.bias[n] = t.B.Value.At(0, n)
+		wi := make([]int, in)
+		ei := make([]int, in)
+		for i := 0; i < in; i++ {
+			wi[i] = cluster.Assign(wcb, t.W.Value.At(i, n))
+			ei[i] = i
+		}
+		hl.weightIdx[n] = wi
+		hl.edgeOf[n] = ei
+		if t.Skip {
+			hl.skipPos[n] = n // residual dense: in == out, aligned indices
+		}
+	}
+	return hl, nil
+}
+
+func buildConvHW(t *nn.Conv2D, p *composer.LayerPlan, next []float32, dev device.Params) (*hwLayer, error) {
+	if next == nil {
+		next = []float32{0}
+	}
+	hl := &hwLayer{kind: p.Kind, plan: p, skip: t.Skip}
+	relu := p.ActTable == nil
+	// One functional RNA per codebook group.
+	hl.rnas = make([]*FuncRNA, len(p.WeightCodebooks))
+	for g, wcb := range p.WeightCodebooks {
+		hl.rnas[g] = NewFuncRNA(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits)
+	}
+	g := t.Geom
+	outH, outW := g.OutH(), g.OutW()
+	k := g.InC * g.KH * g.KW
+	neurons := t.OutC * outH * outW
+	hl.weightIdx = make([][]int, neurons)
+	hl.edgeOf = make([][]int, neurons)
+	hl.groupOf = make([]int, neurons)
+	hl.bias = make([]float32, neurons)
+	if t.Skip {
+		// Shape-preserving residual conv: output (ch, y, x) adds input
+		// (ch, y, x), which shares the same flattened index.
+		hl.skipPos = make([]int, neurons)
+		for n := range hl.skipPos {
+			hl.skipPos[n] = n
+		}
+	}
+	for ch := 0; ch < t.OutC; ch++ {
+		book := p.ChannelCodebook[ch]
+		wcb := p.WeightCodebooks[book]
+		// Weight indices are shared by every position of the channel.
+		wi := make([]int, k)
+		for i := 0; i < k; i++ {
+			wi[i] = cluster.Assign(wcb, t.W.Value.At(ch, i))
+		}
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				n := ch*outH*outW + oy*outW + ox
+				hl.groupOf[n] = book
+				hl.bias[n] = t.B.Value.At(0, ch)
+				// Gather the window's input positions; out-of-bounds taps map
+				// to -1 (a hard zero the executor skips).
+				var wiN, eiN []int
+				for c := 0; c < g.InC; c++ {
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							idx := c*g.KH*g.KW + ky*g.KW + kx
+							if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+								continue // zero pad: no edge at all
+							}
+							eiN = append(eiN, c*g.InH*g.InW+iy*g.InW+ix)
+							wiN = append(wiN, wi[idx])
+						}
+					}
+				}
+				hl.weightIdx[n] = wiN
+				hl.edgeOf[n] = eiN
+			}
+		}
+	}
+	return hl, nil
+}
+
+func buildRecurrentHW(t *nn.Recurrent, p *composer.LayerPlan, next []float32, dev device.Params) (*hwLayer, error) {
+	wcb := p.WeightCodebooks[0]
+	relu := p.ActTable == nil
+	if next == nil {
+		next = []float32{0}
+	}
+	hl := &hwLayer{
+		kind: p.Kind, plan: p,
+		rnnIn: t.In, rnnH: t.H, rnnSteps: t.Steps,
+		// rnas[0] encodes the final hidden state for the consumer; rnnLoop
+		// re-encodes intermediate states onto the layer's own codebook.
+		rnas:    []*FuncRNA{NewFuncRNA(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits)},
+		rnnLoop: NewFuncRNA(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, p.InputCodebook, hwFracBits),
+	}
+	// Per hidden neuron j: In edges from the frame (Wx column j) followed by
+	// H edges from the fed-back state (Wh column j).
+	hl.weightIdx = make([][]int, t.H)
+	hl.groupOf = make([]int, t.H)
+	hl.bias = make([]float32, t.H)
+	for j := 0; j < t.H; j++ {
+		hl.bias[j] = t.B.Value.At(0, j)
+		wi := make([]int, t.In+t.H)
+		for i := 0; i < t.In; i++ {
+			wi[i] = cluster.Assign(wcb, t.Wx.Value.At(i, j))
+		}
+		for k := 0; k < t.H; k++ {
+			wi[t.In+k] = cluster.Assign(wcb, t.Wh.Value.At(k, j))
+		}
+		hl.weightIdx[j] = wi
+	}
+	return hl, nil
+}
+
+func buildPoolHW(t *nn.Pool2D, p *composer.LayerPlan, next []float32) *hwLayer {
+	hl := &hwLayer{kind: p.Kind, plan: p, poolAvg: t.Kind == nn.AvgPool, poolCB: next}
+	g := t.Geom
+	outH, outW := g.OutH(), g.OutW()
+	for c := 0; c < g.InC; c++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				var win []int
+				for ky := 0; ky < g.KH; ky++ {
+					for kx := 0; kx < g.KW; kx++ {
+						win = append(win, c*g.InH*g.InW+(oy*g.Stride+ky)*g.InW+ox*g.Stride+kx)
+					}
+				}
+				hl.poolWindows = append(hl.poolWindows, win)
+			}
+		}
+	}
+	return hl
+}
+
+// Infer classifies one input vector entirely through the hardware path and
+// returns the argmax class.
+func (h *HardwareNetwork) Infer(x []float32) (int, error) {
+	if len(x) != h.inSize {
+		return 0, fmt.Errorf("rna: input has %d features, want %d", len(x), h.inSize)
+	}
+	// Virtual layer (§2.2): encode the raw input onto the first compute
+	// layer's codebook.
+	first := h.layers[0]
+	enc := make([]int, len(x))
+	for i, v := range x {
+		enc[i] = cluster.Assign(first.plan.InputCodebook, v)
+	}
+	for li, hl := range h.layers {
+		switch {
+		case hl.kind == composer.KindRecurrent:
+			inCB := hl.plan.InputCodebook
+			// The zero initial state enters as the codebook's nearest-to-zero
+			// representative.
+			hState := make([]int, hl.rnnH)
+			zeroIdx := cluster.Assign(inCB, 0)
+			for j := range hState {
+				hState[j] = zeroIdx
+			}
+			for step := 0; step < hl.rnnSteps; step++ {
+				frame := enc[step*hl.rnnIn : (step+1)*hl.rnnIn]
+				next := make([]int, hl.rnnH)
+				last := step == hl.rnnSteps-1
+				for j := 0; j < hl.rnnH; j++ {
+					r := hl.rnnLoop
+					if last {
+						r = hl.rnas[0]
+					}
+					r.bias = toFixed(float64(hl.bias[j]), hwFracBits)
+					inputs := make([]int, 0, hl.rnnIn+hl.rnnH)
+					inputs = append(inputs, frame...)
+					inputs = append(inputs, hState...)
+					pre := r.Accumulate(hl.weightIdx[j], inputs)
+					h.Stats = addStats(h.Stats, r.LastStats)
+					e, _ := r.EncodeValue(r.Activate(pre))
+					next[j] = e
+				}
+				hState = next
+			}
+			enc = hState
+		case hl.kind == composer.KindPool:
+			out := make([]int, len(hl.poolWindows))
+			if hl.poolAvg {
+				// Average pooling (§4.2.1): the crossbar sums the decoded
+				// window values in memory; the division by the window size is
+				// normalized into the weights offline, so here it is a fixed
+				// reciprocal multiply; the result re-encodes through the AM.
+				if hl.poolCB == nil {
+					return 0, fmt.Errorf("rna: avg pool feeding the logit layer is unsupported")
+				}
+				inv := 1.0 / float64(len(hl.poolWindows[0]))
+				for n, win := range hl.poolWindows {
+					addends := make([]uint64, len(win))
+					for i, pos := range win {
+						addends[i] = uint64(toFixed(float64(hl.poolCB[enc[pos]]), hwFracBits)) & math.MaxUint32
+					}
+					raw, stats := crossbar.AddMany(h.dev, addends, sumWidth)
+					h.Stats = addStats(h.Stats, stats)
+					mean := fromFixed(int64(int32(uint32(raw))), hwFracBits) * inv
+					out[n] = cluster.Assign(hl.poolCB, float32(mean))
+				}
+				enc = out
+				continue
+			}
+			// Encoded values compare like their codebook values (sorted
+			// levels), so max pooling is a max over indices — realized by the
+			// encoder NDCAM search in hardware (§4.2.1).
+			for n, win := range hl.poolWindows {
+				best := enc[win[0]]
+				for _, pos := range win[1:] {
+					if enc[pos] > best {
+						best = enc[pos]
+					}
+				}
+				out[n] = best
+			}
+			enc = out
+		case hl.isLogit:
+			// Final layer: raw fixed-point sums, argmax comparator.
+			best, bestV := 0, math.Inf(-1)
+			for n := range hl.weightIdx {
+				r := hl.rnas[hl.groupOf[n]]
+				r.bias = toFixed(float64(hl.bias[n]), hwFracBits)
+				pre := r.Accumulate(hl.weightIdx[n], gather(enc, hl.edgeOf[n]))
+				h.Stats = addStats(h.Stats, r.LastStats)
+				if pre > bestV {
+					best, bestV = n, pre
+				}
+			}
+			return best, nil
+		default:
+			inCB := hl.plan.InputCodebook
+			out := make([]int, len(hl.weightIdx))
+			for n := range hl.weightIdx {
+				r := hl.rnas[hl.groupOf[n]]
+				r.bias = toFixed(float64(hl.bias[n]), hwFracBits)
+				pre := r.Accumulate(hl.weightIdx[n], gather(enc, hl.edgeOf[n]))
+				h.Stats = addStats(h.Stats, r.LastStats)
+				z := r.Activate(pre)
+				if hl.skip {
+					// Residual: the skipped encoded input re-enters through
+					// the input FIFO and adds before encoding (§4.3).
+					z += float64(inCB[enc[hl.skipPos[n]]])
+				}
+				e, _ := r.EncodeValue(z)
+				out[n] = e
+			}
+			enc = out
+		}
+		_ = li
+	}
+	return 0, fmt.Errorf("rna: network ended without a logit layer")
+}
+
+// InjectStuckFaults flips each stored product bit with the given rate in
+// every RNA's crossbar — stuck-at faults in the resistive cells. It returns
+// the number of flipped bits; use ErrorRate afterwards to measure the
+// accuracy impact.
+func (h *HardwareNetwork) InjectStuckFaults(rate float64, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	flipped := 0
+	for _, hl := range h.layers {
+		for _, r := range hl.rnas {
+			flipped += r.InjectStuckFaults(rate, rng)
+		}
+	}
+	return flipped
+}
+
+// ErrorRate classifies every row of x through the hardware and returns the
+// misclassification fraction.
+func (h *HardwareNetwork) ErrorRate(x *tensor.Tensor, labels []int) (float64, error) {
+	n := x.Dim(0)
+	wrong := 0
+	for i := 0; i < n; i++ {
+		row := x.Data()[i*h.inSize : (i+1)*h.inSize]
+		pred, err := h.Infer(row)
+		if err != nil {
+			return 0, err
+		}
+		if pred != labels[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(n), nil
+}
+
+func gather(enc []int, pos []int) []int {
+	out := make([]int, len(pos))
+	for i, p := range pos {
+		out[i] = enc[p]
+	}
+	return out
+}
+
+func addStats(a, b crossbar.Stats) crossbar.Stats {
+	a.Cycles += b.Cycles
+	a.NORs += b.NORs
+	a.Reads += b.Reads
+	a.Writes += b.Writes
+	a.EnergyJ += b.EnergyJ
+	return a
+}

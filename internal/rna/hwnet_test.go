@@ -1,0 +1,252 @@
+package rna
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/composer"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// composeSmall trains and composes a small network over a synthetic set.
+func composeSmall(t *testing.T, net *nn.Network, ds *dataset.Dataset) *composer.Composed {
+	t.Helper()
+	opt := &nn.SGD{LR: 0.05, Momentum: 0.9}
+	for epoch := 0; epoch < 15; epoch++ {
+		ds.Batches(32, func(x *tensor.Tensor, labels []int) {
+			net.TrainBatch(x, labels, opt)
+		})
+	}
+	cfg := composer.DefaultConfig()
+	cfg.WeightClusters, cfg.InputClusters = 16, 16
+	cfg.MaxIterations = 1
+	c, err := composer.Compose(net, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The hardware network must agree with the software reinterpreted model on
+// the overwhelming majority of classifications — the NDCAM's XOR-weighted
+// approximation and fixed-point rounding allow occasional flips.
+func TestHardwareNetworkAgreesWithSoftware(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{
+		Name: "hw", NumClasses: 4, InputShape: []int{20},
+		Train: 400, Test: 60, Noise: 0.12, ClassSimilarity: 0.3, Seed: 41,
+	})
+	rng := rand.New(rand.NewSource(41))
+	net := nn.NewNetwork("hw").
+		Add(nn.NewDense("fc1", 20, 16, nn.ReLU{}, rng)).
+		Add(nn.NewDense("fc2", 16, 12, nn.Sigmoid{}, rng)).
+		Add(nn.NewDense("out", 12, 4, nn.Identity{}, rng))
+	c := composeSmall(t, net, ds)
+	re := composer.NewReinterpreted(c.Net, c.Plans)
+	hw, err := BuildHardwareNetwork(re.Net(), c.Plans, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.InSize()
+	agree := 0
+	const n = 60
+	for i := 0; i < n; i++ {
+		row := ds.TestX.Data()[i*in : (i+1)*in]
+		hwPred, err := hw.Infer(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swPred := re.Predict(tensor.FromSlice(row, 1, in))[0]
+		if hwPred == swPred {
+			agree++
+		}
+	}
+	if agree < n*85/100 {
+		t.Fatalf("hardware agreed with software on only %d/%d inputs", agree, n)
+	}
+	if hw.Stats.NORs == 0 || hw.Stats.EnergyJ == 0 {
+		t.Fatal("hardware inference must accrue substrate work")
+	}
+}
+
+// A conv + pool network must also run through the hardware path.
+func TestHardwareNetworkConvPool(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{
+		Name: "hwconv", NumClasses: 3, InputShape: []int{2, 8, 8},
+		Train: 300, Test: 30, Noise: 0.15, ClassSimilarity: 0.3, Seed: 42,
+	})
+	rng := rand.New(rand.NewSource(42))
+	g := tensor.ConvGeom{InC: 2, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := nn.NewConv2D("cv", g, 4, nn.ReLU{}, rng)
+	pc, ph, pw := conv.OutGeom()
+	pool := nn.NewPool2D("pl", nn.MaxPool, tensor.ConvGeom{InC: pc, InH: ph, InW: pw, KH: 2, KW: 2, Stride: 2})
+	qc, qh, qw := pool.OutGeom()
+	net := nn.NewNetwork("hwconv").
+		Add(conv).
+		Add(pool).
+		Add(nn.NewDense("out", qc*qh*qw, 3, nn.Identity{}, rng))
+	c := composeSmall(t, net, ds)
+	re := composer.NewReinterpreted(c.Net, c.Plans)
+	hw, err := BuildHardwareNetwork(re.Net(), c.Plans, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwErr, err := hw.ErrorRate(tensor.FromSlice(ds.TestX.Data()[:30*ds.InSize()], 30, ds.InSize()), ds.TestY[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	swErr := re.ErrorRate(ds.TestX, ds.TestY, 64)
+	if hwErr > swErr+0.25 {
+		t.Fatalf("hardware conv error %v far above software %v", hwErr, swErr)
+	}
+}
+
+// A residual network's skip path must survive lowering to hardware.
+func TestHardwareNetworkResidual(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{
+		Name: "hwres", NumClasses: 3, InputShape: []int{12},
+		Train: 300, Test: 30, Noise: 0.12, ClassSimilarity: 0.3, Seed: 43,
+	})
+	rng := rand.New(rand.NewSource(43))
+	net := nn.NewNetwork("hwres").
+		Add(nn.NewDense("in", 12, 10, nn.ReLU{}, rng)).
+		Add(nn.NewResidualDense("res", 10, nn.ReLU{}, rng)).
+		Add(nn.NewDense("out", 10, 3, nn.Identity{}, rng))
+	c := composeSmall(t, net, ds)
+	re := composer.NewReinterpreted(c.Net, c.Plans)
+	hw, err := BuildHardwareNetwork(re.Net(), c.Plans, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwErr, err := hw.ErrorRate(tensor.FromSlice(ds.TestX.Data()[:30*ds.InSize()], 30, ds.InSize()), ds.TestY[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swErr := re.ErrorRate(ds.TestX, ds.TestY, 64); hwErr > swErr+0.25 {
+		t.Fatalf("hardware residual error %v far above software %v", hwErr, swErr)
+	}
+}
+
+// Fault injection: accuracy must degrade monotonically (in aggregate) as
+// stuck-at faults accumulate in the product crossbars, and heavy fault rates
+// must visibly hurt.
+func TestHardwareNetworkFaultInjection(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{
+		Name: "hwfault", NumClasses: 4, InputShape: []int{20},
+		Train: 400, Test: 40, Noise: 0.12, ClassSimilarity: 0.3, Seed: 44,
+	})
+	rng := rand.New(rand.NewSource(44))
+	net := nn.NewNetwork("hwfault").
+		Add(nn.NewDense("fc1", 20, 16, nn.ReLU{}, rng)).
+		Add(nn.NewDense("out", 16, 4, nn.Identity{}, rng))
+	c := composeSmall(t, net, ds)
+	re := composer.NewReinterpreted(c.Net, c.Plans)
+	testX := tensor.FromSlice(ds.TestX.Data()[:40*ds.InSize()], 40, ds.InSize())
+	labels := ds.TestY[:40]
+
+	errAt := func(rate float64) float64 {
+		hw, err := BuildHardwareNetwork(re.Net(), c.Plans, dev())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate > 0 {
+			if flipped := hw.InjectStuckFaults(rate, 7); flipped == 0 {
+				t.Fatalf("no faults injected at rate %v", rate)
+			}
+		}
+		e, err := hw.ErrorRate(testX, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	clean := errAt(0)
+	light := errAt(0.001)
+	heavy := errAt(0.2)
+	if heavy <= clean {
+		t.Fatalf("20%% stuck bits did not hurt: clean %v, heavy %v", clean, heavy)
+	}
+	if light > clean+0.3 {
+		t.Fatalf("0.1%% stuck bits destroyed the model: clean %v, light %v", clean, light)
+	}
+}
+
+func TestBuildHardwareNetworkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	net := nn.NewNetwork("v").Add(nn.NewDense("out", 4, 2, nn.Identity{}, rng))
+	if _, err := BuildHardwareNetwork(net, nil, dev()); err == nil {
+		t.Fatal("mismatched plans must error")
+	}
+	// A pooling-only network has no logit layer to finish on.
+	g := tensor.ConvGeom{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, Stride: 2}
+	poolOnly := nn.NewNetwork("pl").Add(nn.NewPool2D("pl", nn.MaxPool, g))
+	plans := composer.SyntheticPlans(poolOnly, 4, 4, 16)
+	if _, err := BuildHardwareNetwork(poolOnly, plans, dev()); err == nil {
+		t.Fatal("network without a compute tail must be rejected")
+	}
+}
+
+// Average pooling runs on the hardware path via in-memory addition with the
+// division folded offline (§4.2.1).
+func TestHardwareNetworkAvgPool(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{
+		Name: "hwavg", NumClasses: 3, InputShape: []int{2, 6, 6},
+		Train: 300, Test: 24, Noise: 0.15, ClassSimilarity: 0.3, Seed: 46,
+	})
+	rng := rand.New(rand.NewSource(46))
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := nn.NewConv2D("cv", g, 4, nn.ReLU{}, rng)
+	pc, ph, pw := conv.OutGeom()
+	pool := nn.NewPool2D("pl", nn.AvgPool, tensor.ConvGeom{InC: pc, InH: ph, InW: pw, KH: 2, KW: 2, Stride: 2})
+	qc, qh, qw := pool.OutGeom()
+	net := nn.NewNetwork("hwavg").
+		Add(conv).
+		Add(pool).
+		Add(nn.NewDense("out", qc*qh*qw, 3, nn.Identity{}, rng))
+	c := composeSmall(t, net, ds)
+	re := composer.NewReinterpreted(c.Net, c.Plans)
+	hw, err := BuildHardwareNetwork(re.Net(), c.Plans, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwErr, err := hw.ErrorRate(tensor.FromSlice(ds.TestX.Data()[:24*ds.InSize()], 24, ds.InSize()), ds.TestY[:24])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swErr := re.ErrorRate(ds.TestX, ds.TestY, 64); hwErr > swErr+0.3 {
+		t.Fatalf("hardware avg-pool error %v far above software %v", hwErr, swErr)
+	}
+}
+
+// A recurrent classifier must lower to hardware and track the software model
+// (the software keeps the hidden state unquantized between steps, so some
+// divergence is expected; accuracy must stay close).
+func TestHardwareNetworkRecurrent(t *testing.T) {
+	const steps, in = 5, 4
+	ds := dataset.GenerateSequences(dataset.SequenceConfig{
+		Name: "hwrnn", Steps: steps, Features: in, NumClasses: 3,
+		Train: 300, Test: 24, Seed: 47,
+	})
+	rng := rand.New(rand.NewSource(47))
+	net := nn.NewNetwork("hwrnn").
+		Add(nn.NewRecurrent("rnn", in, 10, steps, nn.Tanh{}, rng)).
+		Add(nn.NewDense("out", 10, 3, nn.Identity{}, rng))
+	c := composeSmall(t, net, ds)
+	re := composer.NewReinterpreted(c.Net, c.Plans)
+	hw, err := BuildHardwareNetwork(re.Net(), c.Plans, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwErr, err := hw.ErrorRate(tensor.FromSlice(ds.TestX.Data()[:24*ds.InSize()], 24, ds.InSize()), ds.TestY[:24])
+	if err != nil {
+		t.Fatal(err)
+	}
+	swErr := re.ErrorRate(ds.TestX, ds.TestY, 64)
+	if hwErr > swErr+0.3 {
+		t.Fatalf("hardware RNN error %v far above software %v", hwErr, swErr)
+	}
+	if hw.Stats.NORs == 0 {
+		t.Fatal("RNN inference must accrue NOR work")
+	}
+}

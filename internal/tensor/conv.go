@@ -1,0 +1,96 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the window sweep.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the window sweep.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate reports whether the geometry produces a non-empty output.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 {
+		return fmt.Errorf("tensor: invalid input dims %dx%dx%d", g.InC, g.InH, g.InW)
+	}
+	if g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("tensor: invalid kernel %dx%d", g.KH, g.KW)
+	}
+	if g.Stride <= 0 {
+		return fmt.Errorf("tensor: invalid stride %d", g.Stride)
+	}
+	if g.Pad < 0 {
+		return fmt.Errorf("tensor: invalid pad %d", g.Pad)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: kernel %dx%d too large for input %dx%d pad %d", g.KH, g.KW, g.InH, g.InW, g.Pad)
+	}
+	return nil
+}
+
+// Im2Col lowers a [C,H,W] image (flattened in x) into a column matrix of
+// shape [outH*outW, C*KH*KW] so a convolution becomes a MatMul against a
+// [C*KH*KW, outC] filter matrix. Out-of-bounds (padding) taps read as zero.
+func Im2Col(x []float32, g ConvGeom) *Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	cols := New(outH*outW, g.InC*g.KH*g.KW)
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			dst := cols.data[row*cols.shape[1] : (row+1)*cols.shape[1]]
+			di := 0
+			for c := 0; c < g.InC; c++ {
+				base := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							dst[di] = x[base+iy*g.InW+ix]
+						}
+						di++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters a column-matrix gradient (the adjoint of Im2Col) back into
+// an image gradient of size C*H*W. Overlapping taps accumulate.
+func Col2Im(cols *Tensor, g ConvGeom) []float32 {
+	outH, outW := g.OutH(), g.OutW()
+	img := make([]float32, g.InC*g.InH*g.InW)
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			src := cols.data[row*cols.shape[1] : (row+1)*cols.shape[1]]
+			si := 0
+			for c := 0; c < g.InC; c++ {
+				base := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							img[base+iy*g.InW+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return img
+}
