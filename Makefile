@@ -1,0 +1,20 @@
+# Tier-1 gate: everything must build and every test must pass.
+test:
+	go build ./...
+	go test ./...
+
+# Tier-1-adjacent concurrency gate: the packages with parallel execution
+# paths (re-entrant RNA evaluation, batched hardware inference, k-means)
+# must be clean under the race detector.
+race:
+	go test -race ./internal/rna/... ./internal/cluster/...
+
+# Scaling check: batched hardware inference at several worker counts.
+# On a multi-core host the ns/op should fall as workers approach GOMAXPROCS;
+# TestInferBatchMatchesSerialInfer pins the outputs bit-identical meanwhile.
+bench-parallel:
+	go test -run '^$$' -bench BenchmarkHardwareInferBatch ./internal/rna/
+
+check: test race
+
+.PHONY: test race bench-parallel check

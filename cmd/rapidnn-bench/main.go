@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rapidnn-bench [-quick] [-only t1,t2,t3,t4,f5,f6,f10,f11,f12,f13,f14,f15,f16,eff,ablate,xvar,xfault]
+//	rapidnn-bench [-quick] [-workers N] [-only t1,t2,t3,t4,f5,f6,f10,f11,f12,f13,f14,f15,f16,eff,ablate,xvar,xfault]
 package main
 
 import (
@@ -24,7 +24,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced datasets, widths and sweep grids")
 	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
 	csvDir := flag.String("csv", "", "also write each figure's data series as CSV into this directory")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	bench.Workers = *workers
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	rapidnn-infer -model model.rapidnn -dataset MNIST [-hw 20]
+//	rapidnn-infer -model model.rapidnn -dataset MNIST [-hw 20] [-workers N]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	modelPath := flag.String("model", "", "path to a model saved by rapidnn-compose -save")
 	dsName := flag.String("dataset", "MNIST", "benchmark dataset to evaluate on")
 	hwSamples := flag.Int("hw", 0, "validate this many samples through the functional hardware path")
+	workers := flag.Int("workers", 0, "hardware-validation worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "rapidnn-infer: -model is required")
@@ -81,19 +82,20 @@ func main() {
 		os.Exit(1)
 	}
 	in := ds.InSize()
+	hw.Workers = *workers
+	batch := tensor.FromSlice(ds.TestX.Data()[:n*in], n, in)
+	hwPreds, err := hw.InferBatch(batch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-infer: %v\n", err)
+		os.Exit(1)
+	}
+	swPreds := re.Predict(batch)
 	agree, correct := 0, 0
 	for i := 0; i < n; i++ {
-		row := ds.TestX.Data()[i*in : (i+1)*in]
-		hwPred, err := hw.Infer(row)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rapidnn-infer: %v\n", err)
-			os.Exit(1)
-		}
-		swPred := re.Predict(tensor.FromSlice(row, 1, in))[0]
-		if hwPred == swPred {
+		if hwPreds[i] == swPreds[i] {
 			agree++
 		}
-		if hwPred == ds.TestY[i] {
+		if hwPreds[i] == ds.TestY[i] {
 			correct++
 		}
 	}

@@ -8,12 +8,15 @@
 // Usage:
 //
 //	rapidnn-sim [-net MNIST] [-w 64] [-u 64] [-chips 1] [-share 0]
+//	rapidnn-sim -net MNIST -sweep 4,16,64 [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/bench"
@@ -28,7 +31,10 @@ func main() {
 	share := flag.Float64("share", 0, "RNA sharing fraction")
 	stream := flag.Int("stream", 0, "also event-simulate this many pipelined inputs")
 	trace := flag.String("trace", "", "write the event simulation as a Chrome trace to this file")
+	sweep := flag.String("sweep", "", "comma-separated codebook sizes: simulate every (w,u) pair in parallel instead of a single run")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	bench.Workers = *workers
 
 	var hb *bench.HWBench
 	for _, b := range bench.HardwareBenchmarks(*w, *u) {
@@ -50,6 +56,43 @@ func main() {
 	cfg := accel.DefaultConfig()
 	cfg.Chips = *chips
 	cfg.ShareFraction = *share
+
+	if *sweep != "" {
+		var sizes []int
+		for _, s := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "rapidnn-sim: bad -sweep size %q\n", s)
+				os.Exit(1)
+			}
+			sizes = append(sizes, n)
+		}
+		type cell struct {
+			w, u int
+			rep  *accel.Report
+		}
+		cells, err := bench.ParallelSweep(bench.SweepGrid([]*bench.HWBench{hb}, sizes, sizes),
+			func(p bench.SweepPoint) (cell, error) {
+				rep, err := accel.Simulate(p.Bench.Name, p.Bench.Replan(p.W, p.U), p.Bench.MACs, cfg)
+				if err != nil {
+					return cell{}, err
+				}
+				return cell{w: p.W, u: p.U, rep: rep}, nil
+			})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapidnn-sim: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload: %s  codebook sweep %v x %v\n\n", hb.Name, sizes, sizes)
+		fmt.Printf("%4s %4s %14s %14s %12s %10s\n", "w", "u", "throughput", "energy/input", "EDP", "memory")
+		for _, c := range cells {
+			fmt.Printf("%4d %4d %11.0f/s %11.3f uJ %12.3g %7.1f MB\n",
+				c.w, c.u, c.rep.ThroughputIPS, c.rep.EnergyPerInputJ*1e6,
+				c.rep.EDP(), float64(c.rep.MemoryBytes)/1e6)
+		}
+		return
+	}
+
 	rep, err := accel.Simulate(hb.Name, hb.Plans, hb.MACs, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)

@@ -157,6 +157,13 @@ func Simulate(name string, plans []*composer.LayerPlan, macs int64, cfg Config) 
 		r.Breakdown.Add(perInput)
 	}
 
+	// A plan list without any executable layer has no pipeline: latency and
+	// PipelineCycles would be 0 and every throughput-derived metric
+	// (ThroughputIPS, GOPS, EnergyPerInputPeakJ) would degenerate to ±Inf/NaN.
+	if len(r.Layers) == 0 {
+		return nil, fmt.Errorf("accel: %s has no layers to execute (plans contain no compute, pool or recurrent stages)", name)
+	}
+
 	// Capacity: when the network exceeds the RNA population, stages are
 	// time-multiplexed — latency stretches and tables must be re-programmed.
 	r.Multiplex = 1
@@ -169,6 +176,11 @@ func Simulate(name string, plans []*composer.LayerPlan, macs int64, cfg Config) 
 		if c > r.PipelineCycles {
 			r.PipelineCycles = c
 		}
+	}
+	if r.PipelineCycles == 0 {
+		// Degenerate stages (e.g. zero-neuron plans) would make ThroughputIPS
+		// +Inf and poison GOPS/EnergyPerInputPeakJ downstream.
+		return nil, fmt.Errorf("accel: %s has a zero-cycle pipeline — no work to execute", name)
 	}
 	if r.Multiplex > 1 {
 		// Fraction of blocks that must be (re)written every ReuseBatch

@@ -48,6 +48,39 @@ func TestSimulateBasicFields(t *testing.T) {
 	}
 }
 
+// A plan list with no executable layers must be rejected with a descriptive
+// error instead of dividing by a zero PipelineCycles and returning a report
+// full of +Inf/NaN throughput and efficiency metrics.
+func TestSimulateRejectsEmptyPipeline(t *testing.T) {
+	cases := map[string][]*composer.LayerPlan{
+		"no plans":     {},
+		"dropout only": {{Kind: composer.KindDropout, Name: "dp"}},
+	}
+	for name, plans := range cases {
+		r, err := Simulate(name, plans, 1000, DefaultConfig())
+		if err == nil {
+			t.Fatalf("%s: Simulate returned a report (throughput %v) instead of an error",
+				name, r.ThroughputIPS)
+		}
+	}
+	// Sanity: a real workload still simulates, with finite metrics.
+	plans, macs := fcPlans()
+	r, err := Simulate("MNIST", plans, macs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for metric, v := range map[string]float64{
+		"ThroughputIPS":       r.ThroughputIPS,
+		"GOPS":                r.GOPS,
+		"GOPSPerMM2":          r.GOPSPerMM2,
+		"EnergyPerInputPeakJ": r.EnergyPerInputPeakJ,
+	} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("%s is %v", metric, v)
+		}
+	}
+}
+
 func TestSimulateLatencyIsSumOfStages(t *testing.T) {
 	plans, macs := fcPlans()
 	r, err := Simulate("MNIST", plans, macs, DefaultConfig())

@@ -172,15 +172,39 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if len(decoded.TraceEvents) != len(pipe.Events) {
-		t.Fatalf("%d trace events for %d pipeline events", len(decoded.TraceEvents), len(pipe.Events))
-	}
+	var slices, meta int
+	var prevTs int64 = -1
 	for _, e := range decoded.TraceEvents {
-		if e.Ph != "X" || e.Dur <= 0 {
-			t.Fatalf("malformed trace event %+v", e)
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %+v", e)
+			}
+		case "X":
+			if e.Dur <= 0 {
+				t.Fatalf("malformed trace event %+v", e)
+			}
+			if e.Ts < prevTs {
+				t.Fatalf("slices not sorted by timestamp: %d after %d", e.Ts, prevTs)
+			}
+			prevTs = e.Ts
+			if slices == 0 && e.Name != "input 0" {
+				t.Fatalf("first slice name %q", e.Name)
+			}
+			slices++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
 		}
 	}
-	if decoded.TraceEvents[0].Name != "input 0" {
-		t.Fatalf("first event name %q", decoded.TraceEvents[0].Name)
+	if slices != len(pipe.Events) {
+		t.Fatalf("%d trace slices for %d pipeline events", slices, len(pipe.Events))
+	}
+	stages := map[int]bool{}
+	for _, e := range pipe.Events {
+		stages[e.Stage] = true
+	}
+	if meta != len(stages) {
+		t.Fatalf("%d track-name events for %d stages", meta, len(stages))
 	}
 }

@@ -3,6 +3,7 @@ package accel
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -10,7 +11,9 @@ import (
 // format (load it at chrome://tracing or https://ui.perfetto.dev): one track
 // per pipeline stage, one slice per (input, stage) occupation. Cycle counts
 // are emitted as microseconds so a 1 GHz run reads as nanosecond-accurate
-// after dividing by 1000.
+// after dividing by 1000. The event stream is sorted by (timestamp, track,
+// input) before encoding, so the file is byte-identical for a given timeline
+// regardless of how the events were produced.
 func (p *PipelineResult) WriteChromeTrace(w io.Writer) error {
 	type traceEvent struct {
 		Name string            `json:"name"`
@@ -23,7 +26,11 @@ func (p *PipelineResult) WriteChromeTrace(w io.Writer) error {
 		Args map[string]string `json:"args,omitempty"`
 	}
 	events := make([]traceEvent, 0, len(p.Events))
+	maxStage := -1
 	for _, e := range p.Events {
+		if e.Stage > maxStage {
+			maxStage = e.Stage
+		}
 		events = append(events, traceEvent{
 			Name: inputName(e.Input),
 			Cat:  "rna-stage",
@@ -34,9 +41,30 @@ func (p *PipelineResult) WriteChromeTrace(w io.Writer) error {
 			Tid:  e.Stage,
 		})
 	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		if events[i].Tid != events[j].Tid {
+			return events[i].Tid < events[j].Tid
+		}
+		return events[i].Name < events[j].Name
+	})
+	// Metadata events label each track with its stage so viewers show
+	// "stage N" instead of a bare thread id.
+	meta := make([]traceEvent, 0, maxStage+1)
+	for s := 0; s <= maxStage; s++ {
+		meta = append(meta, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  s,
+			Args: map[string]string{"name": "stage " + strconv.Itoa(s)},
+		})
+	}
 	return json.NewEncoder(w).Encode(struct {
 		TraceEvents []traceEvent `json:"traceEvents"`
-	}{events})
+	}{append(meta, events...)})
 }
 
 func inputName(i int) string { return "input " + strconv.Itoa(i) }

@@ -163,32 +163,32 @@ func Figure11(quick bool) (*Figure11Result, error) {
 		sizes = []int{4, 64}
 	}
 	gpu := baseline.GPU()
-	out := &Figure11Result{}
 	benches := HardwareBenchmarks(64, 64)
 	if quick {
 		benches = benches[:2]
 	}
-	for _, hb := range benches {
-		w := hb.Workload()
-		gpuTime := gpu.TimePerInput(w)
-		gpuEnergy := gpu.EnergyPerInput(w)
-		for _, wc := range sizes {
-			for _, uc := range sizes {
-				plans := hb.Replan(wc, uc)
-				rep, err := accel.Simulate(hb.Name, plans, hb.MACs, accel.DefaultConfig())
-				if err != nil {
-					return nil, err
-				}
-				rTime := 1 / rep.ThroughputIPS
-				out.Cells = append(out.Cells, Figure11Cell{
-					Benchmark: hb.Name, W: wc, U: uc,
-					Speedup:   gpuTime / rTime,
-					EnergyImp: gpuEnergy / rep.EnergyPerInputPeakJ,
-				})
+	// Replan and Simulate are pure over their inputs, so the grid points run
+	// concurrently; ParallelSweep keeps cell order identical to the nested
+	// serial loops.
+	cells, err := ParallelSweep(SweepGrid(benches, sizes, sizes),
+		func(p SweepPoint) (Figure11Cell, error) {
+			plans := p.Bench.Replan(p.W, p.U)
+			rep, err := accel.Simulate(p.Bench.Name, plans, p.Bench.MACs, accel.DefaultConfig())
+			if err != nil {
+				return Figure11Cell{}, err
 			}
-		}
+			w := p.Bench.Workload()
+			rTime := 1 / rep.ThroughputIPS
+			return Figure11Cell{
+				Benchmark: p.Bench.Name, W: p.W, U: p.U,
+				Speedup:   gpu.TimePerInput(w) / rTime,
+				EnergyImp: gpu.EnergyPerInput(w) / rep.EnergyPerInputPeakJ,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Figure11Result{Cells: cells}, nil
 }
 
 func (f *Figure11Result) String() string {

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers bounds the concurrency of the parallel sweep drivers (Figure11,
+// Sweep, and the CLI sweep modes). 0 — the default — means GOMAXPROCS.
+// Design-space sweeps re-run composition and simulation dozens of times
+// (Figs. 11–13), and every point is independent, so the harness fans them
+// out while keeping result ordering — and therefore every rendered table —
+// identical to the serial run.
+var Workers int
+
+func workerCount(n int) int {
+	w := Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelSweep evaluates fn over every point with a bounded worker pool and
+// returns the results in point order. Every point is evaluated even when an
+// earlier one fails; the error of the lowest-indexed failing point is
+// returned, so the outcome is deterministic regardless of scheduling. fn
+// must be safe to call concurrently (the simulator and composer plan
+// builders are; training is not).
+func ParallelSweep[P, R any](points []P, fn func(P) (R, error)) ([]R, error) {
+	results := make([]R, len(points))
+	errs := make([]error, len(points))
+	workers := workerCount(len(points))
+	if workers == 1 {
+		for i, p := range points {
+			results[i], errs[i] = fn(p)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = fn(points[i])
+				}
+			}()
+		}
+		for i := range points {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// SweepPoint is one (workload, w, u) configuration of a simulator sweep.
+type SweepPoint struct {
+	Bench *HWBench
+	W, U  int
+}
+
+// SweepGrid enumerates the cross product of the benchmarks and codebook
+// sizes in deterministic (benchmark-major, then w, then u) order.
+func SweepGrid(benches []*HWBench, ws, us []int) []SweepPoint {
+	points := make([]SweepPoint, 0, len(benches)*len(ws)*len(us))
+	for _, hb := range benches {
+		for _, w := range ws {
+			for _, u := range us {
+				points = append(points, SweepPoint{Bench: hb, W: w, U: u})
+			}
+		}
+	}
+	return points
+}

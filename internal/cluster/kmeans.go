@@ -52,14 +52,34 @@ func KMeans(samples []float32, k int, opts Options) []float32 {
 	if len(distinct) <= k {
 		return distinct
 	}
+	cents, _ := lloyd(samples, k, opts)
+	return cents
+}
+
+// lloyd runs the Lloyd iterations and additionally reports how many
+// iterations executed (the convergence regression tests observe it).
+//
+// Convergence is tracked against a stable centroid ordering: centroids are
+// sorted once up front, and the mean-update step preserves that order (the
+// clusters partition the sorted sample line into disjoint intervals, so
+// their means are ordered too). Only an empty-cluster reseed can break the
+// order; it re-sorts and invalidates the recorded assignments so the next
+// iteration cannot spuriously report convergence across two different
+// orderings.
+func lloyd(samples []float32, k int, opts Options) ([]float32, int) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	cents := seed(samples, k, opts.Seeding, rng)
+	sort.Slice(cents, func(i, j int) bool { return cents[i] < cents[j] })
 
 	assign := make([]int, len(samples))
+	for i := range assign {
+		assign[i] = -1
+	}
 	sums := make([]float64, k)
 	counts := make([]int, k)
+	iters := 0
 	for iter := 0; iter < opts.maxIter(); iter++ {
-		sort.Slice(cents, func(i, j int) bool { return cents[i] < cents[j] })
+		iters++
 		changed := false
 		for i := range sums {
 			sums[i], counts[i] = 0, 0
@@ -73,21 +93,31 @@ func KMeans(samples []float32, k int, opts Options) []float32 {
 			sums[c] += float64(v)
 			counts[c]++
 		}
+		if !changed {
+			// Assignments are stable under a stable ordering: the mean
+			// update would reproduce the current centroids, so the run has
+			// converged.
+			break
+		}
+		reseeded := false
 		for c := range cents {
 			if counts[c] == 0 {
 				// Re-seed an empty cluster onto a random sample so k is preserved.
 				cents[c] = samples[rng.Intn(len(samples))]
-				changed = true
+				reseeded = true
 				continue
 			}
 			cents[c] = float32(sums[c] / float64(counts[c]))
 		}
-		if !changed && iter > 0 {
-			break
+		if reseeded {
+			sort.Slice(cents, func(i, j int) bool { return cents[i] < cents[j] })
+			for i := range assign {
+				assign[i] = -1
+			}
 		}
 	}
 	sort.Slice(cents, func(i, j int) bool { return cents[i] < cents[j] })
-	return cents
+	return cents, iters
 }
 
 func distinctSorted(samples []float32) []float32 {

@@ -55,6 +55,40 @@ func TestKMeansFewDistinctValues(t *testing.T) {
 	}
 }
 
+// Regression for the convergence-detection bug: assignments used to be
+// compared across two different centroid orderings (cents was re-sorted at
+// the top of every iteration), so `changed` could stay spuriously true and
+// the loop always ran to MaxIter. A well-separated population converges in
+// a handful of Lloyd iterations; the run must stop there, far before the
+// iteration budget.
+func TestKMeansConvergesBeforeMaxIter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var samples []float32
+	for _, mu := range []float64{-6, -2, 2, 6} {
+		for i := 0; i < 150; i++ {
+			samples = append(samples, float32(mu+rng.NormFloat64()*0.1))
+		}
+	}
+	const maxIter = 200
+	cents, iters := lloyd(samples, 4, Options{Seed: 1, MaxIter: maxIter})
+	if len(cents) != 4 {
+		t.Fatalf("got %d centroids", len(cents))
+	}
+	if iters >= maxIter {
+		t.Fatalf("converged run used all %d iterations — early stop is broken", maxIter)
+	}
+	if iters > 25 {
+		t.Fatalf("well-separated clusters took %d iterations to converge", iters)
+	}
+	// The early-stopped result must match a longer-budget run exactly.
+	long := KMeans(samples, 4, Options{Seed: 1, MaxIter: 10 * maxIter})
+	for i := range cents {
+		if cents[i] != long[i] {
+			t.Fatalf("early-stopped centroids %v differ from long-run %v", cents, long)
+		}
+	}
+}
+
 func TestKMeansDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	samples := make([]float32, 300)

@@ -150,6 +150,46 @@ func TestBuildPlansShapes(t *testing.T) {
 	}
 }
 
+// The per-layer clustering fans out across goroutines; every layer seeds
+// its own k-means deterministically, so repeated builds must produce
+// bit-identical codebooks regardless of scheduling.
+func TestBuildPlansParallelDeterministic(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	a, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d plans", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].WeightCodebooks) != len(b[i].WeightCodebooks) {
+			t.Fatalf("plan %d: codebook group counts differ", i)
+		}
+		for g := range a[i].WeightCodebooks {
+			wa, wb := a[i].WeightCodebooks[g], b[i].WeightCodebooks[g]
+			if len(wa) != len(wb) {
+				t.Fatalf("plan %d group %d: codebook sizes differ", i, g)
+			}
+			for j := range wa {
+				if wa[j] != wb[j] {
+					t.Fatalf("plan %d group %d: weight codebooks differ at %d: %v vs %v", i, g, j, wa[j], wb[j])
+				}
+			}
+		}
+		for j := range a[i].InputCodebook {
+			if a[i].InputCodebook[j] != b[i].InputCodebook[j] {
+				t.Fatalf("plan %d: input codebooks differ at %d", i, j)
+			}
+		}
+	}
+}
+
 func TestReLUComparatorSkipsTable(t *testing.T) {
 	net, ds := trainedFixture(t)
 	cfg := fastConfig()

@@ -3,6 +3,7 @@ package composer
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
@@ -103,6 +104,11 @@ func (p *LayerPlan) IsCompute() bool {
 // the observed pre-activation range clipped to the function's saturation
 // domain. iter perturbs sampling seeds so successive composer iterations do
 // not reuse identical samples.
+//
+// Layers cluster concurrently: the statistics pass is a serial feed-forward,
+// but each layer's k-means runs over its own population with its own
+// deterministic seed, so fanning the layers out across cores yields
+// bit-identical plans in any schedule.
 func BuildPlans(net *nn.Network, ds *dataset.Dataset, cfg Config, iter int) ([]*LayerPlan, error) {
 	inputs, pres, err := sampleStatistics(net, ds, cfg, iter)
 	if err != nil {
@@ -110,61 +116,20 @@ func BuildPlans(net *nn.Network, ds *dataset.Dataset, cfg Config, iter int) ([]*
 	}
 	seed := cfg.Seed + int64(iter)*7919
 	plans := make([]*LayerPlan, len(net.Layers))
+	errs := make([]error, len(net.Layers))
+	var wg sync.WaitGroup
 	for i, l := range net.Layers {
-		p := &LayerPlan{Index: i, Name: l.Name()}
-		switch t := l.(type) {
-		case *nn.Dense:
-			p.Kind = KindDense
-			p.Neurons = t.OutSize()
-			p.Edges = t.InSize()
-			cb, tree := buildCodebookTree(t.W.Value.Data(), cfg.WeightClusters, cfg, seed+int64(i))
-			p.WeightCodebooks = [][]float32{cb}
-			p.ChannelCodebook = []int{0}
-			if tree != nil {
-				p.WeightTrees = []*cluster.Tree{tree}
-			}
-		case *nn.Conv2D:
-			p.Kind = KindConv
-			p.Neurons = t.OutSize()
-			p.Edges = t.Geom.InC * t.Geom.KH * t.Geom.KW
-			p.WeightCodebooks, p.ChannelCodebook, p.WeightTrees = convCodebooks(t, cfg, seed+int64(i))
-		case *nn.Recurrent:
-			p.Kind = KindRecurrent
-			p.Neurons = t.H
-			// One RNA evaluates the neuron across all unrolled steps; every
-			// step contributes its frame plus the fed-back hidden state.
-			p.Edges = t.Steps * (t.In + t.H)
-			// Input-to-hidden and hidden-to-hidden weights share one codebook
-			// (they occupy the same crossbar).
-			weights := append(append([]float32(nil), t.Wx.Value.Data()...), t.Wh.Value.Data()...)
-			cb, tree := buildCodebookTree(weights, cfg.WeightClusters, cfg, seed+int64(i))
-			p.WeightCodebooks = [][]float32{cb}
-			p.ChannelCodebook = []int{0}
-			if tree != nil {
-				p.WeightTrees = []*cluster.Tree{tree}
-			}
-		case *nn.Pool2D:
-			p.Kind = KindPool
-			p.Neurons = t.OutSize()
-			p.Edges = t.Geom.KH * t.Geom.KW
-			plans[i] = p
-			continue
-		case *nn.Dropout:
-			p.Kind = KindDropout
-			plans[i] = p
-			continue
-		default:
-			return nil, fmt.Errorf("composer: unsupported layer type %T", l)
+		wg.Add(1)
+		go func(i int, l nn.Layer) {
+			defer wg.Done()
+			plans[i], errs[i] = buildLayerPlan(l, i, inputs[i], pres[i], cfg, seed)
+		}(i, l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		// Input codebook from the sampled operand population.
-		obs := inputs[i]
-		if len(obs) == 0 {
-			return nil, fmt.Errorf("composer: no input samples for layer %s", l.Name())
-		}
-		p.InputCodebook, p.InputTree = buildCodebookTree(obs, cfg.InputClusters, cfg, seed+31*int64(i))
-		// Activation table over the observed pre-activation range.
-		p.ActTable = buildActTable(l, pres[i], cfg)
-		plans[i] = p
 	}
 	for _, p := range plans {
 		if p.IsCompute() {
@@ -173,6 +138,63 @@ func BuildPlans(net *nn.Network, ds *dataset.Dataset, cfg Config, iter int) ([]*
 		}
 	}
 	return plans, nil
+}
+
+// buildLayerPlan clusters one layer into its RNA configuration. It reads
+// only the (frozen) layer weights and the pre-collected statistic samples,
+// so any number of layers can build concurrently.
+func buildLayerPlan(l nn.Layer, i int, inputs, pres []float32, cfg Config, seed int64) (*LayerPlan, error) {
+	p := &LayerPlan{Index: i, Name: l.Name()}
+	switch t := l.(type) {
+	case *nn.Dense:
+		p.Kind = KindDense
+		p.Neurons = t.OutSize()
+		p.Edges = t.InSize()
+		cb, tree := buildCodebookTree(t.W.Value.Data(), cfg.WeightClusters, cfg, seed+int64(i))
+		p.WeightCodebooks = [][]float32{cb}
+		p.ChannelCodebook = []int{0}
+		if tree != nil {
+			p.WeightTrees = []*cluster.Tree{tree}
+		}
+	case *nn.Conv2D:
+		p.Kind = KindConv
+		p.Neurons = t.OutSize()
+		p.Edges = t.Geom.InC * t.Geom.KH * t.Geom.KW
+		p.WeightCodebooks, p.ChannelCodebook, p.WeightTrees = convCodebooks(t, cfg, seed+int64(i))
+	case *nn.Recurrent:
+		p.Kind = KindRecurrent
+		p.Neurons = t.H
+		// One RNA evaluates the neuron across all unrolled steps; every
+		// step contributes its frame plus the fed-back hidden state.
+		p.Edges = t.Steps * (t.In + t.H)
+		// Input-to-hidden and hidden-to-hidden weights share one codebook
+		// (they occupy the same crossbar).
+		weights := append(append([]float32(nil), t.Wx.Value.Data()...), t.Wh.Value.Data()...)
+		cb, tree := buildCodebookTree(weights, cfg.WeightClusters, cfg, seed+int64(i))
+		p.WeightCodebooks = [][]float32{cb}
+		p.ChannelCodebook = []int{0}
+		if tree != nil {
+			p.WeightTrees = []*cluster.Tree{tree}
+		}
+	case *nn.Pool2D:
+		p.Kind = KindPool
+		p.Neurons = t.OutSize()
+		p.Edges = t.Geom.KH * t.Geom.KW
+		return p, nil
+	case *nn.Dropout:
+		p.Kind = KindDropout
+		return p, nil
+	default:
+		return nil, fmt.Errorf("composer: unsupported layer type %T", l)
+	}
+	// Input codebook from the sampled operand population.
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("composer: no input samples for layer %s", l.Name())
+	}
+	p.InputCodebook, p.InputTree = buildCodebookTree(inputs, cfg.InputClusters, cfg, seed+31*int64(i))
+	// Activation table over the observed pre-activation range.
+	p.ActTable = buildActTable(l, pres, cfg)
+	return p, nil
 }
 
 // convCodebooks clusters each output channel's filter separately (§3.1:

@@ -96,15 +96,31 @@ func (n *NDCAM) mask() uint64 {
 func (n *NDCAM) Stages() int { return (n.bits + n.stageBits - 1) / n.stageBits }
 
 // Search returns the index of the stored row nearest the query under the
-// configured mode. Ties resolve to the lowest row index (the first row to
-// be sensed). It panics if the CAM is empty.
+// configured mode, accumulating the search activity into n.Stats. Ties
+// resolve to the lowest row index (the first row to be sensed). It panics if
+// the CAM is empty. Not safe for concurrent use — concurrent readers should
+// call SearchStats instead.
 func (n *NDCAM) Search(query uint64) int {
+	row, stats := n.SearchStats(query)
+	n.Stats.Searches += stats.Searches
+	n.Stats.Cycles += stats.Cycles
+	n.Stats.EnergyJ += stats.EnergyJ
+	return row
+}
+
+// SearchStats is the re-entrant form of Search: it returns the nearest row
+// together with the activity of this one search as a value, without mutating
+// the CAM. Any number of goroutines may call it concurrently as long as no
+// Write/Reset runs at the same time.
+func (n *NDCAM) SearchStats(query uint64) (int, Stats) {
 	if len(n.rows) == 0 {
 		panic("ndcam: search on empty CAM")
 	}
-	n.Stats.Searches++
-	n.Stats.Cycles += int64(n.Stages() * n.dev.AMSearchCycles)
-	n.Stats.EnergyJ += n.dev.AMSearchEnergy * float64(len(n.rows)) / float64(n.dev.AMRows)
+	stats := Stats{
+		Searches: 1,
+		Cycles:   int64(n.Stages() * n.dev.AMSearchCycles),
+		EnergyJ:  n.dev.AMSearchEnergy * float64(len(n.rows)) / float64(n.dev.AMRows),
+	}
 	query &= n.mask()
 	switch n.mode {
 	case Hamming:
@@ -114,9 +130,9 @@ func (n *NDCAM) Search(query uint64) int {
 				best, bestD = i, d
 			}
 		}
-		return best
+		return best, stats
 	default:
-		return n.searchWeighted(query)
+		return n.searchWeighted(query), stats
 	}
 }
 

@@ -87,15 +87,41 @@ func NewFuncRNA(dev device.Params, wcb, ucb []float32, bias float32,
 
 // Fire evaluates the neuron on encoded operands: weightIdx[i] and
 // inputIdx[i] are the codebook indices of edge i. It returns the encoded
-// output index and its decoded codebook value.
+// output index and its decoded codebook value, recording the substrate
+// activity in LastStats. Not safe for concurrent use — concurrent callers
+// evaluate through Eval instead.
 func (r *FuncRNA) Fire(weightIdx, inputIdx []int) (encoded int, value float32) {
-	return r.EncodeValue(r.Activate(r.Accumulate(weightIdx, inputIdx)))
+	encoded, value, stats := r.Eval(weightIdx, inputIdx, r.bias)
+	r.LastStats = stats
+	return encoded, value
 }
 
-// Accumulate runs the weighted-accumulation pipeline — parallel counting
-// (§4.1.1), shift-add expansion of the counts, and NOR-decomposed in-memory
-// addition (§4.1.2) — returning the real-valued pre-activation.
+// Eval is the re-entrant end-to-end evaluation: accumulate → activate →
+// encode, with the bias passed as an argument and the crossbar activity
+// returned as a value. It never mutates the RNA, so one configured block can
+// evaluate many neurons from many goroutines concurrently.
+func (r *FuncRNA) Eval(weightIdx, inputIdx []int, bias int64) (encoded int, value float32, stats crossbar.Stats) {
+	pre, stats := r.AccumulateBias(weightIdx, inputIdx, bias)
+	encoded, value = r.EncodeValue(r.Activate(pre))
+	return encoded, value, stats
+}
+
+// Accumulate runs the weighted-accumulation pipeline with the block's
+// configured bias, recording the activity in LastStats. Not safe for
+// concurrent use; see AccumulateBias.
 func (r *FuncRNA) Accumulate(weightIdx, inputIdx []int) float64 {
+	pre, stats := r.AccumulateBias(weightIdx, inputIdx, r.bias)
+	r.LastStats = stats
+	return pre
+}
+
+// AccumulateBias runs the weighted-accumulation pipeline — parallel counting
+// (§4.1.1), shift-add expansion of the counts, and NOR-decomposed in-memory
+// addition (§4.1.2) — returning the real-valued pre-activation and the
+// crossbar activity of this evaluation. bias is the neuron's fixed-point
+// bias (ToFixed with the block's fraction bits). The receiver is read-only,
+// so the call is safe from any number of goroutines.
+func (r *FuncRNA) AccumulateBias(weightIdx, inputIdx []int, bias int64) (float64, crossbar.Stats) {
 	if len(weightIdx) != len(inputIdx) {
 		panic(fmt.Sprintf("rna: %d weights vs %d inputs", len(weightIdx), len(inputIdx)))
 	}
@@ -118,17 +144,17 @@ func (r *FuncRNA) Accumulate(weightIdx, inputIdx []int) float64 {
 			addends = append(addends, uint64(v)&math.MaxUint32)
 		}
 	}
-	addends = append(addends, uint64(r.bias)&math.MaxUint32)
+	addends = append(addends, uint64(bias)&math.MaxUint32)
 
 	// 3. NOR-decomposed in-memory addition (§4.1.2).
 	raw, stats := crossbar.AddMany(r.dev, addends, sumWidth)
-	r.LastStats = stats
 	sum := int64(int32(uint32(raw)))
-	return fromFixed(sum, r.fracBits)
+	return fromFixed(sum, r.fracBits), stats
 }
 
 // Activate applies the activation stage: an NDCAM table search, or the ReLU
-// comparator (§4.2.1).
+// comparator (§4.2.1). The search is re-entrant (SearchStats), so Activate
+// is safe for concurrent use.
 func (r *FuncRNA) Activate(pre float64) float64 {
 	if r.relu {
 		if pre > 0 {
@@ -136,14 +162,14 @@ func (r *FuncRNA) Activate(pre float64) float64 {
 		}
 		return 0
 	}
-	row := r.actCAM.Search(r.actFP.Encode(pre))
+	row, _ := r.actCAM.SearchStats(r.actFP.Encode(pre))
 	return float64(r.actTable.Z[row])
 }
 
 // EncodeValue maps an activation output onto the consuming layer's codebook
-// through the encoder NDCAM (§2.2, Fig. 2d).
+// through the encoder NDCAM (§2.2, Fig. 2d). Safe for concurrent use.
 func (r *FuncRNA) EncodeValue(z float64) (encoded int, value float32) {
-	encoded = r.encCAM.Search(r.encFP.Encode(z))
+	encoded, _ = r.encCAM.SearchStats(r.encFP.Encode(z))
 	return encoded, r.encCB[encoded]
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/composer"
@@ -21,14 +23,23 @@ import (
 // assert the two agree.
 //
 // It is deliberately built for fidelity, not speed: classifying one CIFAR
-// image simulates hundreds of thousands of NOR cycles. Use small models.
+// image simulates hundreds of thousands of NOR cycles. Use small models —
+// or batch them: the per-input evaluation is re-entrant (every FuncRNA is
+// read-only during inference), so InferBatch/ErrorRate fan the batch out
+// across cores while keeping predictions and Stats totals bit-identical to
+// the serial path.
 type HardwareNetwork struct {
 	dev    device.Params
 	layers []*hwLayer
 	// classCount is the size of the logit layer.
 	classCount int
 	inSize     int
-	// Stats aggregates the substrate activity of every inference so far.
+	// Workers bounds the concurrency of InferBatch/ErrorRate; 0 (the
+	// default) means GOMAXPROCS. Set to 1 to force the serial path.
+	Workers int
+	// Stats aggregates the substrate activity of every inference so far. It
+	// is folded once per input, in input order, so serial and batched runs
+	// accumulate bit-identical totals.
 	Stats crossbar.Stats
 }
 
@@ -46,6 +57,9 @@ type hwLayer struct {
 	edgeOf    [][]int
 	groupOf   []int // codebook group per neuron
 	bias      []float32
+	// biasFixed is bias pre-converted to the RNAs' fixed-point domain, so
+	// the re-entrant evaluation passes it straight to FuncRNA.Eval.
+	biasFixed []int64
 	// skipPos[n] is the input position a residual neuron adds back.
 	skipPos []int
 	isLogit bool
@@ -86,6 +100,15 @@ func BuildHardwareNetwork(qnet *nn.Network, plans []*composer.LayerPlan, dev dev
 			}
 			h.layers = append(h.layers, hl)
 		case *nn.Recurrent:
+			// The frame slicing of the recurrent executor requires the layer's
+			// input to split into exactly Steps frames of In features; a feed
+			// of any other length would slice out of bounds at Infer time.
+			if i > 0 {
+				if prev := qnet.Layers[i-1].OutSize(); prev != t.In*t.Steps {
+					return nil, fmt.Errorf("rna: recurrent layer %s wants %d×%d = %d input features, previous layer %s provides %d",
+						t.Name(), t.Steps, t.In, t.In*t.Steps, qnet.Layers[i-1].Name(), prev)
+				}
+			}
 			hl, err := buildRecurrentHW(t, p, nextCodebook(plans, i), dev)
 			if err != nil {
 				return nil, err
@@ -107,6 +130,20 @@ func BuildHardwareNetwork(qnet *nn.Network, plans []*composer.LayerPlan, dev dev
 		return nil, fmt.Errorf("rna: final layer must be a compute layer")
 	}
 	last.isLogit = true
+	if first := h.layers[0]; first.kind == composer.KindRecurrent {
+		// The frame slicing of the recurrent executor requires the input to
+		// split into exactly rnnSteps frames of rnnIn features.
+		if want := first.rnnIn * first.rnnSteps; h.inSize != want {
+			return nil, fmt.Errorf("rna: recurrent layer wants %d×%d = %d input features, network provides %d",
+				first.rnnSteps, first.rnnIn, want, h.inSize)
+		}
+	}
+	for _, hl := range h.layers {
+		hl.biasFixed = make([]int64, len(hl.bias))
+		for i, b := range hl.bias {
+			hl.biasFixed[i] = toFixed(float64(b), hwFracBits)
+		}
+	}
 	return h, nil
 }
 
@@ -276,10 +313,26 @@ func buildPoolHW(t *nn.Pool2D, p *composer.LayerPlan, next []float32) *hwLayer {
 }
 
 // Infer classifies one input vector entirely through the hardware path and
-// returns the argmax class.
+// returns the argmax class. The per-input substrate activity folds into
+// h.Stats, so Infer itself is not safe for concurrent use — use InferBatch
+// to evaluate many inputs in parallel.
 func (h *HardwareNetwork) Infer(x []float32) (int, error) {
+	pred, stats, err := h.inferOne(x)
+	if err != nil {
+		return 0, err
+	}
+	h.Stats = addStats(h.Stats, stats)
+	return pred, nil
+}
+
+// inferOne is the re-entrant evaluation of one input: it only reads the
+// shared network configuration (every FuncRNA is evaluated through Eval,
+// bias passed by value) and returns the input's substrate activity instead
+// of accumulating shared state.
+func (h *HardwareNetwork) inferOne(x []float32) (int, crossbar.Stats, error) {
+	var stats crossbar.Stats
 	if len(x) != h.inSize {
-		return 0, fmt.Errorf("rna: input has %d features, want %d", len(x), h.inSize)
+		return 0, stats, fmt.Errorf("rna: input has %d features, want %d", len(x), h.inSize)
 	}
 	// Virtual layer (§2.2): encode the raw input onto the first compute
 	// layer's codebook.
@@ -288,9 +341,13 @@ func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 	for i, v := range x {
 		enc[i] = cluster.Assign(first.plan.InputCodebook, v)
 	}
-	for li, hl := range h.layers {
+	for _, hl := range h.layers {
 		switch {
 		case hl.kind == composer.KindRecurrent:
+			if want := hl.rnnIn * hl.rnnSteps; len(enc) != want {
+				return 0, stats, fmt.Errorf("rna: recurrent layer wants %d×%d = %d features, got %d",
+					hl.rnnSteps, hl.rnnIn, want, len(enc))
+			}
 			inCB := hl.plan.InputCodebook
 			// The zero initial state enters as the codebook's nearest-to-zero
 			// representative.
@@ -308,13 +365,11 @@ func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 					if last {
 						r = hl.rnas[0]
 					}
-					r.bias = toFixed(float64(hl.bias[j]), hwFracBits)
 					inputs := make([]int, 0, hl.rnnIn+hl.rnnH)
 					inputs = append(inputs, frame...)
 					inputs = append(inputs, hState...)
-					pre := r.Accumulate(hl.weightIdx[j], inputs)
-					h.Stats = addStats(h.Stats, r.LastStats)
-					e, _ := r.EncodeValue(r.Activate(pre))
+					e, _, s := r.Eval(hl.weightIdx[j], inputs, hl.biasFixed[j])
+					stats = addStats(stats, s)
 					next[j] = e
 				}
 				hState = next
@@ -328,7 +383,7 @@ func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 				// normalized into the weights offline, so here it is a fixed
 				// reciprocal multiply; the result re-encodes through the AM.
 				if hl.poolCB == nil {
-					return 0, fmt.Errorf("rna: avg pool feeding the logit layer is unsupported")
+					return 0, stats, fmt.Errorf("rna: avg pool feeding the logit layer is unsupported")
 				}
 				inv := 1.0 / float64(len(hl.poolWindows[0]))
 				for n, win := range hl.poolWindows {
@@ -336,8 +391,8 @@ func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 					for i, pos := range win {
 						addends[i] = uint64(toFixed(float64(hl.poolCB[enc[pos]]), hwFracBits)) & math.MaxUint32
 					}
-					raw, stats := crossbar.AddMany(h.dev, addends, sumWidth)
-					h.Stats = addStats(h.Stats, stats)
+					raw, s := crossbar.AddMany(h.dev, addends, sumWidth)
+					stats = addStats(stats, s)
 					mean := fromFixed(int64(int32(uint32(raw))), hwFracBits) * inv
 					out[n] = cluster.Assign(hl.poolCB, float32(mean))
 				}
@@ -362,22 +417,20 @@ func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 			best, bestV := 0, math.Inf(-1)
 			for n := range hl.weightIdx {
 				r := hl.rnas[hl.groupOf[n]]
-				r.bias = toFixed(float64(hl.bias[n]), hwFracBits)
-				pre := r.Accumulate(hl.weightIdx[n], gather(enc, hl.edgeOf[n]))
-				h.Stats = addStats(h.Stats, r.LastStats)
+				pre, s := r.AccumulateBias(hl.weightIdx[n], gather(enc, hl.edgeOf[n]), hl.biasFixed[n])
+				stats = addStats(stats, s)
 				if pre > bestV {
 					best, bestV = n, pre
 				}
 			}
-			return best, nil
+			return best, stats, nil
 		default:
 			inCB := hl.plan.InputCodebook
 			out := make([]int, len(hl.weightIdx))
 			for n := range hl.weightIdx {
 				r := hl.rnas[hl.groupOf[n]]
-				r.bias = toFixed(float64(hl.bias[n]), hwFracBits)
-				pre := r.Accumulate(hl.weightIdx[n], gather(enc, hl.edgeOf[n]))
-				h.Stats = addStats(h.Stats, r.LastStats)
+				pre, s := r.AccumulateBias(hl.weightIdx[n], gather(enc, hl.edgeOf[n]), hl.biasFixed[n])
+				stats = addStats(stats, s)
 				z := r.Activate(pre)
 				if hl.skip {
 					// Residual: the skipped encoded input re-enters through
@@ -389,15 +442,80 @@ func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 			}
 			enc = out
 		}
-		_ = li
 	}
-	return 0, fmt.Errorf("rna: network ended without a logit layer")
+	return 0, stats, fmt.Errorf("rna: network ended without a logit layer")
+}
+
+// workers resolves the concurrency knob: h.Workers if set, else GOMAXPROCS,
+// never more than the batch size.
+func (h *HardwareNetwork) workers(n int) int {
+	w := h.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// InferBatch classifies every row of x through the hardware path, fanning
+// the batch out over h.Workers goroutines (default GOMAXPROCS). Predictions
+// are returned in row order and the per-input activity folds into h.Stats
+// in row order, so the results — predictions and Stats totals — are
+// bit-identical to calling Infer row by row. When any row fails, the error
+// of the lowest-indexed failing row is returned and h.Stats is untouched.
+func (h *HardwareNetwork) InferBatch(x *tensor.Tensor) ([]int, error) {
+	n := x.Dim(0)
+	preds := make([]int, n)
+	stats := make([]crossbar.Stats, n)
+	errs := make([]error, n)
+	workers := h.workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			row := x.Data()[i*h.inSize : (i+1)*h.inSize]
+			preds[i], stats[i], errs[i] = h.inferOne(row)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					row := x.Data()[i*h.inSize : (i+1)*h.inSize]
+					preds[i], stats[i], errs[i] = h.inferOne(row)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic merge: fold per-input stats in input order, exactly the
+	// sequence the serial path would have produced.
+	for _, s := range stats {
+		h.Stats = addStats(h.Stats, s)
+	}
+	return preds, nil
 }
 
 // InjectStuckFaults flips each stored product bit with the given rate in
 // every RNA's crossbar — stuck-at faults in the resistive cells. It returns
 // the number of flipped bits; use ErrorRate afterwards to measure the
-// accuracy impact.
+// accuracy impact. It mutates the shared product tables, so it must not run
+// concurrently with Infer/InferBatch.
 func (h *HardwareNetwork) InjectStuckFaults(rate float64, seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
 	flipped := 0
@@ -410,16 +528,17 @@ func (h *HardwareNetwork) InjectStuckFaults(rate float64, seed int64) int {
 }
 
 // ErrorRate classifies every row of x through the hardware and returns the
-// misclassification fraction.
+// misclassification fraction. The batch runs through InferBatch, so it
+// parallelizes across h.Workers goroutines while staying bit-identical to
+// the serial per-row evaluation.
 func (h *HardwareNetwork) ErrorRate(x *tensor.Tensor, labels []int) (float64, error) {
 	n := x.Dim(0)
+	preds, err := h.InferBatch(x)
+	if err != nil {
+		return 0, err
+	}
 	wrong := 0
-	for i := 0; i < n; i++ {
-		row := x.Data()[i*h.inSize : (i+1)*h.inSize]
-		pred, err := h.Infer(row)
-		if err != nil {
-			return 0, err
-		}
+	for i, pred := range preds {
 		if pred != labels[i] {
 			wrong++
 		}

@@ -112,7 +112,10 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	return c
 }
 
-// MatMulTransA computes C = Aᵀ × B for A (k×m) and B (k×n).
+// MatMulTransA computes C = Aᵀ × B for A (k×m) and B (k×n). The kernel is
+// partitioned over output rows (columns of A), so no two workers touch the
+// same row of C; within a row the p-accumulation order matches the serial
+// kernel, keeping results bit-identical at any worker count.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA wants rank-2 operands, got %v × %v", a.shape, b.shape))
@@ -123,19 +126,21 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimensions %d vs %d", k, k2))
 	}
 	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			crow := c.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			for p := 0; p < k; p++ {
+				av := a.data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 

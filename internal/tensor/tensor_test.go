@@ -196,6 +196,46 @@ func TestMatMulTransposeVariants(t *testing.T) {
 	}
 }
 
+// The parallel MatMulTransA kernel must be bit-identical to the serial
+// p-major accumulation at a size big enough to cross the fan-out threshold
+// (each output row accumulates over p in the same order regardless of how
+// rows are partitioned across workers).
+func TestMatMulTransAParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const k, m, n = 96, 80, 80 // m·k·n ≫ parallelOps
+	a := New(k, m)
+	b := New(k, n)
+	for i := range a.Data() {
+		a.Data()[i] = rng.Float32()*2 - 1
+	}
+	// Sprinkle zeros to exercise the skip path.
+	for i := 0; i < len(a.Data()); i += 17 {
+		a.Data()[i] = 0
+	}
+	for i := range b.Data() {
+		b.Data()[i] = rng.Float32()*2 - 1
+	}
+	got := MatMulTransA(a, b)
+	// Serial reference: the pre-parallelization kernel.
+	want := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data()[p*m : (p+1)*m]
+		brow := b.Data()[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := want.Data()[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	if !got.Equal(want, 0) {
+		t.Fatal("parallel MatMulTransA is not bit-identical to the serial kernel")
+	}
+}
+
 func TestMatMulInto(t *testing.T) {
 	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
 	b := FromSlice([]float32{5, 6, 7, 8}, 2, 2)
