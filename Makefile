@@ -3,11 +3,15 @@ test:
 	go build ./...
 	go test ./...
 
+# Static analysis gate.
+vet:
+	go vet ./...
+
 # Tier-1-adjacent concurrency gate: the packages with parallel execution
-# paths (re-entrant RNA evaluation, batched hardware inference, k-means)
-# must be clean under the race detector.
+# paths (re-entrant RNA evaluation, batched hardware inference, k-means,
+# the serving batcher) must be clean under the race detector.
 race:
-	go test -race ./internal/rna/... ./internal/cluster/...
+	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/...
 
 # Scaling check: batched hardware inference at several worker counts.
 # On a multi-core host the ns/op should fall as workers approach GOMAXPROCS;
@@ -15,6 +19,24 @@ race:
 bench-parallel:
 	go test -run '^$$' -bench BenchmarkHardwareInferBatch ./internal/rna/
 
-check: test race
+# Serving trade-off: micro-batch size sweep under fixed open-loop load.
+bench-serve:
+	go test -run '^$$' -bench BenchmarkServeBatching -benchtime 2000x ./internal/serve/
 
-.PHONY: test race bench-parallel check
+# End-to-end smoke: boot rapidnn-serve on a random port with the synthetic
+# MNIST demo model, hit /healthz, and assert it answers 200.
+serve-smoke:
+	go build -o /tmp/rapidnn-serve ./cmd/rapidnn-serve
+	@rm -f /tmp/rapidnn-serve.addr
+	@/tmp/rapidnn-serve -demo MNIST -addr 127.0.0.1:0 -addr-file /tmp/rapidnn-serve.addr & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/rapidnn-serve.addr ] && break; sleep 0.1; done; \
+	addr=$$(cat /tmp/rapidnn-serve.addr); \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/healthz"); \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	echo "serve-smoke: /healthz -> $$code"; \
+	[ "$$code" = "200" ]
+
+check: test vet race
+
+.PHONY: test vet race bench-parallel bench-serve serve-smoke check

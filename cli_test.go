@@ -1,15 +1,20 @@
 package rapidnn
 
-// Integration tests for the four command-line tools: each binary is built
+// Integration tests for the five command-line tools: each binary is built
 // from source into a temp dir and driven the way a user would, asserting on
 // its output. Skipped under -short.
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func buildCmd(t *testing.T, dir, name string) string {
@@ -34,7 +39,7 @@ func runCmd(t *testing.T, bin string, args ...string) string {
 
 func TestCLIEndToEnd(t *testing.T) {
 	if testing.Short() {
-		t.Skip("builds and runs all four binaries")
+		t.Skip("builds and runs all five binaries")
 	}
 	dir := t.TempDir()
 
@@ -84,5 +89,104 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = runCmd(t, simBin, "-net", "VGGNet", "-chips", "8")
 	if !strings.Contains(out, "GMACs/inference") {
 		t.Errorf("sim VGGNet output unexpected")
+	}
+
+	// Unknown dataset names fail with the shared registry's valid-name list.
+	badOut, err := exec.Command(composeBin, "-dataset", "Nope").CombinedOutput()
+	if err == nil {
+		t.Error("compose accepted an unknown dataset")
+	}
+	if !strings.Contains(string(badOut), "valid:") || !strings.Contains(string(badOut), "MNIST") {
+		t.Errorf("compose unknown-dataset error does not list valid names:\n%s", badOut)
+	}
+
+	// rapidnn-serve: serve the composed artifact over HTTP, predict through
+	// it, then shut down gracefully on SIGTERM.
+	serveBin := buildCmd(t, dir, "rapidnn-serve")
+	addrFile := filepath.Join(dir, "serve.addr")
+	serveCmd := exec.Command(serveBin, "-model", modelPath,
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	var serveOut bytes.Buffer
+	serveCmd.Stdout, serveCmd.Stderr = &serveOut, &serveOut
+	if err := serveCmd.Start(); err != nil {
+		t.Fatalf("starting rapidnn-serve: %v", err)
+	}
+	defer serveCmd.Process.Kill()
+	var addr string
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote its address; output:\n%s", serveOut.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+
+	// Discover the input width from /v1/models and predict one row.
+	resp, err = http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatalf("models: %v", err)
+	}
+	var models struct {
+		Models []struct {
+			Name   string `json:"name"`
+			InSize int    `json:"in_size"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatalf("decoding models: %v", err)
+	}
+	resp.Body.Close()
+	if len(models.Models) != 1 || models.Models[0].InSize <= 0 {
+		t.Fatalf("models payload unexpected: %+v", models)
+	}
+	row := make([]float32, models.Models[0].InSize)
+	for i := range row {
+		row[i] = 0.5
+	}
+	body, _ := json.Marshal(map[string]any{"inputs": [][]float32{row}})
+	resp, err = http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	var pred struct {
+		Predictions []int `json:"predictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatalf("decoding prediction: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(pred.Predictions) != 1 {
+		t.Fatalf("predict returned %d with %+v", resp.StatusCode, pred)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits zero.
+	if err := serveCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signaling server: %v", err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- serveCmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("server exited with %v; output:\n%s", err, serveOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	if !strings.Contains(serveOut.String(), "drained cleanly") {
+		t.Errorf("server output missing drain confirmation:\n%s", serveOut.String())
 	}
 }

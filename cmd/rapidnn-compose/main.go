@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/composer"
 	"repro/internal/dataset"
@@ -30,13 +31,14 @@ func main() {
 
 	var bm *model.Benchmark
 	for _, b := range model.Benchmarks(dataset.Small, *scale) {
-		if b.Dataset.Name == *name {
+		if strings.EqualFold(b.Dataset.Name, *name) {
 			bm = b
 			break
 		}
 	}
 	if bm == nil {
-		fmt.Fprintf(os.Stderr, "rapidnn-compose: unknown dataset %q\n", *name)
+		fmt.Fprintf(os.Stderr, "rapidnn-compose: unknown dataset %q (valid: %s)\n",
+			*name, strings.Join(dataset.Names(), ", "))
 		os.Exit(1)
 	}
 

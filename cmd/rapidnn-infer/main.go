@@ -48,15 +48,9 @@ func main() {
 	fmt.Printf("recorded quality: baseline %.2f%%, reinterpreted %.2f%%\n",
 		100*c.BaselineError, 100*c.FinalError)
 
-	var ds *dataset.Dataset
-	for _, d := range dataset.AllBenchmarks(dataset.Small) {
-		if d.Name == *dsName {
-			ds = d
-			break
-		}
-	}
-	if ds == nil {
-		fmt.Fprintf(os.Stderr, "rapidnn-infer: unknown dataset %q\n", *dsName)
+	ds, err := dataset.ByName(*dsName, dataset.Small)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-infer: %v\n", err)
 		os.Exit(1)
 	}
 	if ds.InSize() != c.Net.InSize() {

@@ -1,0 +1,150 @@
+// Command rapidnn-serve exposes composed models over HTTP: it loads
+// .rapidnn artifacts saved by rapidnn-compose, instantiates the
+// reinterpreted software path (and, with -hw, the functional-hardware
+// validation path), and serves predictions through a dynamic micro-batcher
+// with bounded-queue backpressure, graceful shutdown and a metrics surface.
+//
+// Usage:
+//
+//	rapidnn-serve -model mnist.rapidnn [-model name=path ...] [-addr :8080]
+//	rapidnn-serve -demo MNIST          # synthetic model, no artifact needed
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/predict -d '{"inputs": [[0.1, 0.5, ...]]}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/composer"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// modelFlags collects repeated -model values: either "path" (name from the
+// file's base name) or "name=path".
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string { return fmt.Sprintf("%d models", len(*m)) }
+
+func (m *modelFlags) Set(v string) error {
+	name, path := "", v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, path = v[:i], v[i+1:]
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rapidnn-serve: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	var models modelFlags
+	flag.Var(&models, "model", "composed-model artifact to serve: path or name=path (repeatable)")
+	demo := flag.String("demo", "", "serve a synthetic untrained model shaped like this benchmark dataset instead of an artifact")
+	addr := flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for a random port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	hw := flag.Bool("hw", false, "also lower models to the functional-hardware path (validation-grade, slow)")
+	workers := flag.Int("workers", 0, "hardware-path worker goroutines per batch (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 16, "micro-batcher: close a batch at this many requests")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batcher: close a batch this long after its first request")
+	queue := flag.Int("queue", 256, "admission queue depth; a full queue answers 503 + Retry-After")
+	timeout := flag.Duration("timeout", 30*time.Second, "server-side per-request deadline (0 = none)")
+	flag.Parse()
+
+	reg := serve.NewRegistry()
+	for _, mf := range models {
+		m, err := serve.LoadModelFile(mf.name, mf.path, *hw, *workers)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.Add(m); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded %s from %s: %s (%d features -> %d classes)\n",
+			m.Name, mf.path, m.Composed.Net.Topology(), m.InSize(), m.Classes())
+	}
+	if *demo != "" {
+		// The demo model's answers are arbitrary (untrained weights, evenly
+		// spaced synthetic codebooks) but deterministic — enough to exercise
+		// the full serving path without a compose run.
+		ds, err := dataset.ByName(*demo, dataset.Small)
+		if err != nil {
+			fail(err)
+		}
+		net := model.FCNet("demo-"+ds.Name, ds.InSize(), ds.NumClasses, 0.05, 1)
+		c := &composer.Composed{Net: net, Plans: composer.SyntheticPlans(net, 16, 16, 32)}
+		m, err := serve.NewModel("demo", c, *hw, *workers)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.Add(m); err != nil {
+			fail(err)
+		}
+		fmt.Printf("serving synthetic demo model: %s (%d features -> %d classes)\n",
+			net.Topology(), m.InSize(), m.Classes())
+	}
+	if reg.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "rapidnn-serve: nothing to serve; pass -model path/to/model.rapidnn or -demo MNIST")
+		os.Exit(1)
+	}
+
+	srv := serve.NewServer(reg, serve.Config{
+		Batcher: serve.BatcherConfig{
+			MaxBatch:   *maxBatch,
+			MaxDelay:   *maxDelay,
+			QueueDepth: *queue,
+		},
+		RequestTimeout: *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("listening on %s (max-batch %d, max-delay %v, queue %d)\n",
+		ln.Addr(), *maxBatch, *maxDelay, *queue)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %v, draining\n", s)
+		// Refuse new work and complete every admitted request, then let the
+		// HTTP layer finish writing the in-flight responses.
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fail(err)
+		}
+		fmt.Println("drained cleanly")
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}
+}

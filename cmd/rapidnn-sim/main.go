@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/bench"
+	"repro/internal/dataset"
 	"repro/internal/rna"
 )
 
@@ -38,7 +39,7 @@ func main() {
 
 	var hb *bench.HWBench
 	for _, b := range bench.HardwareBenchmarks(*w, *u) {
-		if b.Name == *name {
+		if strings.EqualFold(b.Name, *name) {
 			hb = b
 			break
 		}
@@ -49,7 +50,9 @@ func main() {
 		}
 	}
 	if hb == nil {
-		fmt.Fprintf(os.Stderr, "rapidnn-sim: unknown workload %q\n", *name)
+		valid := append(dataset.Names(), bench.PaperScaleNames()...)
+		fmt.Fprintf(os.Stderr, "rapidnn-sim: unknown workload %q (valid: %s)\n",
+			*name, strings.Join(valid, ", "))
 		os.Exit(1)
 	}
 

@@ -137,11 +137,17 @@ func PaperScaleNet(name string, w, u int) (*HWBench, error) {
 	return hb, nil
 }
 
+// PaperScaleNames lists the real-dimension architectures PaperScaleNet
+// accepts, in Table 2 order.
+func PaperScaleNames() []string {
+	return []string{"AlexNet", "VGGNet", "GoogLeNet", "ResNet"}
+}
+
 // PaperScaleNets returns the four ImageNet architectures of Table 2 at real
 // dimensions.
 func PaperScaleNets(w, u int) ([]*HWBench, error) {
 	var out []*HWBench
-	for _, name := range []string{"AlexNet", "VGGNet", "GoogLeNet", "ResNet"} {
+	for _, name := range PaperScaleNames() {
 		hb, err := PaperScaleNet(name, w, u)
 		if err != nil {
 			return nil, err

@@ -84,24 +84,36 @@ func (c *Composed) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// Load reads a composed model written by Save.
-func Load(r io.Reader) (*Composed, error) {
+// Load reads a composed model written by Save. It never panics on malformed
+// input: a truncated or corrupted gob stream, a file of some other format,
+// or an internally inconsistent snapshot all come back as descriptive
+// wrapped errors.
+func Load(r io.Reader) (c *Composed, err error) {
+	// Layer constructors size their tensors from decoded fields; a corrupted
+	// snapshot that slips past the explicit checks below must still surface
+	// as an error, not a panic.
+	defer func() {
+		if p := recover(); p != nil {
+			c, err = nil, fmt.Errorf("composer: corrupted model snapshot: %v", p)
+		}
+	}()
 	var snap modelSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("composer: decode: %w", err)
+		return nil, fmt.Errorf("composer: decode model (truncated or corrupted gob stream?): %w", err)
 	}
 	if snap.Magic != serialMagic {
-		return nil, fmt.Errorf("composer: bad magic %q", snap.Magic)
+		return nil, fmt.Errorf("composer: not a %s composed-model file (magic %q, want %q)",
+			serialMagic, snap.Magic, serialMagic)
 	}
 	net := nn.NewNetwork(snap.NetName)
-	for _, ls := range snap.Layers {
+	for i, ls := range snap.Layers {
 		l, err := restoreLayer(ls)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("composer: layer %d (%s): %w", i, ls.Name, err)
 		}
 		net.Add(l)
 	}
-	c := &Composed{
+	c = &Composed{
 		Net:           net,
 		BaselineError: snap.BaselineError,
 		FinalError:    snap.FinalError,
@@ -144,38 +156,79 @@ func snapshotLayer(l nn.Layer) (layerSnapshot, error) {
 	return layerSnapshot{}, fmt.Errorf("composer: cannot serialize layer %T", l)
 }
 
+// fillParam copies a decoded weight slice into a freshly constructed
+// parameter tensor, rejecting snapshots whose slice length disagrees with
+// the layer geometry — the signature of a corrupted stream that still
+// decoded as valid gob.
+func fillParam(dst []float32, src []float32, param string) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("%s tensor has %d values, layer geometry wants %d", param, len(src), len(dst))
+	}
+	copy(dst, src)
+	return nil
+}
+
 func restoreLayer(ls layerSnapshot) (nn.Layer, error) {
 	// The RNG only seeds initial weights, which are overwritten below.
 	rng := rand.New(rand.NewSource(1))
 	act := nn.ActivationByName(ls.Act)
 	if act == nil && (ls.Kind == "dense" || ls.Kind == "conv" || ls.Kind == "recurrent") {
-		return nil, fmt.Errorf("composer: unknown activation %q", ls.Act)
+		return nil, fmt.Errorf("unknown activation %q", ls.Act)
 	}
 	switch ls.Kind {
 	case "dense":
+		if ls.In <= 0 || ls.Out <= 0 {
+			return nil, fmt.Errorf("dense layer has non-positive shape %dx%d", ls.In, ls.Out)
+		}
 		d := nn.NewDense(ls.Name, ls.In, ls.Out, act, rng)
 		d.Skip = ls.Skip
-		copy(d.W.Value.Data(), ls.W)
-		copy(d.B.Value.Data(), ls.B)
+		if err := fillParam(d.W.Value.Data(), ls.W, "weight"); err != nil {
+			return nil, err
+		}
+		if err := fillParam(d.B.Value.Data(), ls.B, "bias"); err != nil {
+			return nil, err
+		}
 		return d, nil
 	case "conv":
+		if ls.OutC <= 0 || ls.Geom.InC <= 0 || ls.Geom.KH <= 0 || ls.Geom.KW <= 0 || ls.Geom.Stride <= 0 {
+			return nil, fmt.Errorf("conv layer has invalid geometry %+v outC=%d", ls.Geom, ls.OutC)
+		}
 		c := nn.NewConv2D(ls.Name, ls.Geom, ls.OutC, act, rng)
 		c.Skip = ls.Skip
-		copy(c.W.Value.Data(), ls.W)
-		copy(c.B.Value.Data(), ls.B)
+		if err := fillParam(c.W.Value.Data(), ls.W, "weight"); err != nil {
+			return nil, err
+		}
+		if err := fillParam(c.B.Value.Data(), ls.B, "bias"); err != nil {
+			return nil, err
+		}
 		return c, nil
 	case "pool":
+		if ls.Geom.InC <= 0 || ls.Geom.KH <= 0 || ls.Geom.KW <= 0 || ls.Geom.Stride <= 0 {
+			return nil, fmt.Errorf("pool layer has invalid geometry %+v", ls.Geom)
+		}
 		return nn.NewPool2D(ls.Name, nn.PoolKind(ls.PoolKind), ls.Geom), nil
 	case "dropout":
+		if ls.Size <= 0 {
+			return nil, fmt.Errorf("dropout layer has non-positive size %d", ls.Size)
+		}
 		return nn.NewDropout(ls.Name, ls.Size, ls.Rate, rng), nil
 	case "recurrent":
+		if ls.In <= 0 || ls.Hidden <= 0 || ls.Steps <= 0 {
+			return nil, fmt.Errorf("recurrent layer has non-positive shape in=%d h=%d steps=%d", ls.In, ls.Hidden, ls.Steps)
+		}
 		r := nn.NewRecurrent(ls.Name, ls.In, ls.Hidden, ls.Steps, act, rng)
-		copy(r.Wx.Value.Data(), ls.Wx)
-		copy(r.Wh.Value.Data(), ls.Wh)
-		copy(r.B.Value.Data(), ls.B)
+		if err := fillParam(r.Wx.Value.Data(), ls.Wx, "input-weight"); err != nil {
+			return nil, err
+		}
+		if err := fillParam(r.Wh.Value.Data(), ls.Wh, "hidden-weight"); err != nil {
+			return nil, err
+		}
+		if err := fillParam(r.B.Value.Data(), ls.B, "bias"); err != nil {
+			return nil, err
+		}
 		return r, nil
 	}
-	return nil, fmt.Errorf("composer: unknown layer kind %q", ls.Kind)
+	return nil, fmt.Errorf("unknown layer kind %q", ls.Kind)
 }
 
 func snapshotPlan(p *LayerPlan) planSnapshot {

@@ -2,7 +2,9 @@ package composer
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/nn"
@@ -119,5 +121,123 @@ func TestSaveLoadRecurrent(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
 		t.Fatal("garbage must fail to load")
+	}
+}
+
+// snapshotBytes serializes a small dense model and returns the raw gob
+// stream, for the corruption tests to mangle.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(53))
+	net := nn.NewNetwork("hard").
+		Add(nn.NewDense("fc", 6, 5, nn.ReLU{}, rng)).
+		Add(nn.NewDense("out", 5, 2, nn.Identity{}, rng))
+	c := &Composed{Net: net, Plans: SyntheticPlans(net, 8, 8, 16)}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadTruncatedStream(t *testing.T) {
+	raw := snapshotBytes(t)
+	// Every prefix must fail with a wrapped error, never a panic — including
+	// the empty stream and a cut in the middle of the weight payload.
+	for _, n := range []int{0, 1, len(raw) / 4, len(raw) / 2, len(raw) - 1} {
+		c, err := Load(bytes.NewReader(raw[:n]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes loaded successfully", n, len(raw))
+		}
+		if c != nil {
+			t.Fatalf("truncation at %d bytes returned a non-nil model with error %v", n, err)
+		}
+		if !strings.Contains(err.Error(), "composer:") {
+			t.Fatalf("truncation at %d bytes: error %q not wrapped with package context", n, err)
+		}
+	}
+}
+
+func TestLoadCorruptedBytes(t *testing.T) {
+	raw := snapshotBytes(t)
+	// Flip bytes at positions spread across the stream. Every corruption must
+	// come back as an error or — when the flip happens to leave the stream
+	// decodable and consistent — a well-formed model; never a panic.
+	for pos := 0; pos < len(raw); pos += len(raw)/37 + 1 {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0xff
+		c, err := Load(bytes.NewReader(mut))
+		if err == nil && c == nil {
+			t.Fatalf("flip at byte %d: nil model with nil error", pos)
+		}
+	}
+}
+
+func TestLoadWrongMagicNamesFormat(t *testing.T) {
+	var buf bytes.Buffer
+	snap := modelSnapshot{Magic: "NOTAMODEL"}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("wrong magic must fail to load")
+	}
+	if !strings.Contains(err.Error(), serialMagic) {
+		t.Fatalf("magic-mismatch error %q does not name the expected %s format", err, serialMagic)
+	}
+	if !strings.Contains(err.Error(), "NOTAMODEL") {
+		t.Fatalf("magic-mismatch error %q does not echo the bogus magic", err)
+	}
+}
+
+func TestLoadRejectsMismatchedWeightLength(t *testing.T) {
+	raw := snapshotBytes(t)
+	var snap modelSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot whose weight slice disagrees with the declared geometry must
+	// be rejected by name, not crash the tensor fill.
+	snap.Layers[0].W = snap.Layers[0].W[:len(snap.Layers[0].W)-3]
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("mismatched weight length must fail to load")
+	}
+	for _, want := range []string{"layer 0", "fc", "weight"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestLoadRejectsInvalidGeometry(t *testing.T) {
+	raw := snapshotBytes(t)
+	cases := []struct {
+		name   string
+		mutate func(s *modelSnapshot)
+	}{
+		{"negative dense out", func(s *modelSnapshot) { s.Layers[0].Out = -4 }},
+		{"unknown activation", func(s *modelSnapshot) { s.Layers[0].Act = "sincos" }},
+		{"unknown layer kind", func(s *modelSnapshot) { s.Layers[0].Kind = "attention" }},
+		{"plan/layer mismatch", func(s *modelSnapshot) { s.Plans = s.Plans[:1] }},
+	}
+	for _, tc := range cases {
+		var snap modelSnapshot
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		tc.mutate(&snap)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&buf); err == nil {
+			t.Fatalf("%s: snapshot must fail to load", tc.name)
+		}
 	}
 }

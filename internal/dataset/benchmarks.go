@@ -90,8 +90,3 @@ func ImageNet(s Size) *Dataset {
 		Train: train, Test: test, Noise: 0.34, Sparsity: 0.05, LabelNoise: 0.15, ClassSimilarity: 0.3, Seed: 106,
 	})
 }
-
-// AllBenchmarks returns the six paper benchmarks in Table 2 order.
-func AllBenchmarks(s Size) []*Dataset {
-	return []*Dataset{MNIST(s), ISOLET(s), HAR(s), CIFAR10(s), CIFAR100(s), ImageNet(s)}
-}

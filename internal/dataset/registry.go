@@ -1,0 +1,53 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The benchmark registry is the single source of truth for the dataset
+// names the command-line tools accept: every `-dataset` flag resolves
+// through ByName, so an unknown name fails the same way everywhere and the
+// error always lists what would have worked.
+
+var registry = []struct {
+	name  string
+	build func(Size) *Dataset
+}{
+	{"MNIST", MNIST},
+	{"ISOLET", ISOLET},
+	{"HAR", HAR},
+	{"CIFAR-10", CIFAR10},
+	{"CIFAR-100", CIFAR100},
+	{"ImageNet", ImageNet},
+}
+
+// Names returns the registered benchmark names in Table 2 order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// ByName generates the named benchmark at the given size. Matching is
+// case-insensitive; an unknown name returns an error listing every valid
+// name.
+func ByName(name string, s Size) (*Dataset, error) {
+	for _, e := range registry {
+		if strings.EqualFold(e.name, name) {
+			return e.build(s), nil
+		}
+	}
+	return nil, fmt.Errorf("dataset: unknown dataset %q (valid: %s)", name, strings.Join(Names(), ", "))
+}
+
+// AllBenchmarks returns the six paper benchmarks in Table 2 order.
+func AllBenchmarks(s Size) []*Dataset {
+	all := make([]*Dataset, len(registry))
+	for i, e := range registry {
+		all[i] = e.build(s)
+	}
+	return all
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesTableOrder(t *testing.T) {
+	want := []string{"MNIST", "ISOLET", "HAR", "CIFAR-10", "CIFAR-100", "ImageNet"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByNameCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"MNIST", "mnist", "Mnist", "cifar-10", "imagenet"} {
+		ds, err := ByName(name, Small)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if !strings.EqualFold(ds.Name, name) {
+			t.Fatalf("ByName(%q) built %q", name, ds.Name)
+		}
+	}
+}
+
+func TestByNameMatchesDirectConstructor(t *testing.T) {
+	via, err := ByName("HAR", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := HAR(Small)
+	if via.InSize() != direct.InSize() || via.NumClasses != direct.NumClasses {
+		t.Fatalf("registry HAR %d/%d differs from constructor %d/%d",
+			via.InSize(), via.NumClasses, direct.InSize(), direct.NumClasses)
+	}
+	for i, v := range direct.TrainX.Data()[:64] {
+		if via.TrainX.Data()[i] != v {
+			t.Fatal("registry build is not the deterministic constructor output")
+		}
+	}
+}
+
+func TestByNameUnknownListsValid(t *testing.T) {
+	_, err := ByName("SVHN", Small)
+	if err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"SVHN"`) {
+		t.Fatalf("error %q does not echo the unknown name", msg)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list valid name %q", msg, name)
+		}
+	}
+}
+
+func TestNamesMatchesAllBenchmarks(t *testing.T) {
+	names := Names()
+	all := AllBenchmarks(Small)
+	if len(all) != len(names) {
+		t.Fatalf("%d benchmarks for %d names", len(all), len(names))
+	}
+	for i, ds := range all {
+		if ds.Name != names[i] {
+			t.Fatalf("benchmark %d is %q, registry says %q", i, ds.Name, names[i])
+		}
+	}
+}

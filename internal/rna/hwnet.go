@@ -462,6 +462,13 @@ func (h *HardwareNetwork) workers(n int) int {
 	return w
 }
 
+// InSize returns the number of input features the network consumes.
+func (h *HardwareNetwork) InSize() int { return h.inSize }
+
+// Classes returns the size of the logit layer — the number of classes the
+// argmax comparator selects over.
+func (h *HardwareNetwork) Classes() int { return h.classCount }
+
 // InferBatch classifies every row of x through the hardware path, fanning
 // the batch out over h.Workers goroutines (default GOMAXPROCS). Predictions
 // are returned in row order and the per-input activity folds into h.Stats
@@ -469,6 +476,28 @@ func (h *HardwareNetwork) workers(n int) int {
 // bit-identical to calling Infer row by row. When any row fails, the error
 // of the lowest-indexed failing row is returned and h.Stats is untouched.
 func (h *HardwareNetwork) InferBatch(x *tensor.Tensor) ([]int, error) {
+	preds, stats, err := h.InferBatchStats(x)
+	if err != nil {
+		return nil, err
+	}
+	h.Stats = addStats(h.Stats, stats)
+	return preds, nil
+}
+
+// InferBatchStats is the re-entrant form of InferBatch: it returns the
+// batch's substrate activity instead of folding it into h.Stats, and reads
+// only the shared network configuration, so any number of InferBatchStats
+// calls may run concurrently on one HardwareNetwork. This is what a serving
+// layer needs — the batcher aggregates the returned Stats under its own
+// lock. The per-input activity is folded into the returned total in row
+// order, so the totals stay bit-identical to the serial path.
+func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Stats, error) {
+	var total crossbar.Stats
+	if x == nil {
+		// The tensor package cannot represent a zero-row batch, so a serving
+		// layer hands an empty batch in as nil: no work, no activity.
+		return nil, total, nil
+	}
 	n := x.Dim(0)
 	preds := make([]int, n)
 	stats := make([]crossbar.Stats, n)
@@ -500,15 +529,15 @@ func (h *HardwareNetwork) InferBatch(x *tensor.Tensor) ([]int, error) {
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, total, err
 		}
 	}
 	// Deterministic merge: fold per-input stats in input order, exactly the
 	// sequence the serial path would have produced.
 	for _, s := range stats {
-		h.Stats = addStats(h.Stats, s)
+		total = addStats(total, s)
 	}
-	return preds, nil
+	return preds, total, nil
 }
 
 // InjectStuckFaults flips each stored product bit with the given rate in

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/composer"
+	"repro/internal/crossbar"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -369,5 +370,149 @@ func TestHardwareNetworkRecurrent(t *testing.T) {
 	}
 	if hw.Stats.NORs == 0 {
 		t.Fatal("RNN inference must accrue NOR work")
+	}
+}
+
+// InferBatch must handle the degenerate batch shapes a serving layer throws
+// at it — an empty batch, a batch of one, and more workers than rows — all
+// without deadlock and bit-identical to serial Infer. Synthetic plans on an
+// untrained net keep this fast: bit-identity does not need a trained model.
+func TestInferBatchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	net := nn.NewNetwork("edge").
+		Add(nn.NewDense("fc1", 10, 8, nn.ReLU{}, rng)).
+		Add(nn.NewDense("out", 8, 3, nn.Identity{}, rng))
+	plans := composer.SyntheticPlans(net, 8, 8, 16)
+	re := composer.NewReinterpreted(net, plans)
+	build := func() *HardwareNetwork {
+		hw, err := BuildHardwareNetwork(re.Net(), plans, dev())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hw
+	}
+	if got := build(); got.InSize() != 10 || got.Classes() != 3 {
+		t.Fatalf("accessors report %d features / %d classes, want 10 / 3", got.InSize(), got.Classes())
+	}
+
+	const rows = 3
+	data := make([]float32, rows*10)
+	for i := range data {
+		data[i] = 2*rng.Float32() - 1
+	}
+	serial := build()
+	var want []int
+	for i := 0; i < rows; i++ {
+		pred, err := serial.Infer(data[i*10 : (i+1)*10])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, pred)
+	}
+
+	// Empty batch: the tensor package cannot represent zero rows, so the
+	// serving layer passes nil; it must return immediately with no
+	// predictions and no work.
+	empty := build()
+	empty.Workers = 4
+	preds, err := empty.InferBatch(nil)
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if len(preds) != 0 {
+		t.Fatalf("empty batch returned %d predictions", len(preds))
+	}
+	if empty.Stats.NORs != 0 || empty.Stats.Cycles != 0 {
+		t.Fatalf("empty batch accrued substrate work: %+v", empty.Stats)
+	}
+
+	// Batch of one, and Workers from serial up to far beyond the batch size.
+	for _, workers := range []int{0, 1, 8, 64} {
+		one := build()
+		one.Workers = workers
+		preds, err := one.InferBatch(tensor.FromSlice(append([]float32(nil), data[:10]...), 1, 10))
+		if err != nil {
+			t.Fatalf("workers=%d batch of one: %v", workers, err)
+		}
+		if len(preds) != 1 || preds[0] != want[0] {
+			t.Fatalf("workers=%d batch of one predicted %v, serial says %d", workers, preds, want[0])
+		}
+
+		multi := build()
+		multi.Workers = workers
+		preds, err = multi.InferBatch(tensor.FromSlice(append([]float32(nil), data...), rows, 10))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range preds {
+			if preds[i] != want[i] {
+				t.Fatalf("workers=%d row %d predicted %d, serial says %d", workers, i, preds[i], want[i])
+			}
+		}
+		if multi.Stats != serial.Stats {
+			t.Fatalf("workers=%d: stats %+v differ from serial %+v", workers, multi.Stats, serial.Stats)
+		}
+	}
+}
+
+// InferBatchStats must leave the shared Stats untouched so concurrent
+// batches can run on one network; the returned activity still folds in row
+// order, bit-identical to the serial accumulation.
+func TestInferBatchStatsIsReentrant(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	net := nn.NewNetwork("reent").
+		Add(nn.NewDense("fc1", 10, 8, nn.ReLU{}, rng)).
+		Add(nn.NewDense("out", 8, 3, nn.Identity{}, rng))
+	plans := composer.SyntheticPlans(net, 8, 8, 16)
+	re := composer.NewReinterpreted(net, plans)
+	hw, err := BuildHardwareNetwork(re.Net(), plans, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 4
+	data := make([]float32, rows*10)
+	for i := range data {
+		data[i] = 2*rng.Float32() - 1
+	}
+	batch := tensor.FromSlice(data, rows, 10)
+
+	serial, err := BuildHardwareNetwork(re.Net(), plans, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.InferBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two concurrent InferBatchStats runs over the same network.
+	type res struct {
+		preds []int
+		stats crossbar.Stats
+		err   error
+	}
+	out := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			p, s, err := hw.InferBatchStats(batch)
+			out <- res{p, s, err}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		r := <-out
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		for j := range want {
+			if r.preds[j] != want[j] {
+				t.Fatalf("concurrent run row %d predicted %d, serial says %d", j, r.preds[j], want[j])
+			}
+		}
+		if r.stats != serial.Stats {
+			t.Fatalf("concurrent run stats %+v differ from serial %+v", r.stats, serial.Stats)
+		}
+	}
+	if hw.Stats != (crossbar.Stats{}) {
+		t.Fatalf("InferBatchStats mutated shared Stats: %+v", hw.Stats)
 	}
 }

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// BenchmarkServeBatching sweeps the batcher's MaxBatch under a fixed
+// open-loop offered load — arrivals every 200µs no matter how the batcher
+// keeps up — which is the regime where the latency/throughput trade-off of
+// micro-batching shows: MaxBatch=1 pays per-row dispatch on every request,
+// larger batches amortize it at the cost of coalescing delay.
+//
+//	go test ./internal/serve/ -bench ServeBatching -benchtime 2000x
+func BenchmarkServeBatching(b *testing.B) {
+	for _, maxBatch := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("maxbatch=%d", maxBatch), func(b *testing.B) {
+			m := syntheticModel(b, false)
+			infer, err := m.inferFn(PathSoftware)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bt := NewBatcher(BatcherConfig{
+				MaxBatch:   maxBatch,
+				MaxDelay:   time.Millisecond,
+				QueueDepth: b.N + 1, // the sweep measures batching, not shedding
+			}, infer, nil)
+			defer bt.Close()
+			rows := testRows(256, m.InSize(), 3)
+
+			b.ResetTimer()
+			rep := bench.OpenLoop(200*time.Microsecond, b.N, func(i int) error {
+				_, err := bt.Submit(context.Background(), rows[i%len(rows)])
+				return err
+			})
+			b.StopTimer()
+			if rep.Errors > 0 {
+				b.Fatalf("%d of %d requests failed", rep.Errors, rep.Requests)
+			}
+			ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+			b.ReportMetric(ms(rep.P50), "p50-ms")
+			b.ReportMetric(ms(rep.P99), "p99-ms")
+			b.ReportMetric(rep.ThroughputRPS, "req/s")
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/crossbar"
+)
+
+// latWindow bounds the latency reservoir: quantiles are computed over the
+// most recent latWindow completions, so /stats reflects current behaviour
+// rather than the whole process history.
+const latWindow = 4096
+
+// Metrics aggregates one serving lane's counters: admission and outcome
+// counts, the batch-size distribution, a sliding latency window, and the
+// substrate activity (NOR cycles, crossbar energy) folded out of rna.Stats.
+// All methods are safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	admitted  uint64
+	completed uint64
+	failed    uint64
+	rejected  uint64
+	canceled  uint64
+	batches   uint64
+	batchSize map[int]uint64
+	lat       [latWindow]time.Duration
+	latN      int
+	hw        crossbar.Stats
+}
+
+// NewMetrics returns an empty sink.
+func NewMetrics() *Metrics {
+	return &Metrics{batchSize: make(map[int]uint64)}
+}
+
+func (m *Metrics) admit()  { m.mu.Lock(); m.admitted++; m.mu.Unlock() }
+func (m *Metrics) reject() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *Metrics) cancel() { m.mu.Lock(); m.canceled++; m.mu.Unlock() }
+func (m *Metrics) fail()   { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+
+func (m *Metrics) observeBatch(size int, stats crossbar.Stats) {
+	m.mu.Lock()
+	m.batches++
+	m.batchSize[size]++
+	m.hw.Cycles += stats.Cycles
+	m.hw.NORs += stats.NORs
+	m.hw.Reads += stats.Reads
+	m.hw.Writes += stats.Writes
+	m.hw.EnergyJ += stats.EnergyJ
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observeDone(d time.Duration) {
+	m.mu.Lock()
+	m.lat[m.latN%latWindow] = d
+	m.latN++
+	m.completed++
+	m.mu.Unlock()
+}
+
+// LatencyQuantiles is the latency block of a lane's /stats entry, in
+// milliseconds over the sliding window.
+type LatencyQuantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// SubstrateStats mirrors crossbar.Stats with JSON tags for /stats.
+type SubstrateStats struct {
+	Cycles  int64   `json:"cycles"`
+	NORs    int64   `json:"nors"`
+	Reads   int64   `json:"reads"`
+	Writes  int64   `json:"writes"`
+	EnergyJ float64 `json:"energy_j"`
+}
+
+// LaneStats is the JSON shape of one serving lane in the /stats payload.
+type LaneStats struct {
+	Admitted   uint64            `json:"admitted"`
+	Completed  uint64            `json:"completed"`
+	Failed     uint64            `json:"failed"`
+	Rejected   uint64            `json:"rejected"`
+	Canceled   uint64            `json:"canceled"`
+	Batches    uint64            `json:"batches"`
+	MeanBatch  float64           `json:"mean_batch"`
+	BatchSizes map[string]uint64 `json:"batch_sizes"`
+	QueueDepth int               `json:"queue_depth"`
+	LatencyMS  LatencyQuantiles  `json:"latency_ms"`
+	Substrate  SubstrateStats    `json:"substrate"`
+}
+
+// Snapshot returns a consistent copy of the counters. queueDepth is sampled
+// by the caller (the gauge lives on the batcher, not here).
+func (m *Metrics) Snapshot(queueDepth int) LaneStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := LaneStats{
+		Admitted:   m.admitted,
+		Completed:  m.completed,
+		Failed:     m.failed,
+		Rejected:   m.rejected,
+		Canceled:   m.canceled,
+		Batches:    m.batches,
+		BatchSizes: make(map[string]uint64, len(m.batchSize)),
+		QueueDepth: queueDepth,
+		Substrate: SubstrateStats{
+			Cycles:  m.hw.Cycles,
+			NORs:    m.hw.NORs,
+			Reads:   m.hw.Reads,
+			Writes:  m.hw.Writes,
+			EnergyJ: m.hw.EnergyJ,
+		},
+	}
+	var sized uint64
+	for size, n := range m.batchSize {
+		ls.BatchSizes[strconv.Itoa(size)] = n
+		sized += uint64(size) * n
+	}
+	if m.batches > 0 {
+		ls.MeanBatch = float64(sized) / float64(m.batches)
+	}
+	n := m.latN
+	if n > latWindow {
+		n = latWindow
+	}
+	if n > 0 {
+		window := make([]time.Duration, n)
+		copy(window, m.lat[:n])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		ls.LatencyMS = LatencyQuantiles{
+			P50: ms(quantile(window, 0.50)),
+			P90: ms(quantile(window, 0.90)),
+			P99: ms(quantile(window, 0.99)),
+			Max: ms(window[n-1]),
+		}
+	}
+	return ls
+}
+
+// Substrate returns the accumulated substrate activity.
+func (m *Metrics) Substrate() crossbar.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hw
+}
+
+// quantile returns the nearest-rank quantile of a sorted window.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

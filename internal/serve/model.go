@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/composer"
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/rna"
+	"repro/internal/tensor"
+)
+
+// Path selects which execution substrate answers a request.
+type Path string
+
+const (
+	// PathSoftware serves through the reinterpreted software model — the
+	// codebook-exact predictor of the hardware (§3.2), fast enough for real
+	// traffic.
+	PathSoftware Path = "software"
+	// PathHardware serves through the functional hardware network — every
+	// accumulation as parallel counting + NOR addition, every activation as
+	// an NDCAM search. Validation-grade: orders of magnitude slower.
+	PathHardware Path = "hardware"
+)
+
+// Model is one served artifact: the composed model plus the execution paths
+// instantiated from it.
+type Model struct {
+	Name     string
+	Composed *composer.Composed
+	re       *composer.Reinterpreted
+	hw       *rna.HardwareNetwork
+}
+
+// NewModel wraps a composed model for serving. When hardware is true the
+// functional-hardware path is lowered too, with hwWorkers bounding its
+// batch fan-out (0 = GOMAXPROCS).
+func NewModel(name string, c *composer.Composed, hardware bool, hwWorkers int) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: model needs a name")
+	}
+	m := &Model{Name: name, Composed: c, re: composer.NewReinterpreted(c.Net, c.Plans)}
+	if hardware {
+		hw, err := rna.BuildHardwareNetwork(m.re.Net(), c.Plans, device.Default())
+		if err != nil {
+			return nil, fmt.Errorf("serve: lowering %s to hardware: %w", name, err)
+		}
+		hw.Workers = hwWorkers
+		m.hw = hw
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a .rapidnn artifact saved by rapidnn-compose and
+// wraps it for serving. An empty name defaults to the file's base name
+// without extension.
+func LoadModelFile(name, path string, hardware bool, hwWorkers int) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer f.Close()
+	c, err := composer.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	if name == "" {
+		base := filepath.Base(path)
+		name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return NewModel(name, c, hardware, hwWorkers)
+}
+
+// InSize returns the number of input features a request row must carry.
+func (m *Model) InSize() int { return m.Composed.Net.InSize() }
+
+// Classes returns the number of output classes.
+func (m *Model) Classes() int { return m.Composed.Net.OutSize() }
+
+// HasHardware reports whether the functional-hardware path was lowered.
+func (m *Model) HasHardware() bool { return m.hw != nil }
+
+// inferFn returns the batch-evaluation function of one execution path. Both
+// are pure per row, so the batcher's coalescing cannot change any answer;
+// the hardware path additionally reports the batch's substrate activity.
+func (m *Model) inferFn(p Path) (InferFn, error) {
+	switch p {
+	case PathSoftware:
+		in := m.InSize()
+		return func(rows [][]float32) ([]int, crossbar.Stats, error) {
+			flat := make([]float32, 0, len(rows)*in)
+			for _, row := range rows {
+				flat = append(flat, row...)
+			}
+			preds := m.re.Predict(tensor.FromSlice(flat, len(rows), in))
+			return preds, crossbar.Stats{}, nil
+		}, nil
+	case PathHardware:
+		if m.hw == nil {
+			return nil, fmt.Errorf("serve: model %s was loaded without the hardware path", m.Name)
+		}
+		in := m.InSize()
+		return func(rows [][]float32) ([]int, crossbar.Stats, error) {
+			flat := make([]float32, 0, len(rows)*in)
+			for _, row := range rows {
+				flat = append(flat, row...)
+			}
+			return m.hw.InferBatchStats(tensor.FromSlice(flat, len(rows), in))
+		}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown path %q (valid: %s, %s)", p, PathSoftware, PathHardware)
+}
+
+// Registry is the set of models a server exposes, keyed by name.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Add registers a model; duplicate names are an error.
+func (r *Registry) Add(m *Model) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[m.Name]; dup {
+		return fmt.Errorf("serve: duplicate model name %q", m.Name)
+	}
+	r.models[m.Name] = m
+	return nil
+}
+
+// Get looks a model up by name.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for name := range r.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

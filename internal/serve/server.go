@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Batcher configures every lane's micro-batcher.
+	Batcher BatcherConfig
+	// RequestTimeout bounds each request's end-to-end time server-side;
+	// 0 disables. Client cancellation is honored regardless.
+	RequestTimeout time.Duration
+}
+
+// lane is one (model, path) serving pipeline: its batcher and its metrics.
+type lane struct {
+	b   *Batcher
+	met *Metrics
+}
+
+// Server is the HTTP inference front end. Routes:
+//
+//	POST /v1/predict  {"model":..., "path":"software"|"hardware", "inputs":[[...],...]}
+//	GET  /v1/models   the registry with shapes and available paths
+//	GET  /healthz     readiness (503 while draining)
+//	GET  /stats       per-lane counters, quantiles and substrate activity
+//
+// Lanes are created lazily on first use; Close drains them all.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	mux   *http.ServeMux
+	start time.Time
+
+	mu     sync.Mutex
+	lanes  map[string]*lane
+	closed bool
+}
+
+// NewServer builds a server over the registry. The registry may keep
+// gaining models after the server starts.
+func NewServer(reg *Registry, cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		lanes: make(map[string]*lane),
+	}
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close begins the graceful shutdown: new requests are refused with 503
+// while every already-admitted request drains to completion. It returns
+// once all lanes are drained and is safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	lanes := make([]*lane, 0, len(s.lanes))
+	for _, ln := range s.lanes {
+		lanes = append(lanes, ln)
+	}
+	s.mu.Unlock()
+	for _, ln := range lanes {
+		ln.b.Close()
+	}
+}
+
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// laneFor returns the (model, path) pipeline, creating it on first use.
+func (s *Server) laneFor(m *Model, p Path) (*lane, error) {
+	key := m.Name + "/" + string(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if ln, ok := s.lanes[key]; ok {
+		return ln, nil
+	}
+	fn, err := m.inferFn(p)
+	if err != nil {
+		return nil, err
+	}
+	met := NewMetrics()
+	ln := &lane{b: NewBatcher(s.cfg.Batcher, fn, met), met: met}
+	s.lanes[key] = ln
+	return ln, nil
+}
+
+type predictRequest struct {
+	Model  string      `json:"model"`
+	Path   string      `json:"path"`
+	Inputs [][]float32 `json:"inputs"`
+}
+
+type predictResponse struct {
+	Model       string `json:"model"`
+	Path        string `json:"path"`
+	Predictions []int  `json:"predictions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeOverload is the backpressure response: clients are told to retry
+// rather than pile onto a saturated queue.
+func writeOverload(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "%v", err)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining() {
+		writeOverload(w, ErrClosed)
+		return
+	}
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Model == "" && s.reg.Len() == 1 {
+		req.Model = s.reg.Names()[0]
+	}
+	m, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q (serving: %s)",
+			req.Model, strings.Join(s.reg.Names(), ", "))
+		return
+	}
+	path := Path(req.Path)
+	if req.Path == "" {
+		path = PathSoftware
+	}
+	if len(req.Inputs) == 0 {
+		writeError(w, http.StatusBadRequest, "inputs is empty")
+		return
+	}
+	for i, row := range req.Inputs {
+		if len(row) != m.InSize() {
+			writeError(w, http.StatusBadRequest, "inputs[%d] has %d features, model %s wants %d",
+				i, len(row), m.Name, m.InSize())
+			return
+		}
+	}
+	ln, err := s.laneFor(m, path)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrClosed):
+			writeOverload(w, err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	// Rows are submitted individually and concurrently: the batcher is free
+	// to coalesce them with each other and with other clients' rows.
+	preds := make([]int, len(req.Inputs))
+	errs := make([]error, len(req.Inputs))
+	if len(req.Inputs) == 1 {
+		preds[0], errs[0] = ln.b.Submit(ctx, req.Inputs[0])
+	} else {
+		var wg sync.WaitGroup
+		for i, row := range req.Inputs {
+			wg.Add(1)
+			go func(i int, row []float32) {
+				defer wg.Done()
+				preds[i], errs[i] = ln.b.Submit(ctx, row)
+			}(i, row)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+			writeOverload(w, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "%v", err)
+		case errors.Is(err, context.Canceled):
+			// The client has gone; the status is moot but 499-style close
+			// beats pretending success.
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Model: m.Name, Path: string(path), Predictions: preds})
+}
+
+type modelInfo struct {
+	Name     string   `json:"name"`
+	InSize   int      `json:"in_size"`
+	Classes  int      `json:"classes"`
+	Paths    []string `json:"paths"`
+	Topology string   `json:"topology"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	infos := make([]modelInfo, 0, s.reg.Len())
+	for _, name := range s.reg.Names() {
+		m, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		paths := []string{string(PathSoftware)}
+		if m.HasHardware() {
+			paths = append(paths, string(PathHardware))
+		}
+		infos = append(infos, modelInfo{
+			Name: m.Name, InSize: m.InSize(), Classes: m.Classes(),
+			Paths: paths, Topology: m.Composed.Net.Topology(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"models":   s.reg.Names(),
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	lanes := make(map[string]*lane, len(s.lanes))
+	for key, ln := range s.lanes {
+		lanes[key] = ln
+	}
+	s.mu.Unlock()
+	stats := make(map[string]LaneStats, len(lanes))
+	for key, ln := range lanes {
+		stats[key] = ln.met.Snapshot(ln.b.Depth())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(s.start).Seconds(),
+		"lanes":    stats,
+	})
+}
