@@ -13,6 +13,12 @@ vet:
 race:
 	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/...
 
+# Robustness gate: fuzz the composed-artifact loader with a short budget.
+# The seed corpus (a valid artifact plus truncations/corruptions) is built
+# in-test; the contract is "never panic, return a model xor an error".
+fuzz:
+	go test -run FuzzLoad -fuzz FuzzLoad -fuzztime 20s ./internal/composer/
+
 # Scaling check: batched hardware inference at several worker counts.
 # On a multi-core host the ns/op should fall as workers approach GOMAXPROCS;
 # TestInferBatchMatchesSerialInfer pins the outputs bit-identical meanwhile.
@@ -39,4 +45,4 @@ serve-smoke:
 
 check: test vet race
 
-.PHONY: test vet race bench-parallel bench-serve serve-smoke check
+.PHONY: test vet race fuzz bench-parallel bench-serve serve-smoke check

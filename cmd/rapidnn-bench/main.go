@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rapidnn-bench [-quick] [-workers N] [-only t1,t2,t3,t4,f5,f6,f10,f11,f12,f13,f14,f15,f16,eff,ablate,xvar,xfault]
+//	rapidnn-bench [-quick] [-workers N] [-only t1,t2,t3,t4,f5,f6,f10,f11,f12,f13,f14,f15,f16,eff,ablate,xvar,xfault,xprotect]
 package main
 
 import (
@@ -160,9 +160,16 @@ func main() {
 		fmt.Println(bench.VariationStudy())
 	}
 	if run("xfault") {
-		r, err := bench.FaultStudy(s)
+		r, err := bench.FaultStudy(s, bench.FaultStudyConfig{})
 		if err != nil {
 			fail("xfault", err)
+		}
+		fmt.Println(r)
+	}
+	if run("xprotect") {
+		r, err := bench.ProtectionStudy(s, 0.05, nil)
+		if err != nil {
+			fail("xprotect", err)
 		}
 		fmt.Println(r)
 	}

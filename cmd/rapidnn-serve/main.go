@@ -8,6 +8,12 @@
 //
 //	rapidnn-serve -model mnist.rapidnn [-model name=path ...] [-addr :8080]
 //	rapidnn-serve -demo MNIST          # synthetic model, no artifact needed
+//	rapidnn-serve -model m.rapidnn -canary-interval 30s   # periodic self-tests
+//
+// With -canary-interval set, every model replays its embedded golden canary
+// vectors on that cadence; a diverging model flips /healthz and /v1/models to
+// degraded and its predict traffic is shed with 503s until POST /v1/scrub
+// reloads it.
 //
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/v1/predict -d '{"inputs": [[0.1, 0.5, ...]]}'
@@ -64,6 +70,7 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batcher: close a batch this long after its first request")
 	queue := flag.Int("queue", 256, "admission queue depth; a full queue answers 503 + Retry-After")
 	timeout := flag.Duration("timeout", 30*time.Second, "server-side per-request deadline (0 = none)")
+	canaryInterval := flag.Duration("canary-interval", 0, "periodic canary self-test interval; degraded models are shed with 503s until scrubbed (0 = disabled)")
 	flag.Parse()
 
 	reg := serve.NewRegistry()
@@ -110,6 +117,7 @@ func main() {
 			QueueDepth: *queue,
 		},
 		RequestTimeout: *timeout,
+		CanaryInterval: *canaryInterval,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

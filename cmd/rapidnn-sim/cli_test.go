@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildSimBinary(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "rapidnn-sim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// The -faults flag family validates its inputs before paying for training.
+func TestSimCLIFaultFlagValidation(t *testing.T) {
+	bin := buildSimBinary(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-faults", "-fault-rates", "banana"}, "bad -fault-rates"},
+		{[]string{"-faults", "-fault-rates", "1.5"}, "bad -fault-rates"},
+		{[]string{"-faults", "-fault-model", "gamma-ray"}, "unknown fault model"},
+		{[]string{"-faults", "-protection", "prayer"}, "unknown protection"},
+		{[]string{"-faults", "-fault-seeds", "0"}, "-fault-seeds"},
+	}
+	for _, c := range cases {
+		out, err := exec.Command(bin, c.args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%v: expected a non-zero exit\n%s", c.args, out)
+			continue
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Errorf("%v: output missing %q:\n%s", c.args, c.want, out)
+		}
+	}
+}
+
+// One real -faults run end to end: trains the quick-suite benchmark, lowers
+// it once, and sweeps two rates over one seed with protection on.
+func TestSimCLIFaultStudyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	bin := buildSimBinary(t)
+	out, err := exec.Command(bin, "-faults",
+		"-fault-rates", "0,0.2", "-fault-seeds", "1",
+		"-protection", "parity+spare").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rapidnn-sim -faults: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"stuck faults", "protection parity+spare", "error min"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}

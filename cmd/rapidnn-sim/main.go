@@ -9,6 +9,13 @@
 //
 //	rapidnn-sim [-net MNIST] [-w 64] [-u 64] [-chips 1] [-share 0]
 //	rapidnn-sim -net MNIST -sweep 4,16,64 [-workers N]
+//	rapidnn-sim -faults [-fault-rates 0,0.01,0.05] [-fault-model stuck]
+//	            [-protection parity+spare] [-spare-rows 64] [-fault-seeds 3]
+//
+// The -faults mode runs the hardware-in-the-loop reliability study instead
+// of the performance simulation: a small trained benchmark is lowered once,
+// and seeded fault overlays are injected and cleared per sweep point, so the
+// whole grid shares one composed network.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/bench"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/rna"
 )
 
@@ -34,8 +42,19 @@ func main() {
 	trace := flag.String("trace", "", "write the event simulation as a Chrome trace to this file")
 	sweep := flag.String("sweep", "", "comma-separated codebook sizes: simulate every (w,u) pair in parallel instead of a single run")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	faults := flag.Bool("faults", false, "run the seeded fault-injection accuracy study instead of the performance simulation")
+	faultRates := flag.String("fault-rates", "0,0.001,0.01,0.05,0.2", "comma-separated fault rates for -faults")
+	faultModel := flag.String("fault-model", "stuck", "fault model for -faults: stuck, transient, camrow, mixed")
+	protection := flag.String("protection", "none", "protection for -faults: none, parity, spare, tmr, all, or a + combination")
+	spareRows := flag.Int("spare-rows", 64, "per-crossbar spare-row budget when spare protection is enabled")
+	faultSeeds := flag.Int("fault-seeds", 3, "independent fault-map seeds averaged per rate")
 	flag.Parse()
 	bench.Workers = *workers
+
+	if *faults {
+		runFaultStudy(*faultRates, *faultModel, *protection, *spareRows, *faultSeeds)
+		return
+	}
 
 	var hb *bench.HWBench
 	for _, b := range bench.HardwareBenchmarks(*w, *u) {
@@ -166,4 +185,45 @@ func main() {
 	} else {
 		fmt.Printf("\nno static tile placement: %v\n", err)
 	}
+}
+
+// runFaultStudy executes the -faults mode: one small trained benchmark,
+// lowered once, swept over the requested fault rates with every fault map
+// injected as a revertible overlay.
+func runFaultStudy(ratesCSV, model, protection string, spareRows, seeds int) {
+	var rates []float64
+	for _, s := range strings.Split(ratesCSV, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || r < 0 || r > 1 {
+			fmt.Fprintf(os.Stderr, "rapidnn-sim: bad -fault-rates entry %q (want numbers in [0,1])\n", s)
+			os.Exit(1)
+		}
+		rates = append(rates, r)
+	}
+	if seeds < 1 {
+		fmt.Fprintln(os.Stderr, "rapidnn-sim: -fault-seeds must be at least 1")
+		os.Exit(1)
+	}
+	prot, err := fault.ParseProtection(protection, spareRows)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)
+		os.Exit(1)
+	}
+	// Validate the model name before paying for training.
+	if _, err := fault.ForModel(model, 0, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("training the reliability-study benchmark (quick suite)...")
+	r, err := bench.FaultStudy(bench.NewSuite(true), bench.FaultStudyConfig{
+		Rates:      rates,
+		Seeds:      bench.DefaultFaultSeeds(seeds),
+		Model:      model,
+		Protection: prot,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-sim: faults: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
 }

@@ -456,20 +456,60 @@ func TestVariationStudyShape(t *testing.T) {
 }
 
 func TestFaultStudyDegrades(t *testing.T) {
-	r, err := FaultStudy(quickSuite(t))
+	r, err := FaultStudy(quickSuite(t), FaultStudyConfig{Seeds: DefaultFaultSeeds(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(r.Rows) < 3 {
 		t.Fatal("too few fault levels")
 	}
-	clean := r.Rows[0].ErrorRate
-	worst := r.Rows[len(r.Rows)-1].ErrorRate
-	if worst <= clean {
-		t.Fatalf("heavy faults did not degrade accuracy: %v → %v", clean, worst)
+	clean := r.Rows[0].Mean
+	worst := r.Rows[len(r.Rows)-1]
+	if worst.Mean <= clean {
+		t.Fatalf("heavy faults did not degrade accuracy: %v → %v", clean, worst.Mean)
 	}
-	if r.Rows[0].FlippedBits != 0 {
-		t.Fatal("zero rate must flip nothing")
+	if r.Rows[0].StuckBits != 0 {
+		t.Fatal("zero rate must pin nothing")
+	}
+	for _, row := range r.Rows {
+		if row.Min > row.Mean || row.Mean > row.Max {
+			t.Fatalf("inconsistent stats at rate %v: %+v", row.Rate, row)
+		}
+	}
+}
+
+func TestProtectionStudyRecoversAccuracy(t *testing.T) {
+	// One lowered network sweeps every (protection, seed) cell via
+	// snapshot/restore; parity+spare must pull the error back near the
+	// fault-free baseline at a rate where the unprotected design degrades.
+	r, err := ProtectionStudy(quickSuite(t), 0.05, DefaultFaultSeeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ProtectionRow{}
+	for _, row := range r.Rows {
+		byName[row.Protection.String()] = row
+	}
+	unprot, ok := byName["none"]
+	if !ok {
+		t.Fatal("sweep missing the unprotected row")
+	}
+	full, ok := byName["parity+spare+tmr"]
+	if !ok {
+		t.Fatal("sweep missing the fully protected row")
+	}
+	if unprot.Mean <= r.Baseline+0.05 {
+		t.Fatalf("unprotected design did not visibly degrade: baseline %v, unprotected %v", r.Baseline, unprot.Mean)
+	}
+	if full.Mean > r.Baseline+0.1 {
+		t.Fatalf("full protection did not recover: baseline %v, protected %v", r.Baseline, full.Mean)
+	}
+	if full.Events.Corrected == 0 || full.Events.Remapped == 0 || full.Events.TMRVotes == 0 {
+		t.Fatalf("protection mechanisms idle: %+v", full.Events)
+	}
+	if full.Overhead.CrossbarArea <= unprot.Overhead.CrossbarArea ||
+		full.Overhead.SearchEnergy <= unprot.Overhead.SearchEnergy {
+		t.Fatalf("protection priced as free: %+v vs %+v", full.Overhead, unprot.Overhead)
 	}
 }
 

@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/composer"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/ndcam"
 	"repro/internal/rna"
 	"repro/internal/tensor"
@@ -45,62 +47,233 @@ func (v *VariationResult) String() string {
 	return s
 }
 
-// FaultResult is the stuck-at fault sweep on the hardware-in-the-loop path.
-type FaultResult struct {
-	Rows []struct {
-		Rate        float64
-		FlippedBits int
-		ErrorRate   float64
+// FaultStudyConfig parameterizes the fault sweep. The zero value picks the
+// historical defaults (stuck-at model, base seed 7, 40 test rows).
+type FaultStudyConfig struct {
+	// Rates are the fault rates swept. Empty uses the default grid.
+	Rates []float64
+	// Seeds are the fault-map seeds averaged at every rate; each seed draws
+	// an independent fault map on the same lowered network. Empty uses
+	// DefaultFaultSeeds(3).
+	Seeds []int64
+	// Samples is the number of test rows evaluated per point (0 = 40).
+	Samples int
+	// Model is the fault.ForModel name: stuck (default), transient, camrow
+	// or mixed.
+	Model string
+	// Protection, when non-zero, shields the network for the whole sweep —
+	// the knob the protection studies turn.
+	Protection fault.Protection
+}
+
+// defaultFaultSeedBase is the historical fixed seed, kept as the base so the
+// first seed of every default sweep reproduces the original study.
+const defaultFaultSeedBase = 7
+
+// DefaultFaultSeeds returns n deterministic fault-map seeds starting at the
+// historical base seed 7.
+func DefaultFaultSeeds(n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = defaultFaultSeedBase + int64(i)*1009
+	}
+	return seeds
+}
+
+func (c *FaultStudyConfig) fill() {
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{0, 0.0001, 0.001, 0.01, 0.05, 0.2}
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = DefaultFaultSeeds(3)
+	}
+	if c.Samples <= 0 {
+		c.Samples = 40
+	}
+	if c.Model == "" {
+		c.Model = "stuck"
 	}
 }
 
-// FaultStudy trains a small model, lowers it to functional hardware, and
-// measures classification error as stuck-at faults accumulate in the
-// product crossbars — the endurance/yield question every NVM accelerator
-// deployment faces.
-func FaultStudy(s *Suite) (*FaultResult, error) {
+// FaultRow is one sweep point: error statistics over the configured seeds.
+type FaultRow struct {
+	Rate      float64
+	StuckBits int // corrupting stuck bits, averaged over seeds
+	Min       float64
+	Mean      float64
+	Max       float64
+}
+
+// FaultResult is the fault sweep on the hardware-in-the-loop path.
+type FaultResult struct {
+	Model      string
+	Seeds      int
+	Protection fault.Protection
+	Rows       []FaultRow
+}
+
+// FaultStudy trains a small model, lowers it to functional hardware ONCE,
+// and measures classification error as faults accumulate — the
+// endurance/yield question every NVM accelerator deployment faces. Faults
+// are overlay-based (inject → evaluate → ClearFaults), so one lowered
+// network serves every (rate, seed) point; per rate the error is averaged
+// over cfg.Seeds independent fault maps and reported as min/mean/max.
+func FaultStudy(s *Suite, cfg FaultStudyConfig) (*FaultResult, error) {
+	cfg.fill()
+	hw, x, labels, err := faultFixture(s, cfg.Samples)
+	if err != nil {
+		return nil, err
+	}
+	hw.SetProtection(cfg.Protection)
+
+	out := &FaultResult{Model: cfg.Model, Seeds: len(cfg.Seeds), Protection: cfg.Protection}
+	for _, rate := range cfg.Rates {
+		row := FaultRow{Rate: rate, Min: 2}
+		for _, seed := range cfg.Seeds {
+			hw.ClearFaults()
+			if rate > 0 {
+				fc, err := fault.ForModel(cfg.Model, rate, seed)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := hw.InjectFaults(fc)
+				if err != nil {
+					return nil, err
+				}
+				row.StuckBits += rep.StuckBits
+			}
+			e, err := hw.ErrorRate(x, labels)
+			if err != nil {
+				return nil, err
+			}
+			row.Mean += e
+			row.Min = math.Min(row.Min, e)
+			row.Max = math.Max(row.Max, e)
+		}
+		row.Mean /= float64(len(cfg.Seeds))
+		row.StuckBits /= len(cfg.Seeds)
+		out.Rows = append(out.Rows, row)
+	}
+	hw.ClearFaults()
+	return out, nil
+}
+
+// faultFixture composes the suite's first benchmark with small codebooks and
+// lowers it to one reusable hardware network plus a fixed evaluation slice.
+func faultFixture(s *Suite, samples int) (*rna.HardwareNetwork, *tensor.Tensor, []int, error) {
 	tb := s.TrainedBenchmarks()[0]
 	cfg := s.ComposerConfig()
 	cfg.WeightClusters, cfg.InputClusters = 16, 16
 	cfg.MaxIterations = 1
 	c, err := composer.Compose(tb.Net, tb.Dataset, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	re := composer.NewReinterpreted(c.Net, c.Plans)
-	const samples = 40
 	in := tb.Dataset.InSize()
 	x := tensor.FromSlice(tb.Dataset.TestX.Data()[:samples*in], samples, in)
 	labels := tb.Dataset.TestY[:samples]
-
-	out := &FaultResult{}
-	for _, rate := range []float64{0, 0.0001, 0.001, 0.01, 0.05, 0.2} {
-		hw, err := rna.BuildHardwareNetwork(re.Net(), c.Plans, device.Default())
-		if err != nil {
-			return nil, err
-		}
-		flipped := 0
-		if rate > 0 {
-			flipped = hw.InjectStuckFaults(rate, 7)
-		}
-		e, err := hw.ErrorRate(x, labels)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, struct {
-			Rate        float64
-			FlippedBits int
-			ErrorRate   float64
-		}{rate, flipped, e})
+	hw, err := rna.BuildHardwareNetwork(re.Net(), c.Plans, device.Default())
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	return out, nil
+	return hw, x, labels, nil
 }
 
 func (f *FaultResult) String() string {
-	s := "Extension: stuck-at faults in the product crossbars (hardware-in-the-loop)\n"
+	s := fmt.Sprintf("Extension: %s faults in the RNA substrate (hardware-in-the-loop, %d seeds, protection %s)\n",
+		f.Model, f.Seeds, f.Protection)
 	for _, r := range f.Rows {
-		s += fmt.Sprintf("  fault rate %7.4f%%: %5d bits flipped → error %.1f%%\n",
-			100*r.Rate, r.FlippedBits, 100*r.ErrorRate)
+		s += fmt.Sprintf("  fault rate %7.4f%%: %6d stuck bits → error min %.1f%% / mean %.1f%% / max %.1f%%\n",
+			100*r.Rate, r.StuckBits, 100*r.Min, 100*r.Mean, 100*r.Max)
+	}
+	return s
+}
+
+// ProtectionRow prices one protection combination under a fixed fault load.
+type ProtectionRow struct {
+	Protection fault.Protection
+	Mean       float64 // mean error over the seeds
+	Overhead   fault.Overhead
+	Events     fault.Snapshot
+}
+
+// ProtectionResult is the protection sweep: accuracy recovered vs hardware
+// paid, at one fault rate.
+type ProtectionResult struct {
+	Rate     float64
+	Baseline float64 // fault-free error of the same lowered network
+	Rows     []ProtectionRow
+}
+
+// ProtectionStudy holds the fault load fixed (stuck cells plus dead NDCAM
+// rows at the given rate) and sweeps the protection mechanisms, reporting
+// the mean error over the seeds next to each combination's analytic
+// area/energy overhead — the yield-vs-cost trade every deployment prices.
+// The same lowered network serves every cell via snapshot/restore.
+func ProtectionStudy(s *Suite, rate float64, seeds []int64) (*ProtectionResult, error) {
+	if len(seeds) == 0 {
+		seeds = DefaultFaultSeeds(3)
+	}
+	const samples = 40
+	const spareBudget = 64
+	hw, x, labels, err := faultFixture(s, samples)
+	if err != nil {
+		return nil, err
+	}
+	base, err := hw.ErrorRate(x, labels)
+	if err != nil {
+		return nil, err
+	}
+	out := &ProtectionResult{Rate: rate, Baseline: base}
+	// Dead rows only: shorted parts are screened at manufacturing test, and
+	// a shorted replica defeats voting on every query, so TMR's honest win
+	// is the dead-row scenario.
+	fc := fault.Config{StuckRate: rate, CAMRowRate: rate, CAMShortFrac: 1e-9}
+	combos := []fault.Protection{
+		{},
+		{Parity: true},
+		{SpareRows: spareBudget},
+		{Parity: true, SpareRows: spareBudget},
+		{TMR: true},
+		{Parity: true, SpareRows: spareBudget, TMR: true},
+	}
+	// Product words per crossbar (16×16 codebooks) for amortizing spares.
+	const crossbarRows = 256
+	for _, p := range combos {
+		hw.FaultCounters().Reset()
+		hw.SetProtection(p)
+		row := ProtectionRow{Protection: p, Overhead: p.Overhead(crossbarRows)}
+		for _, seed := range seeds {
+			hw.ClearFaults()
+			fc.Seed = seed
+			if _, err := hw.InjectFaults(fc); err != nil {
+				return nil, err
+			}
+			e, err := hw.ErrorRate(x, labels)
+			if err != nil {
+				return nil, err
+			}
+			row.Mean += e
+		}
+		row.Mean /= float64(len(seeds))
+		row.Events = hw.FaultCounters().Snapshot()
+		out.Rows = append(out.Rows, row)
+	}
+	hw.ClearFaults()
+	hw.SetProtection(fault.Protection{})
+	return out, nil
+}
+
+func (p *ProtectionResult) String() string {
+	s := fmt.Sprintf("Extension: protection sweep at %.2f%% stuck cells + %.2f%% dead CAM rows (baseline error %.1f%%)\n",
+		100*p.Rate, 100*p.Rate, 100*p.Baseline)
+	s += "  protection        error   xbar-area  cam-area  search-E  read-E   corrected  remapped  tmr-votes\n"
+	for _, r := range p.Rows {
+		s += fmt.Sprintf("  %-16s %6.1f%%   %8.3fx %8.3fx %8.3fx %7.3fx  %9d %9d %10d\n",
+			r.Protection, 100*r.Mean,
+			r.Overhead.CrossbarArea, r.Overhead.CAMArea, r.Overhead.SearchEnergy, r.Overhead.ReadEnergy,
+			r.Events.Corrected, r.Events.Remapped, r.Events.TMRVotes)
 	}
 	return s
 }

@@ -1,0 +1,89 @@
+package composer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// Canaries are golden self-test vectors embedded in a composed artifact at
+// compose time: real inputs paired with the reinterpreted model's own
+// prediction for each. A serving layer replays them periodically against the
+// model it is actually executing — any divergence means the deployed copy no
+// longer computes what the composer shipped (disk corruption, a bad reload,
+// or accumulated substrate faults) and the model should be taken out of
+// rotation until it is scrubbed.
+type Canary struct {
+	// Input is one input vector, InSize features.
+	Input []float32
+	// Pred is the reinterpreted model's argmax class for Input at compose
+	// time — the golden answer.
+	Pred int
+}
+
+// buildCanaries records n golden vectors spread evenly across the test
+// split, labeled with the composed model's own reinterpreted predictions.
+func buildCanaries(c *Composed, ds *dataset.Dataset, n int) []Canary {
+	rows := ds.TestX.Dim(0)
+	if rows == 0 || n <= 0 {
+		return nil
+	}
+	if n > rows {
+		n = rows
+	}
+	re := NewReinterpreted(c.Net, c.Plans)
+	in := ds.InSize()
+	stride := rows / n
+	out := make([]Canary, 0, n)
+	for i := 0; i < n; i++ {
+		row := i * stride
+		x := append([]float32(nil), ds.TestX.Data()[row*in:(row+1)*in]...)
+		pred := re.Predict(tensor.FromSlice(x, 1, in))[0]
+		out = append(out, Canary{Input: x, Pred: pred})
+	}
+	return out
+}
+
+// SynthesizeCanaries equips a model that carries no canaries — an artifact
+// composed before canaries existed, or a demo model built without a dataset
+// — with n deterministic pseudo-random golden vectors labeled by the model's
+// own predictions. Models that already carry canaries are left untouched.
+func (c *Composed) SynthesizeCanaries(n int, seed int64) {
+	if len(c.Canaries) > 0 || n <= 0 {
+		return
+	}
+	in := c.Net.InSize()
+	rng := rand.New(rand.NewSource(seed))
+	re := NewReinterpreted(c.Net, c.Plans)
+	for i := 0; i < n; i++ {
+		x := make([]float32, in)
+		for j := range x {
+			x[j] = rng.Float32()*2 - 1
+		}
+		pred := re.Predict(tensor.FromSlice(x, 1, in))[0]
+		c.Canaries = append(c.Canaries, Canary{Input: x, Pred: pred})
+	}
+}
+
+// CheckCanaries replays every canary through the model's software
+// reinterpreted path and returns the number of divergent answers. It is the
+// reference self-test; serving layers with a hardware path compare against
+// their own golden captures instead.
+func (c *Composed) CheckCanaries() (failed int, err error) {
+	if len(c.Canaries) == 0 {
+		return 0, fmt.Errorf("composer: model carries no canaries")
+	}
+	re := NewReinterpreted(c.Net, c.Plans)
+	in := c.Net.InSize()
+	for _, cn := range c.Canaries {
+		if len(cn.Input) != in {
+			return 0, fmt.Errorf("composer: canary has %d features, model wants %d", len(cn.Input), in)
+		}
+		if re.Predict(tensor.FromSlice(append([]float32(nil), cn.Input...), 1, in))[0] != cn.Pred {
+			failed++
+		}
+	}
+	return failed, nil
+}

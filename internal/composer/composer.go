@@ -61,7 +61,11 @@ type Config struct {
 	// prior work while clustering recovers the baseline). Kept for the
 	// ablation.
 	LinearCodebooks bool
-	Seed            int64
+	// Canaries is the number of golden self-test vectors embedded in the
+	// composed artifact (test-split inputs paired with the reinterpreted
+	// model's predictions). 0 keeps the default of 8; negative disables.
+	Canaries int
+	Seed     int64
 }
 
 // DefaultConfig returns the paper's default operating point.
@@ -121,6 +125,9 @@ type Composed struct {
 	FinalError    float64
 	History       []IterationStats
 	TotalEpochs   int
+	// Canaries are the golden self-test vectors recorded at compose time
+	// (canary.go); they ship inside the serialized artifact.
+	Canaries []Canary
 }
 
 // DeltaE returns the accuracy loss Δe = e_clustered − e_baseline (§3.2).
@@ -180,7 +187,22 @@ func Compose(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Composed, error
 	out.Net = best.net
 	out.Plans = best.plans
 	out.FinalError = best.err
+	if n := cfg.canaryCount(); n > 0 {
+		out.Canaries = buildCanaries(out, ds, n)
+	}
 	return out, nil
+}
+
+// canaryCount resolves the Canaries knob: 0 means the default of 8,
+// negative disables embedding.
+func (c Config) canaryCount() int {
+	if c.Canaries < 0 {
+		return 0
+	}
+	if c.Canaries == 0 {
+		return 8
+	}
+	return c.Canaries
 }
 
 type nnSnapshot struct {

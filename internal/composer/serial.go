@@ -59,6 +59,9 @@ type modelSnapshot struct {
 	BaselineError float64
 	FinalError    float64
 	TotalEpochs   int
+	// Canaries may be absent in artifacts written before the reliability
+	// subsystem; gob leaves the field empty and loaders synthesize instead.
+	Canaries []Canary
 }
 
 // Save writes the composed model (retrained network + plans + quality
@@ -70,6 +73,7 @@ func (c *Composed) Save(w io.Writer) error {
 		BaselineError: c.BaselineError,
 		FinalError:    c.FinalError,
 		TotalEpochs:   c.TotalEpochs,
+		Canaries:      c.Canaries,
 	}
 	for _, l := range c.Net.Layers {
 		ls, err := snapshotLayer(l)
@@ -125,6 +129,16 @@ func Load(r io.Reader) (c *Composed, err error) {
 	if len(c.Plans) != len(net.Layers) {
 		return nil, fmt.Errorf("composer: %d plans for %d layers", len(c.Plans), len(net.Layers))
 	}
+	for i, cn := range snap.Canaries {
+		if len(cn.Input) != net.InSize() {
+			return nil, fmt.Errorf("composer: canary %d has %d features, network wants %d",
+				i, len(cn.Input), net.InSize())
+		}
+		if cn.Pred < 0 || cn.Pred >= net.OutSize() {
+			return nil, fmt.Errorf("composer: canary %d predicts class %d of %d", i, cn.Pred, net.OutSize())
+		}
+	}
+	c.Canaries = snap.Canaries
 	return c, nil
 }
 

@@ -116,6 +116,32 @@ func TestAddManyMatchesNativeProperty(t *testing.T) {
 	}
 }
 
+// Property: the agreement holds at every word width and for full-range
+// operands, not just the 16-bit-in-32-bit regime — native addition wraps
+// mod 2^64 and the crossbar sum must equal it mod 2^width.
+func TestAddManyMatchesNativeAnyWidthProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + rng.Intn(64)
+		n := 1 + rng.Intn(40)
+		vals := make([]uint64, n)
+		var want uint64
+		for i := range vals {
+			vals[i] = rng.Uint64()
+			want += vals[i]
+		}
+		got, _ := AddMany(dev(), vals, width)
+		mask := uint64(1)<<width - 1
+		if width == 64 {
+			mask = ^uint64(0)
+		}
+		return got == want&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAddManyChargesWork(t *testing.T) {
 	_, small := AddMany(dev(), []uint64{1, 2, 3}, 16)
 	_, big := AddMany(dev(), make([]uint64, 64), 16)

@@ -1,0 +1,137 @@
+package fault
+
+import "math/bits"
+
+// This file implements a genuine (39,32) Hamming SEC-DED code: 32 data
+// bits, 6 Hamming check bits and one overall parity bit. Single-bit errors
+// anywhere in the code word (data, check or parity cell) are corrected,
+// double-bit errors are detected but not correctable, and triple-or-wider
+// errors can silently miscorrect — exactly the failure envelope a real
+// memory ECC exhibits, which the protection sweep is meant to expose.
+//
+// Layout: code-word positions 1..38 hold the Hamming code; positions that
+// are powers of two (1,2,4,8,16,32) carry check bits, the remaining 32
+// positions carry the data bits in ascending order. The overall parity bit
+// covers positions 1..38.
+
+// CheckBits is the number of redundant cells SEC-DED adds per 32-bit word:
+// 6 Hamming bits plus the overall parity bit.
+const CheckBits = 7
+
+// dataPos[i] is the code-word position of data bit i.
+var dataPos = func() [32]int {
+	var pos [32]int
+	i := 0
+	for p := 1; p <= 38; p++ {
+		if p&(p-1) == 0 { // power of two: check-bit position
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	return pos
+}()
+
+// hammingSyndrome computes the 6-bit syndrome of the data bits alone: the
+// XOR of the positions of all set data bits.
+func hammingSyndrome(data uint32) int {
+	s := 0
+	for i := 0; data != 0; i++ {
+		if data&1 == 1 {
+			s ^= dataPos[i]
+		}
+		data >>= 1
+	}
+	return s
+}
+
+// EncodeSECDED computes the 7 check bits of a data word: bits 0..5 are the
+// Hamming check bits (for positions 1,2,4,8,16,32), bit 6 is the overall
+// parity over data and check bits.
+func EncodeSECDED(data uint32) uint8 {
+	syn := hammingSyndrome(data)
+	// Each check bit makes the parity of its covered positions even, so the
+	// stored check bits equal the data-only syndrome bits.
+	check := uint8(syn) & 0x3f
+	overall := uint(bits.OnesCount32(data)+bits.OnesCount8(check)) & 1
+	return check | uint8(overall)<<6
+}
+
+// SECDEDStatus classifies the outcome of one decode.
+type SECDEDStatus int
+
+const (
+	// SECDEDClean: syndrome and parity agree with the stored word.
+	SECDEDClean SECDEDStatus = iota
+	// SECDEDCorrected: a single-bit error was located and corrected (it may
+	// have been in a data, check or parity cell).
+	SECDEDCorrected
+	// SECDEDUncorrectable: a double-bit error was detected; the returned
+	// data is the stored (faulty) word.
+	SECDEDUncorrectable
+)
+
+// DecodeSECDED checks a stored data word against its stored check bits and
+// returns the corrected word and the outcome. With three or more bit errors
+// the syndrome may point at an innocent cell, in which case the "corrected"
+// word is wrong — SEC-DED's silent-miscorrection envelope, preserved on
+// purpose.
+func DecodeSECDED(data uint32, check uint8) (uint32, SECDEDStatus) {
+	syn := hammingSyndrome(data) ^ int(check&0x3f)
+	parityOK := uint(bits.OnesCount32(data)+bits.OnesCount8(check))&1 == 0
+	switch {
+	case syn == 0 && parityOK:
+		return data, SECDEDClean
+	case syn == 0 && !parityOK:
+		// The overall parity cell itself flipped; data is intact.
+		return data, SECDEDCorrected
+	case !parityOK:
+		// Odd number of flipped cells with a non-zero syndrome: treat as a
+		// single-bit error at position syn (miscorrects on ≥3 flips).
+		for i, p := range dataPos {
+			if p == syn {
+				return data ^ 1<<uint(i), SECDEDCorrected
+			}
+		}
+		// syn names a check-bit position: the data word is intact.
+		return data, SECDEDCorrected
+	default:
+		// Non-zero syndrome with even parity: double-bit error.
+		return data, SECDEDUncorrectable
+	}
+}
+
+// splitmix64 is the SplitMix64 mixer — a high-quality stateless hash used
+// to derive per-read transient randomness without shared mutable RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a hash to [0,1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// TransientMask draws the flip mask of one read event: each of the low
+// `bitWidth` bits flips independently with probability rate. The draw is a
+// pure function of (seed, event), so concurrent readers need only a shared
+// atomic event counter, not a locked RNG. It returns the mask and the
+// number of flipped bits.
+func TransientMask(seed int64, event uint64, bitWidth int, rate float64) (uint64, int) {
+	if rate <= 0 {
+		return 0, 0
+	}
+	var mask uint64
+	flips := 0
+	base := splitmix64(uint64(seed) ^ event*0x9e3779b97f4a7c15)
+	for b := 0; b < bitWidth; b++ {
+		if unitFloat(splitmix64(base^uint64(b)*0xbf58476d1ce4e5b9)) < rate {
+			mask |= 1 << uint(b)
+			flips++
+		}
+	}
+	return mask, flips
+}

@@ -113,6 +113,33 @@ func (n *NDCAM) Search(query uint64) int {
 // the CAM. Any number of goroutines may call it concurrently as long as no
 // Write/Reset runs at the same time.
 func (n *NDCAM) SearchStats(query uint64) (int, Stats) {
+	return n.SearchStatsFaulty(query, nil)
+}
+
+// RowFault describes the failure state of one CAM row — the overlay the
+// fault layer injects without mutating the stored patterns, so any fault
+// map is revertible by dropping the overlay.
+type RowFault uint8
+
+const (
+	// RowOK: the row behaves normally.
+	RowOK RowFault = iota
+	// RowDead: the match line never discharges, so the row can never win a
+	// search (always-miss).
+	RowDead
+	// RowShort: the match line discharges instantly regardless of the
+	// query, so the row wins every search it takes part in (always-match).
+	RowShort
+)
+
+// SearchStatsFaulty searches under a row-fault overlay: rf[i] (when i is in
+// range) is row i's failure state. A shorted row discharges before any
+// genuine match, so the lowest-indexed shorted row wins outright; dead rows
+// are excluded from sensing. If every row is excluded the sense amplifier
+// latches its default — row 0. A nil or empty overlay is the fault-free
+// search. Like SearchStats it mutates nothing and is safe for concurrent
+// use alongside other searches.
+func (n *NDCAM) SearchStatsFaulty(query uint64, rf []RowFault) (int, Stats) {
 	if len(n.rows) == 0 {
 		panic("ndcam: search on empty CAM")
 	}
@@ -121,18 +148,35 @@ func (n *NDCAM) SearchStats(query uint64) (int, Stats) {
 		Cycles:   int64(n.Stages() * n.dev.AMSearchCycles),
 		EnergyJ:  n.dev.AMSearchEnergy * float64(len(n.rows)) / float64(n.dev.AMRows),
 	}
+	cand := make([]int, 0, len(n.rows))
+	for i := range n.rows {
+		if i < len(rf) {
+			if rf[i] == RowShort {
+				// Instant discharge beats every genuine match; the first
+				// shorted row is the one the sense amplifier latches.
+				return i, stats
+			}
+			if rf[i] == RowDead {
+				continue
+			}
+		}
+		cand = append(cand, i)
+	}
+	if len(cand) == 0 {
+		return 0, stats
+	}
 	query &= n.mask()
 	switch n.mode {
 	case Hamming:
-		best, bestD := 0, math.MaxInt
-		for i, r := range n.rows {
-			if d := bits.OnesCount64(r ^ query); d < bestD {
+		best, bestD := cand[0], math.MaxInt
+		for _, i := range cand {
+			if d := bits.OnesCount64(n.rows[i] ^ query); d < bestD {
 				best, bestD = i, d
 			}
 		}
 		return best, stats
 	default:
-		return n.searchWeighted(query), stats
+		return n.searchWeighted(query, cand), stats
 	}
 }
 
@@ -141,11 +185,7 @@ func (n *NDCAM) SearchStats(query uint64) (int, Stats) {
 // binary-weighted sum of its matched bits, so the surviving rows are those
 // minimizing the stage's mismatch integer. Lexicographic minimization over
 // MSB-first stages equals minimizing the full bit-weighted mismatch.
-func (n *NDCAM) searchWeighted(query uint64) int {
-	cand := make([]int, len(n.rows))
-	for i := range cand {
-		cand[i] = i
-	}
+func (n *NDCAM) searchWeighted(query uint64, cand []int) int {
 	stages := n.Stages()
 	for s := stages - 1; s >= 0 && len(cand) > 1; s-- {
 		shift := uint(s * n.stageBits)

@@ -1,0 +1,336 @@
+package rna
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/ndcam"
+)
+
+// This file wires the fault models of internal/fault into the functional
+// hardware path. Every model is an overlay over the pristine configuration:
+// the pre-computed product tables and the CAM contents are never mutated, a
+// faulty read composes the pristine word with the drawn fault map on the fly,
+// and dropping the overlay (ClearFaults) restores the block bit-exactly. One
+// composed network can therefore sweep many fault configurations — and many
+// protection combinations per configuration — without re-lowering.
+
+// wordFaults pins individual cells of one stored product word. sa0/sa1 cover
+// the fault-susceptible data cells, csa0/csa1 the SEC-DED check cells (drawn
+// unconditionally so toggling parity after injection sees a consistent map).
+type wordFaults struct {
+	sa0, sa1   uint64
+	csa0, csa1 uint8
+}
+
+// faultState is one drawn fault map. It is written only at injection time;
+// during inference it is read-only except for the atomic read-event counter,
+// so concurrent inference workers need no locking.
+type faultState struct {
+	// stuck[w][u] pins cells of product (w,u); nil when no stuck faults drawn.
+	stuck [][]wordFaults
+	// remap[w][u]: the word is remapped to a fault-free spare row and reads
+	// its pristine contents. Rebuilt by reconcileSpares.
+	remap [][]bool
+
+	transientRate float64
+	transientSeed int64
+	// reads numbers every product fetch; the transient mask of a read is a
+	// pure function of (seed, event), so workers share this atomic counter
+	// instead of a locked RNG. The drawn mask sequence is deterministic, but
+	// which fetch receives which event number depends on goroutine and map
+	// iteration order — transient runs are seeded, not bit-reproducible.
+	reads atomic.Uint64
+
+	// Row-failure overlays, three independently drawn replicas per CAM.
+	// Replica 0 is the primary (unprotected) view — enabling TMR adds voting
+	// over replicas 1 and 2 without changing what "unprotected" means.
+	act, enc [3][]ndcam.RowFault
+}
+
+// faultBits is the span of fault-susceptible cells in a stored product word:
+// the device's significant product bits plus the half of the fraction bits
+// that carries real precision (matching the historical injection scope).
+func (r *FuncRNA) faultBits() int {
+	return r.dev.ProductBits + int(r.fracBits)/2
+}
+
+// injectFaults draws a fresh fault map for this block from rng, replacing any
+// previous map, and returns what was drawn. cnt receives protection and
+// transient event counts from subsequent reads (nil disables counting).
+func (r *FuncRNA) injectFaults(cfg fault.Config, rng *rand.Rand, cnt *fault.Counters) fault.Report {
+	f := &faultState{transientRate: cfg.TransientRate, transientSeed: rng.Int63()}
+	rep := fault.Report{TransientRate: cfg.TransientRate}
+	if cfg.StuckRate > 0 {
+		nbits := r.faultBits()
+		oneFrac := cfg.OneFrac()
+		pin := func(w *uint64, b int) {
+			*w |= 1 << uint(b)
+		}
+		f.stuck = make([][]wordFaults, len(r.products))
+		for wi := range r.products {
+			f.stuck[wi] = make([]wordFaults, len(r.products[wi]))
+			for ui := range r.products[wi] {
+				w := &f.stuck[wi][ui]
+				for b := 0; b < nbits; b++ {
+					if rng.Float64() >= cfg.StuckRate {
+						continue
+					}
+					rep.StuckCells++
+					if rng.Float64() < oneFrac {
+						pin(&w.sa1, b)
+					} else {
+						pin(&w.sa0, b)
+					}
+				}
+				var c0, c1 uint64
+				for b := 0; b < fault.CheckBits; b++ {
+					if rng.Float64() >= cfg.StuckRate {
+						continue
+					}
+					rep.StuckCells++
+					if rng.Float64() < oneFrac {
+						pin(&c1, b)
+					} else {
+						pin(&c0, b)
+					}
+				}
+				w.csa0, w.csa1 = uint8(c0), uint8(c1)
+				pristine := uint64(r.products[wi][ui]) & math.MaxUint32
+				rep.StuckBits += bits.OnesCount64(((pristine &^ w.sa0) | w.sa1) ^ pristine)
+			}
+		}
+	}
+	if cfg.CAMRowRate > 0 {
+		shortFrac := cfg.ShortFrac()
+		draw := func(cam *ndcam.NDCAM) (reps [3][]ndcam.RowFault) {
+			if cam == nil {
+				return reps
+			}
+			for k := 0; k < 3; k++ {
+				rf := make([]ndcam.RowFault, cam.Len())
+				for i := range rf {
+					if rng.Float64() >= cfg.CAMRowRate {
+						continue
+					}
+					if rng.Float64() < shortFrac {
+						rf[i] = ndcam.RowShort
+					} else {
+						rf[i] = ndcam.RowDead
+					}
+					if k == 0 {
+						rep.CAMRowsFailed++
+					}
+				}
+				reps[k] = rf
+			}
+			return reps
+		}
+		f.act = draw(r.actCAM)
+		f.enc = draw(r.encCAM)
+	}
+	r.flt = f
+	r.cnt = cnt
+	r.reconcileSpares()
+	return rep
+}
+
+// ClearFaults drops the fault overlay, restoring pristine behaviour exactly.
+// The protection configuration is retained. Like injection, it must not run
+// concurrently with inference.
+func (r *FuncRNA) ClearFaults() { r.flt = nil }
+
+// SetProtection switches the block's protection mechanisms and re-derives
+// the spare-row repair for the current fault map, so injection and protection
+// can be configured in either order. cnt receives the protection event
+// counts (nil disables counting).
+func (r *FuncRNA) SetProtection(p fault.Protection, cnt *fault.Counters) {
+	r.prot = p
+	r.cnt = cnt
+	r.reconcileSpares()
+}
+
+// stuckDiff counts the cells of word (wi,ui) whose pinned value differs from
+// the pristine stored bit — data cells always, check cells only when parity
+// stores them. This is what a march test observes per word.
+func (r *FuncRNA) stuckDiff(wi, ui int) int {
+	w := &r.flt.stuck[wi][ui]
+	pristine := uint64(r.products[wi][ui]) & math.MaxUint32
+	d := bits.OnesCount64(((pristine &^ w.sa0) | w.sa1) ^ pristine)
+	if r.prot.Parity {
+		check := uint64(fault.EncodeSECDED(uint32(pristine)))
+		d += bits.OnesCount64(((check &^ uint64(w.csa0)) | uint64(w.csa1)) ^ check)
+	}
+	return d
+}
+
+// reconcileSpares re-derives the spare-row remap from the current fault map
+// and spare budget — the repair pass a memory controller runs after a march
+// test. The words with the most corrupting pinned cells are remapped first;
+// ties break on table position so the repair is deterministic.
+func (r *FuncRNA) reconcileSpares() {
+	f := r.flt
+	if f == nil || f.stuck == nil {
+		return
+	}
+	f.remap = nil
+	if r.prot.SpareRows <= 0 {
+		return
+	}
+	type cand struct{ wi, ui, diff int }
+	var cands []cand
+	for wi := range f.stuck {
+		for ui := range f.stuck[wi] {
+			if d := r.stuckDiff(wi, ui); d > 0 {
+				cands = append(cands, cand{wi, ui, d})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.diff != b.diff {
+			return a.diff > b.diff
+		}
+		if a.wi != b.wi {
+			return a.wi < b.wi
+		}
+		return a.ui < b.ui
+	})
+	f.remap = make([][]bool, len(f.stuck))
+	for wi := range f.stuck {
+		f.remap[wi] = make([]bool, len(f.stuck[wi]))
+	}
+	for i, c := range cands {
+		if i >= r.prot.SpareRows {
+			if r.cnt != nil {
+				r.cnt.SpareShortfall.Add(int64(len(cands) - i))
+			}
+			break
+		}
+		f.remap[c.wi][c.ui] = true
+		if r.cnt != nil {
+			r.cnt.Remapped.Add(1)
+		}
+	}
+}
+
+// readProduct is the fault-aware fetch of one pre-computed product. With no
+// faults and no parity it is the direct table read. Otherwise the pristine
+// word passes through the stuck-cell overlay (skipped for words remapped to
+// spare rows), the per-read transient mask, and — when parity is on — the
+// SEC-DED decode, whose corrected/uncorrectable outcomes are counted. Safe
+// for concurrent use during inference.
+func (r *FuncRNA) readProduct(wi, ui int) int64 {
+	f := r.flt
+	if f == nil && !r.prot.Parity {
+		return r.products[wi][ui]
+	}
+	data := uint64(r.products[wi][ui]) & math.MaxUint32
+	parity := r.prot.Parity
+	var check uint64
+	if parity {
+		check = uint64(fault.EncodeSECDED(uint32(data)))
+	}
+	if f != nil {
+		if f.stuck != nil && (f.remap == nil || !f.remap[wi][ui]) {
+			w := &f.stuck[wi][ui]
+			data = (data &^ w.sa0) | w.sa1
+			if parity {
+				check = (check &^ uint64(w.csa0)) | uint64(w.csa1)
+			}
+		}
+		if f.transientRate > 0 {
+			ev := f.reads.Add(1)
+			mask, n := fault.TransientMask(f.transientSeed, ev, r.faultBits(), f.transientRate)
+			data ^= mask
+			if parity {
+				cmask, cn := fault.TransientMask(f.transientSeed^checkSeedSalt, ev, fault.CheckBits, f.transientRate)
+				check ^= cmask
+				n += cn
+			}
+			if n > 0 && r.cnt != nil {
+				r.cnt.TransientFlips.Add(int64(n))
+			}
+		}
+	}
+	if parity {
+		fixed, st := fault.DecodeSECDED(uint32(data), uint8(check))
+		switch st {
+		case fault.SECDEDCorrected:
+			if r.cnt != nil {
+				r.cnt.Detected.Add(1)
+				r.cnt.Corrected.Add(1)
+			}
+			data = uint64(fixed)
+		case fault.SECDEDUncorrectable:
+			if r.cnt != nil {
+				r.cnt.Detected.Add(1)
+				r.cnt.Uncorrectable.Add(1)
+			}
+		}
+	}
+	return int64(int32(uint32(data)))
+}
+
+// checkSeedSalt decorrelates the check-cell transient stream from the data
+// stream of the same read event.
+const checkSeedSalt = 0x5ca1ab1e
+
+// searchActCAM / searchEncCAM route the NDCAM searches through the row-fault
+// overlay. Without TMR the primary replica's faults apply directly; with TMR
+// the three independently drawn replicas vote 2-of-3, and a three-way
+// disagreement falls back to the median row index — codebook rows are
+// ordinal, so the median is the least-wrong arbiter. Safe for concurrent use.
+func (r *FuncRNA) searchActCAM(q uint64) int { return r.searchCAM(r.actCAM, true, q) }
+
+func (r *FuncRNA) searchEncCAM(q uint64) int { return r.searchCAM(r.encCAM, false, q) }
+
+func (r *FuncRNA) searchCAM(cam *ndcam.NDCAM, activation bool, q uint64) int {
+	f := r.flt
+	var reps *[3][]ndcam.RowFault
+	if f != nil {
+		if activation {
+			reps = &f.act
+		} else {
+			reps = &f.enc
+		}
+	}
+	if reps == nil || reps[0] == nil {
+		row, _ := cam.SearchStats(q)
+		return row
+	}
+	if !r.prot.TMR {
+		row, _ := cam.SearchStatsFaulty(q, reps[0])
+		return row
+	}
+	var idx [3]int
+	for k := 0; k < 3; k++ {
+		idx[k], _ = cam.SearchStatsFaulty(q, reps[k])
+	}
+	if r.cnt != nil {
+		r.cnt.TMRVotes.Add(1)
+	}
+	switch {
+	case idx[0] == idx[1] || idx[0] == idx[2]:
+		return idx[0]
+	case idx[1] == idx[2]:
+		return idx[1]
+	}
+	if r.cnt != nil {
+		r.cnt.TMRDisagreements.Add(1)
+	}
+	mn, mx := idx[0], idx[0]
+	for _, v := range idx[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return idx[0] + idx[1] + idx[2] - mn - mx
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/counting"
 	"repro/internal/crossbar"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/ndcam"
 	"repro/internal/quant"
 )
@@ -33,6 +34,12 @@ type FuncRNA struct {
 	encCB  []float32
 	encCAM *ndcam.NDCAM
 	encFP  ndcam.FixedPoint
+
+	// Fault overlay and protection (faults.go). flt == nil is the pristine
+	// fast path; prot's zero value is the unprotected design; cnt is nil-safe.
+	flt  *faultState
+	prot fault.Protection
+	cnt  *fault.Counters
 
 	// LastStats reports substrate activity of the most recent Fire.
 	LastStats crossbar.Stats
@@ -135,7 +142,7 @@ func (r *FuncRNA) AccumulateBias(weightIdx, inputIdx []int, bias int64) (float64
 	// 2. Shift-add expansion of each counted product into tree addends.
 	var addends []uint64
 	for p, c := range counts.Counts {
-		prod := r.products[p.W][p.U]
+		prod := r.readProduct(p.W, p.U)
 		for _, t := range counting.Decompose(c) {
 			v := prod << t.Shift
 			if t.Sub {
@@ -162,14 +169,14 @@ func (r *FuncRNA) Activate(pre float64) float64 {
 		}
 		return 0
 	}
-	row, _ := r.actCAM.SearchStats(r.actFP.Encode(pre))
+	row := r.searchActCAM(r.actFP.Encode(pre))
 	return float64(r.actTable.Z[row])
 }
 
 // EncodeValue maps an activation output onto the consuming layer's codebook
 // through the encoder NDCAM (§2.2, Fig. 2d). Safe for concurrent use.
 func (r *FuncRNA) EncodeValue(z float64) (encoded int, value float32) {
-	encoded, _ = r.encCAM.SearchStats(r.encFP.Encode(z))
+	encoded = r.searchEncCAM(r.encFP.Encode(z))
 	return encoded, r.encCB[encoded]
 }
 
@@ -190,30 +197,18 @@ func (r *FuncRNA) MaxPool(encodedWindow []int) int {
 	return encodedWindow[row]
 }
 
-// InjectStuckFaults flips each bit of every pre-stored product with the
-// given probability, modeling stuck-at faults in the crossbar's resistive
-// cells. Products are ProductBits-significant fixed-point words; faults hit
-// the stored word's low dev.ProductBits + sign bits. It returns how many
-// bits flipped.
+// InjectStuckFaults pins each fault-susceptible cell of every pre-stored
+// product with the given probability — stuck-at faults in the crossbar's
+// resistive cells, split evenly between stuck-at-1 and stuck-at-0. A pinned
+// cell is idempotent under re-reads, and the injection is an overlay: the
+// pristine table is untouched, ClearFaults restores the block bit-exactly,
+// and a new injection replaces the previous map. It returns the number of
+// pinned cells whose value differs from the pristine stored bit.
 func (r *FuncRNA) InjectStuckFaults(rate float64, rng *rand.Rand) int {
 	if rate <= 0 {
 		return 0
 	}
-	bits := uint(r.dev.ProductBits)
-	flipped := 0
-	for wi := range r.products {
-		for ui := range r.products[wi] {
-			word := uint64(r.products[wi][ui]) & math.MaxUint32
-			for b := uint(0); b < bits+uint(r.fracBits)/2; b++ {
-				if rng.Float64() < rate {
-					word ^= 1 << b
-					flipped++
-				}
-			}
-			r.products[wi][ui] = int64(int32(uint32(word)))
-		}
-	}
-	return flipped
+	return r.injectFaults(fault.Config{StuckRate: rate}, rng, r.cnt).StuckBits
 }
 
 func toFixed(v float64, frac uint) int64 {

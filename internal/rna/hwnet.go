@@ -11,6 +11,7 @@ import (
 	"repro/internal/composer"
 	"repro/internal/crossbar"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -41,6 +42,11 @@ type HardwareNetwork struct {
 	// is folded once per input, in input order, so serial and batched runs
 	// accumulate bit-identical totals.
 	Stats crossbar.Stats
+
+	// prot is the active protection configuration; faultCnt accumulates the
+	// fault and protection events of every RNA block (concurrent-safe).
+	prot     fault.Protection
+	faultCnt fault.Counters
 }
 
 type hwLayer struct {
@@ -540,20 +546,77 @@ func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Sta
 	return preds, total, nil
 }
 
-// InjectStuckFaults flips each stored product bit with the given rate in
-// every RNA's crossbar — stuck-at faults in the resistive cells. It returns
-// the number of flipped bits; use ErrorRate afterwards to measure the
-// accuracy impact. It mutates the shared product tables, so it must not run
-// concurrently with Infer/InferBatch.
-func (h *HardwareNetwork) InjectStuckFaults(rate float64, seed int64) int {
-	rng := rand.New(rand.NewSource(seed))
-	flipped := 0
+// eachRNA visits every functional RNA block of the network — including
+// recurrent loop blocks — in a fixed layer order, so seeded injection draws
+// identical fault maps across runs.
+func (h *HardwareNetwork) eachRNA(fn func(*FuncRNA)) {
 	for _, hl := range h.layers {
 		for _, r := range hl.rnas {
-			flipped += r.InjectStuckFaults(rate, rng)
+			fn(r)
+		}
+		if hl.rnnLoop != nil {
+			fn(hl.rnnLoop)
 		}
 	}
-	return flipped
+}
+
+// InjectFaults draws the seeded fault scenario described by cfg over every
+// RNA block — pinned product cells, per-read transient flips, failed NDCAM
+// rows — and reports what was drawn. The injection is overlay-based: the
+// pristine configuration is never mutated, ClearFaults reverts it exactly,
+// and re-injecting replaces the previous map, so one composed network can
+// sweep many fault configurations without re-lowering. Must not run
+// concurrently with inference.
+func (h *HardwareNetwork) InjectFaults(cfg fault.Config) (fault.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return fault.Report{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := fault.Report{TransientRate: cfg.TransientRate}
+	h.eachRNA(func(r *FuncRNA) {
+		sub := r.injectFaults(cfg, rng, &h.faultCnt)
+		rep.StuckCells += sub.StuckCells
+		rep.StuckBits += sub.StuckBits
+		rep.CAMRowsFailed += sub.CAMRowsFailed
+	})
+	return rep, nil
+}
+
+// ClearFaults drops every block's fault overlay, restoring the pristine
+// network bit-exactly. The protection configuration is retained. Must not
+// run concurrently with inference.
+func (h *HardwareNetwork) ClearFaults() {
+	h.eachRNA(func(r *FuncRNA) { r.ClearFaults() })
+}
+
+// SetProtection switches the protection mechanisms on every block and
+// re-derives the spare-row repair for the current fault map (injection and
+// protection compose in either order). Must not run concurrently with
+// inference.
+func (h *HardwareNetwork) SetProtection(p fault.Protection) {
+	h.prot = p
+	h.eachRNA(func(r *FuncRNA) { r.SetProtection(p, &h.faultCnt) })
+}
+
+// Protection returns the active protection configuration.
+func (h *HardwareNetwork) Protection() fault.Protection { return h.prot }
+
+// FaultCounters exposes the network's fault and protection event counters.
+// Callers typically Reset before a measurement and Snapshot after.
+func (h *HardwareNetwork) FaultCounters() *fault.Counters { return &h.faultCnt }
+
+// InjectStuckFaults pins each stored product cell with the given rate in
+// every RNA's crossbar — the plain stuck-at scenario, a convenience wrapper
+// over InjectFaults. Unlike the historical implementation it no longer
+// mutates the product tables: ClearFaults reverts it. It returns the number
+// of corrupting pinned bits; use ErrorRate afterwards to measure the
+// accuracy impact. Must not run concurrently with Infer/InferBatch.
+func (h *HardwareNetwork) InjectStuckFaults(rate float64, seed int64) int {
+	rep, err := h.InjectFaults(fault.Config{StuckRate: rate, Seed: seed})
+	if err != nil {
+		return 0
+	}
+	return rep.StuckBits
 }
 
 // ErrorRate classifies every row of x through the hardware and returns the

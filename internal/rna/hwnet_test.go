@@ -148,13 +148,16 @@ func TestHardwareNetworkFaultInjection(t *testing.T) {
 	testX := tensor.FromSlice(ds.TestX.Data()[:40*ds.InSize()], 40, ds.InSize())
 	labels := ds.TestY[:40]
 
+	// One lowered network serves the whole sweep: injection is a revertible
+	// overlay, so each rate starts from the same pristine configuration.
+	hw, err := BuildHardwareNetwork(re.Net(), c.Plans, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
 	errAt := func(rate float64) float64 {
-		hw, err := BuildHardwareNetwork(re.Net(), c.Plans, dev())
-		if err != nil {
-			t.Fatal(err)
-		}
+		hw.ClearFaults()
 		if rate > 0 {
-			if flipped := hw.InjectStuckFaults(rate, 7); flipped == 0 {
+			if flipped := hw.InjectStuckFaults(rate, faultTestSeed); flipped == 0 {
 				t.Fatalf("no faults injected at rate %v", rate)
 			}
 		}

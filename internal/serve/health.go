@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/composer"
+	"repro/internal/tensor"
+)
+
+// Online health: every served model carries golden canary vectors (embedded
+// at compose time, or synthesized deterministically at load). A periodic
+// self-test replays them through the model's actual execution paths; any
+// divergence marks the model degraded, /healthz and /v1/models flip, and
+// predict requests for that model are shed with 503s while healthy models
+// keep answering. Scrub reloads the executor state — from the artifact file
+// when the model came from disk, from the in-memory Composed otherwise — and
+// re-tests, bringing a recovered model back into rotation.
+
+// CanaryReport is the outcome of one self-test pass over a model.
+type CanaryReport struct {
+	Model string    `json:"model"`
+	Time  time.Time `json:"time"`
+	// Total is the number of canary vectors replayed per path.
+	Total int `json:"total"`
+	// SoftwareFailed counts canaries whose software-path answer diverged
+	// from the artifact's embedded golden prediction.
+	SoftwareFailed int `json:"software_failed"`
+	// HardwareFailed counts canaries whose hardware-path answer diverged
+	// from the pristine lowering's own captured answer (0 when the model
+	// serves no hardware path).
+	HardwareFailed int `json:"hardware_failed"`
+	// Degraded is the verdict: any divergence on any path.
+	Degraded bool `json:"degraded"`
+}
+
+// canaryTensor flattens a model's canary inputs into one batch.
+func canaryTensor(c *composer.Composed) *tensor.Tensor {
+	if len(c.Canaries) == 0 {
+		return nil
+	}
+	in := c.Net.InSize()
+	flat := make([]float32, 0, len(c.Canaries)*in)
+	for _, cn := range c.Canaries {
+		flat = append(flat, cn.Input...)
+	}
+	return tensor.FromSlice(flat, len(c.Canaries), in)
+}
+
+// SelfTest replays the model's canaries through every served path, updates
+// the model's health state and returns the report. It is safe to call
+// concurrently with inference: both paths are evaluated re-entrantly.
+func (m *Model) SelfTest() CanaryReport {
+	m.mu.RLock()
+	c, re, hw, golden := m.Composed, m.re, m.hw, m.hwGolden
+	m.mu.RUnlock()
+	rep := CanaryReport{Model: m.Name, Time: time.Now(), Total: len(c.Canaries)}
+	x := canaryTensor(c)
+	if x == nil {
+		// No canaries means no evidence either way; stay in rotation.
+		m.setHealth(rep)
+		return rep
+	}
+	preds := re.Predict(x)
+	for i, cn := range c.Canaries {
+		if preds[i] != cn.Pred {
+			rep.SoftwareFailed++
+		}
+	}
+	if hw != nil {
+		hp, _, err := hw.InferBatchStats(x)
+		if err != nil {
+			rep.HardwareFailed = rep.Total
+		} else {
+			for i := range hp {
+				if hp[i] != golden[i] {
+					rep.HardwareFailed++
+				}
+			}
+		}
+	}
+	rep.Degraded = rep.SoftwareFailed > 0 || rep.HardwareFailed > 0
+	m.setHealth(rep)
+	return rep
+}
+
+func (m *Model) setHealth(rep CanaryReport) {
+	m.mu.Lock()
+	m.degraded = rep.Degraded
+	m.lastTest = rep
+	m.mu.Unlock()
+}
+
+// Degraded reports whether the last self-test failed. A model that has never
+// been tested is healthy.
+func (m *Model) Degraded() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.degraded
+}
+
+// LastReport returns the most recent self-test report and whether one has
+// run yet.
+func (m *Model) LastReport() (CanaryReport, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.lastTest, !m.lastTest.Time.IsZero()
+}
+
+// Scrub rebuilds the model's executor state — reloading the artifact file
+// for disk-backed models, re-deriving the execution paths from the in-memory
+// Composed otherwise — then re-runs the self-test and returns its report.
+// In-flight requests finish on the old state; later batches see the new one.
+func (m *Model) Scrub() (CanaryReport, error) {
+	var fresh *Model
+	var err error
+	m.mu.RLock()
+	srcPath, hardware, hwWorkers := m.srcPath, m.hardware, m.hwWorkers
+	c := m.Composed
+	m.mu.RUnlock()
+	if srcPath != "" {
+		fresh, err = LoadModelFile(m.Name, srcPath, hardware, hwWorkers)
+	} else {
+		// NewReinterpreted clones the network, so the in-memory Composed is
+		// still pristine even if the served executor state decayed.
+		fresh, err = NewModel(m.Name, c, hardware, hwWorkers)
+	}
+	if err != nil {
+		return CanaryReport{}, fmt.Errorf("serve: scrubbing %s: %w", m.Name, err)
+	}
+	m.mu.Lock()
+	m.Composed = fresh.Composed
+	m.re = fresh.re
+	m.hw = fresh.hw
+	m.hwGolden = fresh.hwGolden
+	m.mu.Unlock()
+	return m.SelfTest(), nil
+}

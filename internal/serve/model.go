@@ -30,22 +30,50 @@ const (
 )
 
 // Model is one served artifact: the composed model plus the execution paths
-// instantiated from it.
+// instantiated from it. The executor state (Composed, software and hardware
+// paths) can be atomically replaced by Scrub, so concurrent readers go
+// through the locked accessors rather than the fields.
 type Model struct {
-	Name     string
+	Name string
+	// Composed is the loaded artifact. Treat as read-only once the model is
+	// served: Scrub swaps it under the model lock.
 	Composed *composer.Composed
-	re       *composer.Reinterpreted
-	hw       *rna.HardwareNetwork
+
+	mu sync.RWMutex
+	re *composer.Reinterpreted
+	hw *rna.HardwareNetwork
+	// hwGolden is the hardware path's own answer to every canary, captured
+	// at build time while the lowered network is known-pristine. Hardware
+	// inference is deterministic, so later divergence means the executor
+	// state decayed. (The software path checks against the artifact's
+	// embedded predictions instead, which also catches disk corruption.)
+	hwGolden []int
+	degraded bool
+	lastTest CanaryReport
+
+	// Rebuild recipe for Scrub.
+	srcPath   string // artifact file to reload, "" for in-memory models
+	hardware  bool
+	hwWorkers int
 }
+
+// canarySeed seeds SynthesizeCanaries for artifacts that carry none.
+const canarySeed = 1
 
 // NewModel wraps a composed model for serving. When hardware is true the
 // functional-hardware path is lowered too, with hwWorkers bounding its
-// batch fan-out (0 = GOMAXPROCS).
+// batch fan-out (0 = GOMAXPROCS). Models without embedded canaries get
+// deterministic synthesized ones, so every served model can self-test.
 func NewModel(name string, c *composer.Composed, hardware bool, hwWorkers int) (*Model, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: model needs a name")
 	}
-	m := &Model{Name: name, Composed: c, re: composer.NewReinterpreted(c.Net, c.Plans)}
+	c.SynthesizeCanaries(8, canarySeed)
+	m := &Model{
+		Name: name, Composed: c,
+		re:       composer.NewReinterpreted(c.Net, c.Plans),
+		hardware: hardware, hwWorkers: hwWorkers,
+	}
 	if hardware {
 		hw, err := rna.BuildHardwareNetwork(m.re.Net(), c.Plans, device.Default())
 		if err != nil {
@@ -53,6 +81,11 @@ func NewModel(name string, c *composer.Composed, hardware bool, hwWorkers int) (
 		}
 		hw.Workers = hwWorkers
 		m.hw = hw
+		golden, _, err := hw.InferBatchStats(canaryTensor(c))
+		if err != nil {
+			return nil, fmt.Errorf("serve: capturing %s hardware canaries: %w", name, err)
+		}
+		m.hwGolden = golden
 	}
 	return m, nil
 }
@@ -74,17 +107,45 @@ func LoadModelFile(name, path string, hardware bool, hwWorkers int) (*Model, err
 		base := filepath.Base(path)
 		name = strings.TrimSuffix(base, filepath.Ext(base))
 	}
-	return NewModel(name, c, hardware, hwWorkers)
+	m, err := NewModel(name, c, hardware, hwWorkers)
+	if err != nil {
+		return nil, err
+	}
+	m.srcPath = path
+	return m, nil
+}
+
+// composed returns the current artifact under the model lock (Scrub swaps
+// it).
+func (m *Model) composed() *composer.Composed {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.Composed
+}
+
+func (m *Model) software() *composer.Reinterpreted {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.re
+}
+
+func (m *Model) hwNet() *rna.HardwareNetwork {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.hw
 }
 
 // InSize returns the number of input features a request row must carry.
-func (m *Model) InSize() int { return m.Composed.Net.InSize() }
+func (m *Model) InSize() int { return m.composed().Net.InSize() }
 
 // Classes returns the number of output classes.
-func (m *Model) Classes() int { return m.Composed.Net.OutSize() }
+func (m *Model) Classes() int { return m.composed().Net.OutSize() }
+
+// Topology describes the served network's layer structure.
+func (m *Model) Topology() string { return m.composed().Net.Topology() }
 
 // HasHardware reports whether the functional-hardware path was lowered.
-func (m *Model) HasHardware() bool { return m.hw != nil }
+func (m *Model) HasHardware() bool { return m.hwNet() != nil }
 
 // inferFn returns the batch-evaluation function of one execution path. Both
 // are pure per row, so the batcher's coalescing cannot change any answer;
@@ -98,11 +159,11 @@ func (m *Model) inferFn(p Path) (InferFn, error) {
 			for _, row := range rows {
 				flat = append(flat, row...)
 			}
-			preds := m.re.Predict(tensor.FromSlice(flat, len(rows), in))
+			preds := m.software().Predict(tensor.FromSlice(flat, len(rows), in))
 			return preds, crossbar.Stats{}, nil
 		}, nil
 	case PathHardware:
-		if m.hw == nil {
+		if m.hwNet() == nil {
 			return nil, fmt.Errorf("serve: model %s was loaded without the hardware path", m.Name)
 		}
 		in := m.InSize()
@@ -111,7 +172,7 @@ func (m *Model) inferFn(p Path) (InferFn, error) {
 			for _, row := range rows {
 				flat = append(flat, row...)
 			}
-			return m.hw.InferBatchStats(tensor.FromSlice(flat, len(rows), in))
+			return m.hwNet().InferBatchStats(tensor.FromSlice(flat, len(rows), in))
 		}, nil
 	}
 	return nil, fmt.Errorf("serve: unknown path %q (valid: %s, %s)", p, PathSoftware, PathHardware)

@@ -18,6 +18,11 @@ type Config struct {
 	// RequestTimeout bounds each request's end-to-end time server-side;
 	// 0 disables. Client cancellation is honored regardless.
 	RequestTimeout time.Duration
+	// CanaryInterval is the period of the canary self-test loop: every
+	// registered model replays its golden vectors and is taken out of
+	// rotation (503) on divergence. 0 disables the loop; self-tests can
+	// still run on demand via RunCanaries or POST /v1/scrub.
+	CanaryInterval time.Duration
 }
 
 // lane is one (model, path) serving pipeline: its batcher and its metrics.
@@ -43,6 +48,10 @@ type Server struct {
 	mu     sync.Mutex
 	lanes  map[string]*lane
 	closed bool
+
+	// Canary loop lifecycle (nil channels when the loop is disabled).
+	canaryStop chan struct{}
+	canaryDone chan struct{}
 }
 
 // NewServer builds a server over the registry. The registry may keep
@@ -57,9 +66,46 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/scrub", s.handleScrub)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	if cfg.CanaryInterval > 0 {
+		s.canaryStop = make(chan struct{})
+		s.canaryDone = make(chan struct{})
+		go s.canaryLoop(cfg.CanaryInterval)
+	}
 	return s
+}
+
+// canaryLoop periodically self-tests every registered model. The first pass
+// runs immediately so a server booted on a corrupted artifact degrades
+// within one interval, not two.
+func (s *Server) canaryLoop(interval time.Duration) {
+	defer close(s.canaryDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	s.RunCanaries()
+	for {
+		select {
+		case <-s.canaryStop:
+			return
+		case <-ticker.C:
+			s.RunCanaries()
+		}
+	}
+}
+
+// RunCanaries self-tests every registered model once and returns the
+// reports, sorted by model name.
+func (s *Server) RunCanaries() []CanaryReport {
+	names := s.reg.Names()
+	reports := make([]CanaryReport, 0, len(names))
+	for _, name := range names {
+		if m, ok := s.reg.Get(name); ok {
+			reports = append(reports, m.SelfTest())
+		}
+	}
+	return reports
 }
 
 // ServeHTTP implements http.Handler.
@@ -70,12 +116,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // once all lanes are drained and is safe to call more than once.
 func (s *Server) Close() {
 	s.mu.Lock()
+	already := s.closed
 	s.closed = true
 	lanes := make([]*lane, 0, len(s.lanes))
 	for _, ln := range s.lanes {
 		lanes = append(lanes, ln)
 	}
 	s.mu.Unlock()
+	if !already && s.canaryStop != nil {
+		close(s.canaryStop)
+		<-s.canaryDone
+	}
 	for _, ln := range lanes {
 		ln.b.Close()
 	}
@@ -165,6 +216,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			req.Model, strings.Join(s.reg.Names(), ", "))
 		return
 	}
+	if m.Degraded() {
+		// Shed traffic from a model failing its canaries: clients get an
+		// explicit retryable signal while healthy models keep answering.
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable,
+			"model %q is degraded (failing canary self-tests); scrub it or retry later", m.Name)
+		return
+	}
 	path := Path(req.Path)
 	if req.Path == "" {
 		path = PathSoftware
@@ -236,11 +295,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 type modelInfo struct {
-	Name     string   `json:"name"`
-	InSize   int      `json:"in_size"`
-	Classes  int      `json:"classes"`
-	Paths    []string `json:"paths"`
-	Topology string   `json:"topology"`
+	Name     string        `json:"name"`
+	InSize   int           `json:"in_size"`
+	Classes  int           `json:"classes"`
+	Paths    []string      `json:"paths"`
+	Topology string        `json:"topology"`
+	Health   string        `json:"health"`
+	Canary   *CanaryReport `json:"canary,omitempty"`
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -254,24 +315,89 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		if m.HasHardware() {
 			paths = append(paths, string(PathHardware))
 		}
-		infos = append(infos, modelInfo{
+		info := modelInfo{
 			Name: m.Name, InSize: m.InSize(), Classes: m.Classes(),
-			Paths: paths, Topology: m.Composed.Net.Topology(),
-		})
+			Paths: paths, Topology: m.Topology(), Health: "ok",
+		}
+		if m.Degraded() {
+			info.Health = "degraded"
+		}
+		if rep, ok := m.LastReport(); ok {
+			info.Canary = &rep
+		}
+		infos = append(infos, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
 }
 
+// degradedModels lists the registered models currently failing their
+// canaries, sorted by name.
+func (s *Server) degradedModels() []string {
+	var out []string
+	for _, name := range s.reg.Names() {
+		if m, ok := s.reg.Get(name); ok && m.Degraded() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
+	degraded := s.degradedModels()
+	if len(degraded) > 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
 	if s.draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":   status,
 		"models":   s.reg.Names(),
 		"uptime_s": time.Since(s.start).Seconds(),
-	})
+	}
+	if len(degraded) > 0 {
+		body["degraded_models"] = degraded
+	}
+	writeJSON(w, code, body)
+}
+
+type scrubRequest struct {
+	Model string `json:"model"`
+}
+
+// handleScrub rebuilds a degraded model's executor state (reloading its
+// artifact when disk-backed) and re-runs the self-test, returning the fresh
+// report. Healthy models may be scrubbed too — it is idempotent.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining() {
+		writeOverload(w, ErrClosed)
+		return
+	}
+	var req scrubRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Model == "" && s.reg.Len() == 1 {
+		req.Model = s.reg.Names()[0]
+	}
+	m, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q (serving: %s)",
+			req.Model, strings.Join(s.reg.Names(), ", "))
+		return
+	}
+	rep, err := m.Scrub()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
