@@ -9,9 +9,11 @@ vet:
 
 # Tier-1-adjacent concurrency gate: the packages with parallel execution
 # paths (re-entrant RNA evaluation, batched hardware inference, k-means,
-# the serving batcher) must be clean under the race detector.
+# the serving batcher) must be clean under the race detector — including the
+# scratch-arena plumbing underneath them (counting, crossbar adder, NDCAM).
 race:
-	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/...
+	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/... \
+		./internal/counting/... ./internal/crossbar/... ./internal/ndcam/...
 
 # Robustness gate: fuzz the composed-artifact loader with a short budget.
 # The seed corpus (a valid artifact plus truncations/corruptions) is built
@@ -29,6 +31,21 @@ bench-parallel:
 bench-serve:
 	go test -run '^$$' -bench BenchmarkServeBatching -benchtime 2000x ./internal/serve/
 
+# Hot-path microbenchmarks with allocation counts: the neuron fire, the
+# pooling window, the in-memory adder, the NDCAM search, batched hardware
+# inference and the serve round-trip. BENCH_PR4.json pins the expected
+# numbers; bench-compare re-runs this set and fails on regression.
+HOT_BENCHES = BenchmarkNeuronFire|BenchmarkMaxPool|BenchmarkAddMany1024|BenchmarkAddScratch1024|BenchmarkSearchAllocs|BenchmarkHardwareInferBatch|BenchmarkServeRoundTrip
+HOT_PKGS = ./internal/rna/ ./internal/crossbar/ ./internal/ndcam/ ./internal/serve/
+
+bench-hot:
+	go test -run '^$$' -bench '$(HOT_BENCHES)' -benchmem $(HOT_PKGS)
+
+bench-compare:
+	go build -o /tmp/rapidnn-benchstat ./cmd/rapidnn-benchstat
+	go test -run '^$$' -bench '$(HOT_BENCHES)' -benchmem $(HOT_PKGS) \
+		| /tmp/rapidnn-benchstat -check BENCH_PR4.json
+
 # End-to-end smoke: boot rapidnn-serve on a random port with the synthetic
 # MNIST demo model, hit /healthz, and assert it answers 200.
 serve-smoke:
@@ -45,4 +62,4 @@ serve-smoke:
 
 check: test vet race
 
-.PHONY: test vet race fuzz bench-parallel bench-serve serve-smoke check
+.PHONY: test vet race fuzz bench-parallel bench-serve bench-hot bench-compare serve-smoke check

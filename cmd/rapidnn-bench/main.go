@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rapidnn-bench [-quick] [-workers N] [-only t1,t2,t3,t4,f5,f6,f10,f11,f12,f13,f14,f15,f16,eff,ablate,xvar,xfault,xprotect]
+//	rapidnn-bench [-cpuprofile cpu.out] [-memprofile mem.out] ...
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -25,8 +27,16 @@ func main() {
 	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
 	csvDir := flag.String("csv", "", "also write each figure's data series as CSV into this directory")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	bench.Workers = *workers
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-bench: %v\n", err)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -172,6 +182,10 @@ func main() {
 			fail("xprotect", err)
 		}
 		fmt.Println(r)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-bench: %v\n", err)
+		os.Exit(1)
 	}
 	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
 }

@@ -11,6 +11,7 @@
 //	rapidnn-sim -net MNIST -sweep 4,16,64 [-workers N]
 //	rapidnn-sim -faults [-fault-rates 0,0.01,0.05] [-fault-model stuck]
 //	            [-protection parity+spare] [-spare-rows 64] [-fault-seeds 3]
+//	rapidnn-sim [-cpuprofile cpu.out] [-memprofile mem.out] ...
 //
 // The -faults mode runs the hardware-in-the-loop reliability study instead
 // of the performance simulation: a small trained benchmark is lowered once,
@@ -29,6 +30,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dataset"
 	"repro/internal/fault"
+	"repro/internal/prof"
 	"repro/internal/rna"
 )
 
@@ -48,8 +50,24 @@ func main() {
 	protection := flag.String("protection", "none", "protection for -faults: none, parity, spare, tmr, all, or a + combination")
 	spareRows := flag.Int("spare-rows", 64, "per-crossbar spare-row budget when spare protection is enabled")
 	faultSeeds := flag.Int("fault-seeds", 3, "independent fault-map seeds averaged per rate")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	bench.Workers = *workers
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)
+		os.Exit(1)
+	}
+	// Runs on every normal return, including the -faults and -sweep paths;
+	// error paths that os.Exit lose the profiles, which is acceptable.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *faults {
 		runFaultStudy(*faultRates, *faultModel, *protection, *spareRows, *faultSeeds)

@@ -74,6 +74,54 @@ func ParallelCount(pairs []Pair, w int) CountResult {
 	return res
 }
 
+// CountFlat is the allocation-free form of ParallelCount for hot-path
+// callers: the occurrence counts land in the caller's flat histogram
+// counts[wIdx·u + uIdx] (length ≥ w·u, zeroed by CountFlat before use), and
+// the cycle count of the parallel scheme — the largest per-weight bucket —
+// is returned without the cycle-accurate replay. The replay's
+// conflict-freedom invariant holds by construction (each weight buffer pops
+// exactly one pending input per cycle, and pairs from distinct buffers
+// differ in W), so the flat histogram is exactly ParallelCount's Counts;
+// TestCountFlatMatchesParallelCount pins the equivalence. It panics on an
+// index outside [0,w)×[0,u) and on mismatched operand slices.
+func CountFlat(weightIdx, inputIdx []int, w, u int, counts []int) (cycles int) {
+	if len(weightIdx) != len(inputIdx) {
+		panic(fmt.Sprintf("counting: %d weights vs %d inputs", len(weightIdx), len(inputIdx)))
+	}
+	if w < 1 || u < 1 {
+		panic(fmt.Sprintf("counting: w = %d, u = %d", w, u))
+	}
+	if len(counts) < w*u {
+		panic(fmt.Sprintf("counting: histogram holds %d pairs, need %d", len(counts), w*u))
+	}
+	counts = counts[:w*u]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i, wi := range weightIdx {
+		ui := inputIdx[i]
+		if wi < 0 || wi >= w {
+			panic(fmt.Sprintf("counting: weight index %d out of [0,%d)", wi, w))
+		}
+		if ui < 0 || ui >= u {
+			panic(fmt.Sprintf("counting: input index %d out of [0,%d)", ui, u))
+		}
+		counts[wi*u+ui]++
+	}
+	// Cycles = the largest per-weight bucket: one pop per buffer per cycle.
+	for wi := 0; wi < w; wi++ {
+		row := counts[wi*u : (wi+1)*u]
+		sum := 0
+		for _, c := range row {
+			sum += c
+		}
+		if sum > cycles {
+			cycles = sum
+		}
+	}
+	return cycles
+}
+
 // Term is one shifted addend of a count decomposition: ±(value << Shift).
 type Term struct {
 	Shift int
@@ -86,26 +134,33 @@ type Term struct {
 // runs of ones collapse (15 = 16 − 1). The returned terms are ordered from
 // least to most significant shift.
 func Decompose(c int) []Term {
+	return DecomposeAppend(c, nil)
+}
+
+// DecomposeAppend is Decompose with caller-owned storage: the terms append
+// to dst (usually a scratch slice reset to length 0), so a hot loop that
+// reuses one buffer decomposes without allocating once the buffer has grown
+// to the working-set size.
+func DecomposeAppend(c int, dst []Term) []Term {
 	if c < 0 {
 		panic(fmt.Sprintf("counting: negative count %d", c))
 	}
-	var terms []Term
 	shift := 0
 	for c != 0 {
 		if c&1 == 1 {
 			d := 2 - (c & 3) // +1 if c ≡ 1 (mod 4), −1 if c ≡ 3 (mod 4)
 			if d == 1 {
-				terms = append(terms, Term{Shift: shift})
+				dst = append(dst, Term{Shift: shift})
 				c--
 			} else {
-				terms = append(terms, Term{Shift: shift, Sub: true})
+				dst = append(dst, Term{Shift: shift, Sub: true})
 				c++
 			}
 		}
 		c >>= 1
 		shift++
 	}
-	return terms
+	return dst
 }
 
 // Apply evaluates a decomposition against v, returning c·v; it is the

@@ -1,0 +1,116 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// CountFlat is ParallelCount minus the cycle-accurate replay and the map:
+// on random edge streams the flat histogram must hold exactly the replay's
+// counts and the returned cycle number must equal the largest bucket.
+func TestCountFlatMatchesParallelCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		w, u := 1+rng.Intn(12), 1+rng.Intn(12)
+		edges := rng.Intn(300)
+		pairs := make([]Pair, edges)
+		wi := make([]int, edges)
+		ui := make([]int, edges)
+		for i := range pairs {
+			pairs[i] = Pair{W: rng.Intn(w), U: rng.Intn(u)}
+			wi[i], ui[i] = pairs[i].W, pairs[i].U
+		}
+		ref := ParallelCount(pairs, w)
+		counts := make([]int, w*u)
+		cycles := CountFlat(wi, ui, w, u, counts)
+		if cycles != ref.Cycles {
+			t.Fatalf("trial %d (w=%d,u=%d,edges=%d): cycles %d, ParallelCount says %d",
+				trial, w, u, edges, cycles, ref.Cycles)
+		}
+		for wIdx := 0; wIdx < w; wIdx++ {
+			for uIdx := 0; uIdx < u; uIdx++ {
+				if got, want := counts[wIdx*u+uIdx], ref.Counts[Pair{W: wIdx, U: uIdx}]; got != want {
+					t.Fatalf("trial %d: count(%d,%d) = %d, ParallelCount says %d", trial, wIdx, uIdx, got, want)
+				}
+			}
+		}
+	}
+}
+
+// CountFlat zeroes the histogram itself — a dirty reused buffer must not
+// bleed into the counts — and validates its inputs like ParallelCount does.
+func TestCountFlatReusesDirtyBuffer(t *testing.T) {
+	counts := []int{9, 9, 9, 9, 9, 9}
+	cycles := CountFlat([]int{0, 1, 1}, []int{2, 0, 0}, 2, 3, counts)
+	want := []int{0, 0, 1, 2, 0, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if cycles != 2 {
+		t.Fatalf("cycles = %d, want 2 (weight 1 pops twice)", cycles)
+	}
+}
+
+func TestCountFlatValidation(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	buf := make([]int, 4)
+	expectPanic("mismatched operands", func() { CountFlat([]int{0}, nil, 2, 2, buf) })
+	expectPanic("short histogram", func() { CountFlat([]int{0}, []int{0}, 2, 3, buf) })
+	expectPanic("weight out of range", func() { CountFlat([]int{2}, []int{0}, 2, 2, buf) })
+	expectPanic("input out of range", func() { CountFlat([]int{0}, []int{-1}, 2, 2, buf) })
+	expectPanic("bad dims", func() { CountFlat(nil, nil, 0, 2, buf) })
+}
+
+// The hot-path forms are allocation-free: CountFlat writes only the caller's
+// histogram, and DecomposeAppend reuses the caller's term slice.
+func TestCountingHotPathZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const w, u, edges = 16, 16, 96
+	wi := make([]int, edges)
+	ui := make([]int, edges)
+	for i := range wi {
+		wi[i], ui[i] = rng.Intn(w), rng.Intn(u)
+	}
+	counts := make([]int, w*u)
+	if allocs := testing.AllocsPerRun(200, func() {
+		CountFlat(wi, ui, w, u, counts)
+	}); allocs != 0 {
+		t.Fatalf("CountFlat allocates %v per op, want 0", allocs)
+	}
+	terms := make([]Term, 0, 16)
+	if allocs := testing.AllocsPerRun(200, func() {
+		terms = DecomposeAppend(1023, terms[:0])
+	}); allocs != 0 {
+		t.Fatalf("DecomposeAppend allocates %v per op, want 0", allocs)
+	}
+}
+
+// DecomposeAppend must produce exactly Decompose's terms for every count,
+// appended after whatever the destination already holds.
+func TestDecomposeAppendMatchesDecompose(t *testing.T) {
+	buf := []Term{{Shift: 99}}
+	for c := 0; c < 2000; c++ {
+		want := Decompose(c)
+		got := DecomposeAppend(c, buf[:1])
+		if got[0].Shift != 99 {
+			t.Fatalf("c=%d: prefix clobbered: %v", c, got)
+		}
+		if len(got)-1 != len(want) {
+			t.Fatalf("c=%d: %d terms, Decompose says %d", c, len(got)-1, len(want))
+		}
+		for i, term := range want {
+			if got[i+1] != term {
+				t.Fatalf("c=%d: term %d is %+v, Decompose says %+v", c, i, got[i+1], term)
+			}
+		}
+	}
+}

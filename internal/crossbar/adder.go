@@ -1,6 +1,10 @@
 package crossbar
 
-import "repro/internal/device"
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
 
 // This file implements the in-memory adder of §4.1.2 at NOR-gate level:
 // carry-save 3:2 compression reduces the operand population without carry
@@ -13,10 +17,6 @@ type adder struct {
 	c    *Crossbar
 	next int // next free scratch row
 	base int
-}
-
-func newAdder(c *Crossbar, firstScratch int) *adder {
-	return &adder{c: c, next: firstScratch, base: firstScratch}
 }
 
 func (a *adder) temp() int {
@@ -101,30 +101,65 @@ func (a *adder) rippleAdd(x, y, sumOut int) {
 // AddMany sums the given values inside the crossbar and returns the result
 // modulo 2^width. Rows [0, len(values)) hold the operands; scratch rows
 // follow. The reduction is genuine carry-save 3:2 compression followed by a
-// ripple-carry resolution, all decomposed into NOR cycles.
+// ripple-carry resolution, all decomposed into NOR cycles. Each call builds
+// its working set afresh; hot loops reuse an AddScratch instead.
 func AddMany(dev device.Params, values []uint64, width int) (sum uint64, stats Stats) {
+	var s AddScratch
+	return s.AddMany(dev, values, width)
+}
+
+// AddScratch is the reusable working set of the in-memory adder: the
+// crossbar's row storage plus the carry-save survivor bookkeeping. One
+// scratch serves any number of sequential AddMany calls without allocating
+// once its buffers have grown to the largest operand population seen; it
+// must not be shared between concurrent adders. The zero value is ready to
+// use.
+type AddScratch struct {
+	rows        []uint64
+	live, spare []int
+}
+
+// AddMany is crossbar.AddMany evaluated in this scratch's working set —
+// identical sum, identical Stats (the NOR schedule depends only on the
+// operand count and width, never on buffer history), zero steady-state
+// allocations.
+func (s *AddScratch) AddMany(dev device.Params, values []uint64, width int) (sum uint64, stats Stats) {
 	if len(values) == 0 {
 		return 0, Stats{}
 	}
-	// Enough rows for operands plus generous scratch.
-	c := New(dev, 2*len(values)+32, width)
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("crossbar: width %d out of [1,64]", width))
+	}
+	// Enough rows for operands plus generous scratch. Stale row contents are
+	// harmless: every scratch row is written before it is read.
+	need := 2*len(values) + 32
+	if cap(s.rows) < need {
+		s.rows = make([]uint64, need)
+	}
+	s.rows = s.rows[:need]
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (1 << width) - 1
+	}
+	c := Crossbar{dev: dev, width: width, mask: mask, rows: s.rows}
 	for i, v := range values {
 		c.Write(i, v)
 	}
-	live := make([]int, len(values))
-	for i := range live {
-		live[i] = i
+	live := s.live[:0]
+	for i := range values {
+		live = append(live, i)
 	}
-	a := newAdder(c, len(values))
+	a := adder{c: &c, next: len(values), base: len(values)}
+	spare := s.spare[:0]
 	for len(live) > 2 {
-		var next []int
+		next := spare[:0]
 		i := 0
 		for ; i+2 < len(live); i += 3 {
 			mark := a.next
-			s, cr := a.temp(), a.temp()
+			sr, cr := a.temp(), a.temp()
 			a.next = mark + 2
-			a.compress3to2(live[i], live[i+1], live[i+2], s, cr)
-			next = append(next, s, cr)
+			a.compress3to2(live[i], live[i+1], live[i+2], sr, cr)
+			next = append(next, sr, cr)
 		}
 		next = append(next, live[i:]...)
 		// Compact survivors to the front so scratch space is reusable.
@@ -133,8 +168,10 @@ func AddMany(dev device.Params, values []uint64, width int) (sum uint64, stats S
 			next[j] = j
 		}
 		a.release(len(next))
-		live = next
+		spare, live = live, next
 	}
+	// Hand the (possibly grown) buffers back for the next call.
+	s.live, s.spare = live, spare
 	if len(live) == 1 {
 		return c.rows[live[0]], c.Stats
 	}

@@ -1,0 +1,140 @@
+package ndcam
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCAM builds a CAM with n random patterns of the given width.
+func randomCAM(rng *rand.Rand, mode Mode, bits, n int) *NDCAM {
+	cam := New(dev(), bits, mode)
+	mask := uint64(1)<<bits - 1
+	for i := 0; i < n; i++ {
+		cam.Write(rng.Uint64() & mask)
+	}
+	return cam
+}
+
+// The fault-free search is the form every activation lookup and encoder
+// search takes on the pristine inference path; it must not allocate.
+func TestSearchStatsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, mode := range []Mode{Hamming, Weighted} {
+		cam := randomCAM(rng, mode, 16, 64)
+		q := rng.Uint64() & 0xFFFF
+		allocs := testing.AllocsPerRun(200, func() {
+			cam.SearchStats(q)
+		})
+		if allocs != 0 {
+			t.Fatalf("%v fault-free SearchStats allocates %v per op, want 0", mode, allocs)
+		}
+	}
+}
+
+// The overlay path with a caller-owned candidate buffer must be
+// allocation-free once the buffer has grown to the row count.
+func TestSearchStatsFaultyBufZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cam := randomCAM(rng, Weighted, 16, 64)
+	rf := make([]RowFault, cam.Len())
+	rf[3], rf[17] = RowDead, RowDead
+	var buf []int
+	q := rng.Uint64() & 0xFFFF
+	cam.SearchStatsFaultyBuf(q, rf, &buf)
+	allocs := testing.AllocsPerRun(200, func() {
+		cam.SearchStatsFaultyBuf(q, rf, &buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("buffered overlay search allocates %v per op, want 0", allocs)
+	}
+}
+
+// The pristine fast loop and the general candidate-list machinery must be the
+// same search. An all-RowOK overlay is semantically fault-free but forces the
+// candidate path, so comparing the two pins the fast loop — including the
+// Weighted mode's stage-pipeline-equals-integer-argmin identity — against the
+// reference implementation on random banks and queries.
+func TestSearchPristineMatchesCandidatePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, mode := range []Mode{Hamming, Weighted} {
+		for trial := 0; trial < 300; trial++ {
+			bits := 1 + rng.Intn(24)
+			cam := randomCAM(rng, mode, bits, 1+rng.Intn(40))
+			allOK := make([]RowFault, cam.Len())
+			q := rng.Uint64()
+			fastRow, fastStats := cam.SearchStats(q)
+			slowRow, slowStats := cam.SearchStatsFaulty(q, allOK)
+			if fastRow != slowRow {
+				t.Fatalf("%v trial %d (bits=%d, rows=%d): fast path row %d, candidate path row %d",
+					mode, trial, bits, cam.Len(), fastRow, slowRow)
+			}
+			if fastStats != slowStats {
+				t.Fatalf("%v trial %d: stats diverge: %+v vs %+v", mode, trial, fastStats, slowStats)
+			}
+		}
+	}
+}
+
+// A shared candidate buffer must never change an overlay search's answer —
+// buffered and unbuffered forms agree on random fault maps.
+func TestSearchStatsFaultyBufMatchesUnbuffered(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var buf []int
+	for trial := 0; trial < 300; trial++ {
+		mode := Mode(rng.Intn(2))
+		cam := randomCAM(rng, mode, 16, 1+rng.Intn(40))
+		rf := make([]RowFault, cam.Len())
+		for i := range rf {
+			switch rng.Intn(6) {
+			case 0:
+				rf[i] = RowDead
+			case 1:
+				rf[i] = RowShort
+			}
+		}
+		q := rng.Uint64() & 0xFFFF
+		wantRow, wantStats := cam.SearchStatsFaulty(q, rf)
+		gotRow, gotStats := cam.SearchStatsFaultyBuf(q, rf, &buf)
+		if gotRow != wantRow || gotStats != wantStats {
+			t.Fatalf("trial %d: buffered (%d, %+v) vs unbuffered (%d, %+v)",
+				trial, gotRow, gotStats, wantRow, wantStats)
+		}
+	}
+}
+
+// NewFixedPoint precomputes what the literal form derives lazily; encoded and
+// decoded values must be bit-identical between the two constructions.
+func TestNewFixedPointMatchesLiteral(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.NormFloat64() * 10
+		hi := lo + rng.Float64()*20 + 1e-6
+		bits := 1 + rng.Intn(32)
+		built := NewFixedPoint(lo, hi, bits)
+		literal := FixedPoint{Lo: lo, Hi: hi, Bits: bits}
+		for i := 0; i < 50; i++ {
+			v := lo + (rng.Float64()*1.4-0.2)*(hi-lo) // includes out-of-domain values
+			a, b := built.Encode(v), literal.Encode(v)
+			if a != b {
+				t.Fatalf("Encode(%v) on [%v,%v]/%d: built %d, literal %d", v, lo, hi, bits, a, b)
+			}
+			if da, db := built.Decode(a), literal.Decode(a); da != db {
+				t.Fatalf("Decode(%d) on [%v,%v]/%d: built %v, literal %v", a, lo, hi, bits, da, db)
+			}
+		}
+	}
+}
+
+// A bad domain must fail at construction time, not on the millionth Encode.
+func TestNewFixedPointPanicsOnBadDomain(t *testing.T) {
+	for _, d := range []struct{ lo, hi float64 }{{0, 0}, {1, 0.5}, {3, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFixedPoint(%v, %v, 8) did not panic", d.lo, d.hi)
+				}
+			}()
+			NewFixedPoint(d.lo, d.hi, 8)
+		}()
+	}
+}

@@ -140,6 +140,15 @@ const (
 // search. Like SearchStats it mutates nothing and is safe for concurrent
 // use alongside other searches.
 func (n *NDCAM) SearchStatsFaulty(query uint64, rf []RowFault) (int, Stats) {
+	return n.SearchStatsFaultyBuf(query, rf, nil)
+}
+
+// SearchStatsFaultyBuf is SearchStatsFaulty with caller-owned scratch: buf
+// (when non-nil) backs the overlay path's candidate bookkeeping, so a worker
+// that reuses one buffer across searches never allocates. The fault-free
+// path (nil or empty rf) needs no candidate bookkeeping at all and ignores
+// buf. buf must not be shared between concurrent searches.
+func (n *NDCAM) SearchStatsFaultyBuf(query uint64, rf []RowFault, buf *[]int) (int, Stats) {
 	if len(n.rows) == 0 {
 		panic("ndcam: search on empty CAM")
 	}
@@ -148,12 +157,23 @@ func (n *NDCAM) SearchStatsFaulty(query uint64, rf []RowFault) (int, Stats) {
 		Cycles:   int64(n.Stages() * n.dev.AMSearchCycles),
 		EnergyJ:  n.dev.AMSearchEnergy * float64(len(n.rows)) / float64(n.dev.AMRows),
 	}
-	cand := make([]int, 0, len(n.rows))
+	if len(rf) == 0 {
+		return n.searchPristine(query), stats
+	}
+	var cand []int
+	if buf != nil {
+		cand = (*buf)[:0]
+	} else {
+		cand = make([]int, 0, len(n.rows))
+	}
 	for i := range n.rows {
 		if i < len(rf) {
 			if rf[i] == RowShort {
 				// Instant discharge beats every genuine match; the first
 				// shorted row is the one the sense amplifier latches.
+				if buf != nil {
+					*buf = cand
+				}
 				return i, stats
 			}
 			if rf[i] == RowDead {
@@ -161,6 +181,11 @@ func (n *NDCAM) SearchStatsFaulty(query uint64, rf []RowFault) (int, Stats) {
 			}
 		}
 		cand = append(cand, i)
+	}
+	if buf != nil {
+		// Hand the (possibly grown) buffer back; searchWeighted filters cand
+		// in place, which only shortens the length the next caller resets.
+		*buf = cand
 	}
 	if len(cand) == 0 {
 		return 0, stats
@@ -180,30 +205,64 @@ func (n *NDCAM) SearchStatsFaulty(query uint64, rf []RowFault) (int, Stats) {
 	}
 }
 
+// searchPristine is the fault-free search: with every row sensing, no
+// candidate bookkeeping is needed, so the scan is a single allocation-free
+// loop. For the Weighted mode this relies on the stage pipeline being an
+// integer comparison in disguise: the stages minimize the per-stage XOR
+// chunks lexicographically from the MSBs, and concatenating those chunks
+// MSB-first reconstructs the full XOR word — so the stage-pipelined winner
+// is exactly the row minimizing rows[i]^query as an integer, ties to the
+// lowest index (the first row the sense amplifier latches).
+func (n *NDCAM) searchPristine(query uint64) int {
+	query &= n.mask()
+	best := 0
+	if n.mode == Hamming {
+		bestD := math.MaxInt
+		for i, row := range n.rows {
+			if d := bits.OnesCount64(row ^ query); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	}
+	bestX := uint64(math.MaxUint64)
+	for i, row := range n.rows {
+		if x := row ^ query; x < bestX {
+			best, bestX = i, x
+		}
+	}
+	return best
+}
+
 // searchWeighted filters candidates stage by stage from the most significant
 // bits: within a stage every row's discharge current is proportional to the
 // binary-weighted sum of its matched bits, so the surviving rows are those
 // minimizing the stage's mismatch integer. Lexicographic minimization over
-// MSB-first stages equals minimizing the full bit-weighted mismatch.
+// MSB-first stages equals minimizing the full bit-weighted mismatch. The
+// filter compacts cand in place (survivors keep their relative order, so
+// ties still resolve to the lowest row index), which keeps the overlay
+// search allocation-free when the caller supplies the candidate buffer.
 func (n *NDCAM) searchWeighted(query uint64, cand []int) int {
 	stages := n.Stages()
 	for s := stages - 1; s >= 0 && len(cand) > 1; s-- {
 		shift := uint(s * n.stageBits)
 		stageMask := uint64((1 << n.stageBits) - 1)
 		bestXor := uint64(math.MaxUint64)
-		var next []int
+		k := 0
 		for _, i := range cand {
 			x := ((n.rows[i] ^ query) >> shift) & stageMask
 			switch {
 			case x < bestXor:
 				bestXor = x
-				next = next[:0]
-				next = append(next, i)
+				k = 0
+				cand[k] = i
+				k++
 			case x == bestXor:
-				next = append(next, i)
+				cand[k] = i
+				k++
 			}
 		}
-		cand = next
+		cand = cand[:k]
 	}
 	return cand[0]
 }
@@ -211,17 +270,45 @@ func (n *NDCAM) searchWeighted(query uint64, cand []int) int {
 // FixedPoint maps real values onto the CAM's unsigned integer domain. The
 // mapping is monotone, so value ordering is preserved and the weighted
 // search's prefix-first semantics align with numeric closeness.
+//
+// Construct through NewFixedPoint on hot paths: it validates the domain once
+// and precomputes the code scale, so Encode/Decode in the innermost loop is
+// pure arithmetic. A struct literal still works — the first Encode/Decode
+// derives the scale on the fly (and panics there on a bad domain).
 type FixedPoint struct {
 	Lo, Hi float64
 	Bits   int
+	// maxCode is float64(2^Bits − 1), derived once by NewFixedPoint; zero
+	// means literal construction and triggers the lazy fallback.
+	maxCode float64
+}
+
+// NewFixedPoint builds a FixedPoint with the domain validated and the code
+// scale precomputed at construction time. It panics on an empty or inverted
+// domain — the bad-domain panic moves from every Encode to the single build
+// site. Encoded values are bit-identical to the literal-constructed form.
+func NewFixedPoint(lo, hi float64, bits int) FixedPoint {
+	if hi <= lo {
+		panic("ndcam: bad fixed-point domain")
+	}
+	return FixedPoint{Lo: lo, Hi: hi, Bits: bits, maxCode: float64(uint64(1)<<bits - 1)}
+}
+
+// scale returns the precomputed maxCode, deriving (and domain-checking) it
+// on first use for literal-constructed values.
+func (f FixedPoint) scale() float64 {
+	if f.maxCode != 0 {
+		return f.maxCode
+	}
+	if f.Hi <= f.Lo {
+		panic("ndcam: bad fixed-point domain")
+	}
+	return float64(uint64(1)<<f.Bits - 1)
 }
 
 // Encode converts v to its fixed-point code, clamping to the domain.
 func (f FixedPoint) Encode(v float64) uint64 {
-	if f.Hi <= f.Lo {
-		panic("ndcam: bad fixed-point domain")
-	}
-	maxCode := float64(uint64(1)<<f.Bits - 1)
+	maxCode := f.scale()
 	t := (v - f.Lo) / (f.Hi - f.Lo)
 	if t < 0 {
 		t = 0
@@ -234,6 +321,5 @@ func (f FixedPoint) Encode(v float64) uint64 {
 
 // Decode converts a code back to the domain midpoint it represents.
 func (f FixedPoint) Decode(code uint64) float64 {
-	maxCode := float64(uint64(1)<<f.Bits - 1)
-	return f.Lo + (f.Hi-f.Lo)*float64(code)/maxCode
+	return f.Lo + (f.Hi-f.Lo)*float64(code)/f.scale()
 }

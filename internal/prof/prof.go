@@ -1,0 +1,56 @@
+// Package prof is the pprof escape hatch of the CLI tools: the -cpuprofile
+// and -memprofile flags of rapidnn-bench and rapidnn-sim funnel through
+// Start, so a hot-path investigation can capture profiles from the exact
+// workload a user reported instead of reconstructing it as a microbenchmark.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finalizes the CPU profile and, when memPath is non-empty,
+// writes a heap profile of the live objects. Call stop on the normal exit
+// path only — error paths that os.Exit simply lose the profiles, which is
+// acceptable: profiling runs are healthy runs.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			// Settle the heap first so the profile shows steady-state live
+			// objects, not garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("prof: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -71,10 +71,10 @@ func (r *FuncRNA) injectFaults(cfg fault.Config, rng *rand.Rand, cnt *fault.Coun
 		pin := func(w *uint64, b int) {
 			*w |= 1 << uint(b)
 		}
-		f.stuck = make([][]wordFaults, len(r.products))
-		for wi := range r.products {
-			f.stuck[wi] = make([]wordFaults, len(r.products[wi]))
-			for ui := range r.products[wi] {
+		f.stuck = make([][]wordFaults, r.nW)
+		for wi := 0; wi < r.nW; wi++ {
+			f.stuck[wi] = make([]wordFaults, r.nU)
+			for ui := 0; ui < r.nU; ui++ {
 				w := &f.stuck[wi][ui]
 				for b := 0; b < nbits; b++ {
 					if rng.Float64() >= cfg.StuckRate {
@@ -100,7 +100,7 @@ func (r *FuncRNA) injectFaults(cfg fault.Config, rng *rand.Rand, cnt *fault.Coun
 					}
 				}
 				w.csa0, w.csa1 = uint8(c0), uint8(c1)
-				pristine := uint64(r.products[wi][ui]) & math.MaxUint32
+				pristine := uint64(r.products[wi*r.nU+ui]) & math.MaxUint32
 				rep.StuckBits += bits.OnesCount64(((pristine &^ w.sa0) | w.sa1) ^ pristine)
 			}
 		}
@@ -159,7 +159,7 @@ func (r *FuncRNA) SetProtection(p fault.Protection, cnt *fault.Counters) {
 // stores them. This is what a march test observes per word.
 func (r *FuncRNA) stuckDiff(wi, ui int) int {
 	w := &r.flt.stuck[wi][ui]
-	pristine := uint64(r.products[wi][ui]) & math.MaxUint32
+	pristine := uint64(r.products[wi*r.nU+ui]) & math.MaxUint32
 	d := bits.OnesCount64(((pristine &^ w.sa0) | w.sa1) ^ pristine)
 	if r.prot.Parity {
 		check := uint64(fault.EncodeSECDED(uint32(pristine)))
@@ -227,9 +227,9 @@ func (r *FuncRNA) reconcileSpares() {
 func (r *FuncRNA) readProduct(wi, ui int) int64 {
 	f := r.flt
 	if f == nil && !r.prot.Parity {
-		return r.products[wi][ui]
+		return r.products[wi*r.nU+ui]
 	}
-	data := uint64(r.products[wi][ui]) & math.MaxUint32
+	data := uint64(r.products[wi*r.nU+ui]) & math.MaxUint32
 	parity := r.prot.Parity
 	var check uint64
 	if parity {
@@ -284,12 +284,13 @@ const checkSeedSalt = 0x5ca1ab1e
 // overlay. Without TMR the primary replica's faults apply directly; with TMR
 // the three independently drawn replicas vote 2-of-3, and a three-way
 // disagreement falls back to the median row index — codebook rows are
-// ordinal, so the median is the least-wrong arbiter. Safe for concurrent use.
-func (r *FuncRNA) searchActCAM(q uint64) int { return r.searchCAM(r.actCAM, true, q) }
+// ordinal, so the median is the least-wrong arbiter. Safe for concurrent
+// use; s (optional) backs the overlay path's candidate bookkeeping.
+func (r *FuncRNA) searchActCAM(q uint64, s *Scratch) int { return r.searchCAM(r.actCAM, true, q, s) }
 
-func (r *FuncRNA) searchEncCAM(q uint64) int { return r.searchCAM(r.encCAM, false, q) }
+func (r *FuncRNA) searchEncCAM(q uint64, s *Scratch) int { return r.searchCAM(r.encCAM, false, q, s) }
 
-func (r *FuncRNA) searchCAM(cam *ndcam.NDCAM, activation bool, q uint64) int {
+func (r *FuncRNA) searchCAM(cam *ndcam.NDCAM, activation bool, q uint64, s *Scratch) int {
 	f := r.flt
 	var reps *[3][]ndcam.RowFault
 	if f != nil {
@@ -300,16 +301,22 @@ func (r *FuncRNA) searchCAM(cam *ndcam.NDCAM, activation bool, q uint64) int {
 		}
 	}
 	if reps == nil || reps[0] == nil {
+		// Pristine fast path: the fault-free search needs no candidate
+		// bookkeeping at all.
 		row, _ := cam.SearchStats(q)
 		return row
 	}
+	var buf *[]int
+	if s != nil {
+		buf = &s.camBuf
+	}
 	if !r.prot.TMR {
-		row, _ := cam.SearchStatsFaulty(q, reps[0])
+		row, _ := cam.SearchStatsFaultyBuf(q, reps[0], buf)
 		return row
 	}
 	var idx [3]int
 	for k := 0; k < 3; k++ {
-		idx[k], _ = cam.SearchStatsFaulty(q, reps[k])
+		idx[k], _ = cam.SearchStatsFaultyBuf(q, reps[k], buf)
 	}
 	if r.cnt != nil {
 		r.cnt.TMRVotes.Add(1)

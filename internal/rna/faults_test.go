@@ -182,9 +182,9 @@ func TestFuncRNAOverlayProperties(t *testing.T) {
 	ucb := []float32{-0.5, 0, 0.5, 0.75}
 	r := NewFuncRNA(dev(), wcb, ucb, 0, nil, true, []float32{-1, 0, 1}, hwFracBits)
 
-	pristine := make([][]int64, len(r.products))
-	for wi := range r.products {
-		pristine[wi] = append([]int64(nil), r.products[wi]...)
+	pristine := make([][]int64, r.nW)
+	for wi := 0; wi < r.nW; wi++ {
+		pristine[wi] = append([]int64(nil), r.products[wi*r.nU:(wi+1)*r.nU]...)
 	}
 
 	// Protection first, injection second: reconcile must still repair.
@@ -194,7 +194,7 @@ func TestFuncRNAOverlayProperties(t *testing.T) {
 	}
 	for wi := range pristine {
 		for ui := range pristine[wi] {
-			if r.products[wi][ui] != pristine[wi][ui] {
+			if r.products[wi*r.nU+ui] != pristine[wi][ui] {
 				t.Fatalf("injection mutated the pristine table at (%d,%d)", wi, ui)
 			}
 			if got := r.readProduct(wi, ui); got != pristine[wi][ui] {

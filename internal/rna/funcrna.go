@@ -22,7 +22,12 @@ import (
 type FuncRNA struct {
 	dev      device.Params
 	wcb, ucb []float32
-	products [][]int64 // fixed-point pre-computed products [w][u]
+	// products is the fixed-point pre-computed product table, flattened to a
+	// single stride-indexed row-major slice: product (w,u) lives at
+	// products[w·nU + u]. One backing array keeps the whole table on a few
+	// cache lines and spares the per-row pointer chase of a [][]int64.
+	products []int64
+	nW, nU   int
 	bias     int64
 	fracBits uint
 
@@ -65,16 +70,17 @@ func NewFuncRNA(dev device.Params, wcb, ucb []float32, bias float32,
 	}
 	// Pre-compute the crossbar product table (what the composer writes at
 	// configuration time, §3.3).
-	r.products = make([][]int64, len(wcb))
+	r.nW, r.nU = len(wcb), len(ucb)
+	r.products = make([]int64, r.nW*r.nU)
 	for wi, wv := range wcb {
-		r.products[wi] = make([]int64, len(ucb))
+		row := r.products[wi*r.nU : (wi+1)*r.nU]
 		for ui, uv := range ucb {
-			r.products[wi][ui] = toFixed(float64(wv)*float64(uv), fracBits)
+			row[ui] = toFixed(float64(wv)*float64(uv), fracBits)
 		}
 	}
 	if actTable != nil {
 		lo, hi := float64(actTable.Y[0]), float64(actTable.Y[len(actTable.Y)-1])
-		r.actFP = ndcam.FixedPoint{Lo: lo, Hi: hi, Bits: 16}
+		r.actFP = ndcam.NewFixedPoint(lo, hi, 16)
 		r.actCAM = ndcam.New(dev, 16, ndcam.Weighted)
 		for _, y := range actTable.Y {
 			r.actCAM.Write(r.actFP.Encode(float64(y)))
@@ -84,7 +90,7 @@ func NewFuncRNA(dev device.Params, wcb, ucb []float32, bias float32,
 	if hi <= lo {
 		hi = lo + 1
 	}
-	r.encFP = ndcam.FixedPoint{Lo: lo, Hi: hi, Bits: 16}
+	r.encFP = ndcam.NewFixedPoint(lo, hi, 16)
 	r.encCAM = ndcam.New(dev, 16, ndcam.Weighted)
 	for _, v := range nextCodebook {
 		r.encCAM.Write(r.encFP.Encode(float64(v)))
@@ -106,10 +112,24 @@ func (r *FuncRNA) Fire(weightIdx, inputIdx []int) (encoded int, value float32) {
 // Eval is the re-entrant end-to-end evaluation: accumulate → activate →
 // encode, with the bias passed as an argument and the crossbar activity
 // returned as a value. It never mutates the RNA, so one configured block can
-// evaluate many neurons from many goroutines concurrently.
+// evaluate many neurons from many goroutines concurrently. The working set
+// is borrowed from the internal scratch pool; a worker that owns a Scratch
+// calls EvalScratch instead.
 func (r *FuncRNA) Eval(weightIdx, inputIdx []int, bias int64) (encoded int, value float32, stats crossbar.Stats) {
-	pre, stats := r.AccumulateBias(weightIdx, inputIdx, bias)
-	encoded, value = r.EncodeValue(r.Activate(pre))
+	s := scratchPool.Get().(*Scratch)
+	encoded, value, stats = r.EvalScratch(weightIdx, inputIdx, bias, s)
+	scratchPool.Put(s)
+	return encoded, value, stats
+}
+
+// EvalScratch is Eval with a caller-owned Scratch: the whole accumulate →
+// activate → encode pipeline runs in s's buffers, so steady state performs
+// zero heap allocations on the pristine (fault-free) path. The RNA itself is
+// never mutated; concurrency is bounded only by the rule that each Scratch
+// belongs to one goroutine.
+func (r *FuncRNA) EvalScratch(weightIdx, inputIdx []int, bias int64, s *Scratch) (encoded int, value float32, stats crossbar.Stats) {
+	pre, stats := r.AccumulateBiasScratch(weightIdx, inputIdx, bias, s)
+	encoded, value = r.encodeValue(r.activate(pre, s), s)
 	return encoded, value, stats
 }
 
@@ -127,56 +147,91 @@ func (r *FuncRNA) Accumulate(weightIdx, inputIdx []int) float64 {
 // addition (§4.1.2) — returning the real-valued pre-activation and the
 // crossbar activity of this evaluation. bias is the neuron's fixed-point
 // bias (ToFixed with the block's fraction bits). The receiver is read-only,
-// so the call is safe from any number of goroutines.
+// so the call is safe from any number of goroutines; the working set is
+// borrowed from the internal scratch pool.
 func (r *FuncRNA) AccumulateBias(weightIdx, inputIdx []int, bias int64) (float64, crossbar.Stats) {
+	s := scratchPool.Get().(*Scratch)
+	pre, stats := r.AccumulateBiasScratch(weightIdx, inputIdx, bias, s)
+	scratchPool.Put(s)
+	return pre, stats
+}
+
+// AccumulateBiasScratch is AccumulateBias evaluated in the caller's Scratch:
+// the counting histogram, the shift-add terms, the adder operands and the
+// adder's crossbar rows all live in s, so steady state allocates nothing.
+// The sum and the returned Stats are bit-identical to the historical path —
+// the NOR schedule depends only on the addend population, and the flat
+// histogram walks products in deterministic (w,u) order, which the addition
+// is insensitive to.
+func (r *FuncRNA) AccumulateBiasScratch(weightIdx, inputIdx []int, bias int64, s *Scratch) (float64, crossbar.Stats) {
 	if len(weightIdx) != len(inputIdx) {
 		panic(fmt.Sprintf("rna: %d weights vs %d inputs", len(weightIdx), len(inputIdx)))
 	}
-	// 1. Parallel counting of product occurrences (§4.1.1).
-	pairs := make([]counting.Pair, len(weightIdx))
-	for i := range pairs {
-		pairs[i] = counting.Pair{W: weightIdx[i], U: inputIdx[i]}
+	// 1. Parallel counting of product occurrences (§4.1.1) into the flat
+	// (w·u) histogram.
+	if need := r.nW * r.nU; cap(s.counts) < need {
+		s.counts = make([]int, need)
 	}
-	counts := counting.ParallelCount(pairs, len(r.wcb))
+	counts := s.counts[:r.nW*r.nU]
+	counting.CountFlat(weightIdx, inputIdx, r.nW, r.nU, counts)
 
 	// 2. Shift-add expansion of each counted product into tree addends.
-	var addends []uint64
-	for p, c := range counts.Counts {
-		prod := r.readProduct(p.W, p.U)
-		for _, t := range counting.Decompose(c) {
-			v := prod << t.Shift
-			if t.Sub {
-				v = -v
+	addends := s.addends[:0]
+	terms := s.terms[:0]
+	for wi := 0; wi < r.nW; wi++ {
+		row := counts[wi*r.nU : (wi+1)*r.nU]
+		for ui, c := range row {
+			if c == 0 {
+				continue
 			}
-			addends = append(addends, uint64(v)&math.MaxUint32)
+			prod := r.readProduct(wi, ui)
+			terms = counting.DecomposeAppend(c, terms[:0])
+			for _, t := range terms {
+				v := prod << t.Shift
+				if t.Sub {
+					v = -v
+				}
+				addends = append(addends, uint64(v)&math.MaxUint32)
+			}
 		}
 	}
 	addends = append(addends, uint64(bias)&math.MaxUint32)
+	s.addends, s.terms = addends, terms
 
 	// 3. NOR-decomposed in-memory addition (§4.1.2).
-	raw, stats := crossbar.AddMany(r.dev, addends, sumWidth)
+	raw, stats := s.add.AddMany(r.dev, addends, sumWidth)
 	sum := int64(int32(uint32(raw)))
 	return fromFixed(sum, r.fracBits), stats
 }
 
 // Activate applies the activation stage: an NDCAM table search, or the ReLU
 // comparator (§4.2.1). The search is re-entrant (SearchStats), so Activate
-// is safe for concurrent use.
+// is safe for concurrent use. The fault-free search allocates nothing; only
+// a fault overlay needs candidate bookkeeping, borrowed per call here and
+// scratch-backed on the EvalScratch path.
 func (r *FuncRNA) Activate(pre float64) float64 {
+	return r.activate(pre, nil)
+}
+
+func (r *FuncRNA) activate(pre float64, s *Scratch) float64 {
 	if r.relu {
 		if pre > 0 {
 			return pre
 		}
 		return 0
 	}
-	row := r.searchActCAM(r.actFP.Encode(pre))
+	row := r.searchActCAM(r.actFP.Encode(pre), s)
 	return float64(r.actTable.Z[row])
 }
 
 // EncodeValue maps an activation output onto the consuming layer's codebook
 // through the encoder NDCAM (§2.2, Fig. 2d). Safe for concurrent use.
 func (r *FuncRNA) EncodeValue(z float64) (encoded int, value float32) {
-	encoded = r.searchEncCAM(r.encFP.Encode(z))
+	return r.encodeValue(z, nil)
+}
+
+func (r *FuncRNA) encodeValue(z float64, s *Scratch) (encoded int, value float32) {
+	encoded = r.searchEncCAM(r.encFP.Encode(z), s)
 	return encoded, r.encCB[encoded]
 }
 
@@ -185,16 +240,39 @@ func (r *FuncRNA) EncodeValue(z float64) (encoded int, value float32) {
 // finds the largest entry. Because codebook levels are sorted, comparing
 // encoded indices equals comparing values, so the result is simply the
 // maximum index — which is what the hardware's nearest-to-+∞ search yields.
+// The pooling CAM's substrate activity — one write per window entry plus the
+// search — is recorded in LastStats, so MaxPool is not safe for concurrent
+// use; concurrent callers evaluate through MaxPoolStats instead.
 func (r *FuncRNA) MaxPool(encodedWindow []int) int {
+	s := scratchPool.Get().(*Scratch)
+	row, stats := r.MaxPoolStats(encodedWindow, s)
+	scratchPool.Put(s)
+	r.LastStats = stats
+	return row
+}
+
+// MaxPoolStats is the re-entrant pooling evaluation: the window runs through
+// the scratch's reusable pooling CAM (one CAM per Scratch, refilled per
+// window, instead of a fresh CAM allocation per call) and the CAM's write
+// and search activity is returned as a value rather than dropped.
+func (r *FuncRNA) MaxPoolStats(encodedWindow []int, s *Scratch) (int, crossbar.Stats) {
 	if len(encodedWindow) == 0 {
 		panic("rna: empty pooling window")
 	}
-	cam := ndcam.New(r.dev, 16, ndcam.Weighted)
+	cam := s.poolCAM(r.dev)
+	cam.Reset()
+	cam.Stats = ndcam.Stats{}
 	for _, e := range encodedWindow {
 		cam.Write(r.encFP.Encode(float64(r.encCB[e])))
 	}
 	row := cam.Search(r.encFP.Encode(math.Inf(1)))
-	return encodedWindow[row]
+	return encodedWindow[row], camToCrossbarStats(cam.Stats)
+}
+
+// camToCrossbarStats folds NDCAM activity into the crossbar-stat totals the
+// inference path reports: cycles, writes and energy carry over directly.
+func camToCrossbarStats(s ndcam.Stats) crossbar.Stats {
+	return crossbar.Stats{Cycles: s.Cycles, Writes: s.Writes, EnergyJ: s.EnergyJ}
 }
 
 // InjectStuckFaults pins each fault-susceptible cell of every pre-stored

@@ -1,0 +1,110 @@
+package rna
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The acceptance bar of the zero-allocation work: once a worker owns a
+// Scratch, the fault-free neuron fire — counting, shift-add expansion, NOR
+// addition, activation search, encoder search — performs zero heap
+// allocations in steady state.
+func TestEvalScratchZeroAllocs(t *testing.T) {
+	r, wi, ui := hotNeuron()
+	s := NewScratch()
+	r.EvalScratch(wi, ui, 0, s) // grow the scratch to the working-set size
+	allocs := testing.AllocsPerRun(200, func() {
+		r.EvalScratch(wi, ui, 0, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("fault-free EvalScratch allocates %v per op, want 0", allocs)
+	}
+}
+
+// The pooling path reuses the scratch's CAM, so steady-state windows are
+// allocation-free too.
+func TestMaxPoolStatsZeroAllocs(t *testing.T) {
+	r, _, _ := hotNeuron()
+	s := NewScratch()
+	win := []int{1, 3, 0, 2}
+	r.MaxPoolStats(win, s)
+	allocs := testing.AllocsPerRun(200, func() {
+		r.MaxPoolStats(win, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("MaxPoolStats allocates %v per op, want 0", allocs)
+	}
+}
+
+// Bit-identity of the three evaluation forms: the zero-config APIs (Fire /
+// Accumulate, which borrow pooled scratch), a fresh Scratch per call, and one
+// Scratch reused across every call must agree on the encoded index, the
+// decoded value, the pre-activation and the substrate stats for arbitrary
+// edge lists — a dirty reused buffer must never leak state into the next
+// evaluation. The RNA's own CAM counters must stay untouched throughout:
+// the re-entrant path folds all activity into the returned value.
+func TestScratchReuseBitIdentical(t *testing.T) {
+	r, _, _ := hotNeuron()
+	rng := rand.New(rand.NewSource(21))
+	actStats, encStats := r.actCAM.Stats, r.encCAM.Stats // configuration-time writes
+	reused := NewScratch()
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(96)
+		wi := make([]int, n)
+		ui := make([]int, n)
+		for i := range wi {
+			wi[i], ui[i] = rng.Intn(16), rng.Intn(16)
+		}
+		bias := int64(rng.Intn(1<<12) - 1<<11)
+
+		enc0, val0, st0 := r.Eval(wi, ui, bias)
+		enc1, val1, st1 := r.EvalScratch(wi, ui, bias, NewScratch())
+		enc2, val2, st2 := r.EvalScratch(wi, ui, bias, reused)
+		if enc0 != enc1 || enc0 != enc2 || val0 != val1 || val0 != val2 {
+			t.Fatalf("trial %d: results diverge: pooled (%d,%v), fresh (%d,%v), reused (%d,%v)",
+				trial, enc0, val0, enc1, val1, enc2, val2)
+		}
+		if st0 != st1 || st0 != st2 {
+			t.Fatalf("trial %d: stats diverge: pooled %+v, fresh %+v, reused %+v", trial, st0, st1, st2)
+		}
+
+		pre0, _ := r.AccumulateBias(wi, ui, bias)
+		pre1, _ := r.AccumulateBiasScratch(wi, ui, bias, reused)
+		if pre0 != pre1 {
+			t.Fatalf("trial %d: pre-activation diverges: pooled %v, reused scratch %v", trial, pre0, pre1)
+		}
+	}
+	if r.actCAM.Stats != actStats || r.encCAM.Stats != encStats {
+		t.Fatalf("re-entrant evaluation mutated CAM stats: act %+v, enc %+v", r.actCAM.Stats, r.encCAM.Stats)
+	}
+}
+
+// MaxPool historically dropped the pooling CAM's writes, cycles and energy on
+// the floor: the CAM was built, exercised and discarded without its Stats
+// ever reaching the caller. The activity must land in LastStats (MaxPool) and
+// in the returned Stats (MaxPoolStats) — one write per window entry plus the
+// pipelined search.
+func TestMaxPoolRecordsCAMStats(t *testing.T) {
+	r, _, _ := hotNeuron()
+	win := []int{1, 3, 0, 2}
+	got := r.MaxPool(win)
+	if got != 3 {
+		t.Fatalf("MaxPool(%v) = %d, want the max index 3", win, got)
+	}
+	st := r.LastStats
+	if st.Writes != int64(len(win)) {
+		t.Fatalf("pooling charged %d writes, want one per window entry (%d)", st.Writes, len(win))
+	}
+	if st.Cycles <= int64(len(win)) {
+		t.Fatalf("pooling charged %d cycles — the search stages are missing", st.Cycles)
+	}
+	if st.EnergyJ <= 0 {
+		t.Fatal("pooling charged no energy")
+	}
+
+	// The re-entrant form reports the identical activity as a value.
+	row, stats := r.MaxPoolStats(win, NewScratch())
+	if row != got || stats != st {
+		t.Fatalf("MaxPoolStats (%d, %+v) disagrees with MaxPool (%d, %+v)", row, stats, got, st)
+	}
+}

@@ -323,7 +323,9 @@ func buildPoolHW(t *nn.Pool2D, p *composer.LayerPlan, next []float32) *hwLayer {
 // h.Stats, so Infer itself is not safe for concurrent use — use InferBatch
 // to evaluate many inputs in parallel.
 func (h *HardwareNetwork) Infer(x []float32) (int, error) {
-	pred, stats, err := h.inferOne(x)
+	s := scratchPool.Get().(*Scratch)
+	pred, stats, err := h.inferOne(x, s)
+	scratchPool.Put(s)
 	if err != nil {
 		return 0, err
 	}
@@ -332,21 +334,31 @@ func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 }
 
 // inferOne is the re-entrant evaluation of one input: it only reads the
-// shared network configuration (every FuncRNA is evaluated through Eval,
-// bias passed by value) and returns the input's substrate activity instead
-// of accumulating shared state.
-func (h *HardwareNetwork) inferOne(x []float32) (int, crossbar.Stats, error) {
+// shared network configuration (every FuncRNA is evaluated through
+// EvalScratch, bias passed by value) and returns the input's substrate
+// activity instead of accumulating shared state. All intermediate state —
+// the ping-pong activation buffers, the edge gather buffer, the recurrent
+// frame/state buffers and every per-neuron working set — lives in s, so a
+// worker that reuses one Scratch classifies inputs without allocating in
+// steady state. s must not be shared between concurrent inferOne calls.
+func (h *HardwareNetwork) inferOne(x []float32, s *Scratch) (int, crossbar.Stats, error) {
 	var stats crossbar.Stats
 	if len(x) != h.inSize {
 		return 0, stats, fmt.Errorf("rna: input has %d features, want %d", len(x), h.inSize)
 	}
 	// Virtual layer (§2.2): encode the raw input onto the first compute
-	// layer's codebook.
+	// layer's codebook. enc/nxt ping-pong between the scratch's two
+	// activation buffers, one swap per layer.
 	first := h.layers[0]
-	enc := make([]int, len(x))
+	enc := resizeInts(s.actA, len(x))
+	nxt := s.actB
 	for i, v := range x {
 		enc[i] = cluster.Assign(first.plan.InputCodebook, v)
 	}
+	defer func() {
+		// Hand the (possibly grown) buffers back whichever way they ended up.
+		s.actA, s.actB = enc, nxt
+	}()
 	for _, hl := range h.layers {
 		switch {
 		case hl.kind == composer.KindRecurrent:
@@ -357,32 +369,35 @@ func (h *HardwareNetwork) inferOne(x []float32) (int, crossbar.Stats, error) {
 			inCB := hl.plan.InputCodebook
 			// The zero initial state enters as the codebook's nearest-to-zero
 			// representative.
-			hState := make([]int, hl.rnnH)
+			hState := resizeInts(s.rnnState, hl.rnnH)
+			hNext := resizeInts(s.rnnNext, hl.rnnH)
+			feed := resizeInts(s.rnnFeed, hl.rnnIn+hl.rnnH)
 			zeroIdx := cluster.Assign(inCB, 0)
 			for j := range hState {
 				hState[j] = zeroIdx
 			}
 			for step := 0; step < hl.rnnSteps; step++ {
 				frame := enc[step*hl.rnnIn : (step+1)*hl.rnnIn]
-				next := make([]int, hl.rnnH)
 				last := step == hl.rnnSteps-1
 				for j := 0; j < hl.rnnH; j++ {
 					r := hl.rnnLoop
 					if last {
 						r = hl.rnas[0]
 					}
-					inputs := make([]int, 0, hl.rnnIn+hl.rnnH)
-					inputs = append(inputs, frame...)
-					inputs = append(inputs, hState...)
-					e, _, s := r.Eval(hl.weightIdx[j], inputs, hl.biasFixed[j])
-					stats = addStats(stats, s)
-					next[j] = e
+					copy(feed, frame)
+					copy(feed[hl.rnnIn:], hState)
+					e, _, st := r.EvalScratch(hl.weightIdx[j], feed, hl.biasFixed[j], s)
+					stats = addStats(stats, st)
+					hNext[j] = e
 				}
-				hState = next
+				hState, hNext = hNext, hState
 			}
-			enc = hState
+			s.rnnState, s.rnnNext, s.rnnFeed = hState, hNext, feed
+			nxt = resizeInts(nxt, hl.rnnH)
+			copy(nxt, hState)
+			enc, nxt = nxt, enc
 		case hl.kind == composer.KindPool:
-			out := make([]int, len(hl.poolWindows))
+			out := resizeInts(nxt, len(hl.poolWindows))
 			if hl.poolAvg {
 				// Average pooling (§4.2.1): the crossbar sums the decoded
 				// window values in memory; the division by the window size is
@@ -393,21 +408,24 @@ func (h *HardwareNetwork) inferOne(x []float32) (int, crossbar.Stats, error) {
 				}
 				inv := 1.0 / float64(len(hl.poolWindows[0]))
 				for n, win := range hl.poolWindows {
-					addends := make([]uint64, len(win))
-					for i, pos := range win {
-						addends[i] = uint64(toFixed(float64(hl.poolCB[enc[pos]]), hwFracBits)) & math.MaxUint32
+					addends := s.addends[:0]
+					for _, pos := range win {
+						addends = append(addends, uint64(toFixed(float64(hl.poolCB[enc[pos]]), hwFracBits))&math.MaxUint32)
 					}
-					raw, s := crossbar.AddMany(h.dev, addends, sumWidth)
-					stats = addStats(stats, s)
+					s.addends = addends
+					raw, st := s.add.AddMany(h.dev, addends, sumWidth)
+					stats = addStats(stats, st)
 					mean := fromFixed(int64(int32(uint32(raw))), hwFracBits) * inv
 					out[n] = cluster.Assign(hl.poolCB, float32(mean))
 				}
-				enc = out
+				enc, nxt = out, enc
 				continue
 			}
 			// Encoded values compare like their codebook values (sorted
 			// levels), so max pooling is a max over indices — realized by the
-			// encoder NDCAM search in hardware (§4.2.1).
+			// encoder NDCAM search in hardware (§4.2.1). The window's
+			// substrate activity — refilling the pooling CAM plus one search —
+			// is charged per window so pooling-layer work reaches the totals.
 			for n, win := range hl.poolWindows {
 				best := enc[win[0]]
 				for _, pos := range win[1:] {
@@ -416,15 +434,16 @@ func (h *HardwareNetwork) inferOne(x []float32) (int, crossbar.Stats, error) {
 					}
 				}
 				out[n] = best
+				stats = addStats(stats, poolCAMStats(h.dev, len(win)))
 			}
-			enc = out
+			enc, nxt = out, enc
 		case hl.isLogit:
 			// Final layer: raw fixed-point sums, argmax comparator.
 			best, bestV := 0, math.Inf(-1)
 			for n := range hl.weightIdx {
 				r := hl.rnas[hl.groupOf[n]]
-				pre, s := r.AccumulateBias(hl.weightIdx[n], gather(enc, hl.edgeOf[n]), hl.biasFixed[n])
-				stats = addStats(stats, s)
+				pre, st := r.AccumulateBiasScratch(hl.weightIdx[n], gatherInto(&s.gather, enc, hl.edgeOf[n]), hl.biasFixed[n], s)
+				stats = addStats(stats, st)
 				if pre > bestV {
 					best, bestV = n, pre
 				}
@@ -432,24 +451,37 @@ func (h *HardwareNetwork) inferOne(x []float32) (int, crossbar.Stats, error) {
 			return best, stats, nil
 		default:
 			inCB := hl.plan.InputCodebook
-			out := make([]int, len(hl.weightIdx))
+			out := resizeInts(nxt, len(hl.weightIdx))
 			for n := range hl.weightIdx {
 				r := hl.rnas[hl.groupOf[n]]
-				pre, s := r.AccumulateBias(hl.weightIdx[n], gather(enc, hl.edgeOf[n]), hl.biasFixed[n])
-				stats = addStats(stats, s)
-				z := r.Activate(pre)
+				pre, st := r.AccumulateBiasScratch(hl.weightIdx[n], gatherInto(&s.gather, enc, hl.edgeOf[n]), hl.biasFixed[n], s)
+				stats = addStats(stats, st)
+				z := r.activate(pre, s)
 				if hl.skip {
 					// Residual: the skipped encoded input re-enters through
 					// the input FIFO and adds before encoding (§4.3).
 					z += float64(inCB[enc[hl.skipPos[n]]])
 				}
-				e, _ := r.EncodeValue(z)
+				e, _ := r.encodeValue(z, s)
 				out[n] = e
 			}
-			enc = out
+			enc, nxt = out, enc
 		}
 	}
 	return 0, stats, fmt.Errorf("rna: network ended without a logit layer")
+}
+
+// poolCAMStats is the substrate activity one max-pooling window accrues on
+// the encoder NDCAM: one CAM write per window entry and one
+// nearest-to-+∞ search over the refilled rows, priced exactly like
+// ndcam.Write and ndcam.SearchStats on a 16-bit CAM holding the window.
+func poolCAMStats(dev device.Params, window int) crossbar.Stats {
+	const poolStages = (16 + 7) / 8 // pooling reuses the 16-bit encoder CAM
+	return crossbar.Stats{
+		Writes:  int64(window),
+		Cycles:  int64(window) + int64(poolStages*dev.AMSearchCycles),
+		EnergyJ: float64(window)*dev.AMWriteEnergy + dev.AMSearchEnergy*float64(window)/float64(dev.AMRows),
+	}
 }
 
 // workers resolves the concurrency knob: h.Workers if set, else GOMAXPROCS,
@@ -510,10 +542,12 @@ func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Sta
 	errs := make([]error, n)
 	workers := h.workers(n)
 	if workers == 1 {
+		s := scratchPool.Get().(*Scratch)
 		for i := 0; i < n; i++ {
 			row := x.Data()[i*h.inSize : (i+1)*h.inSize]
-			preds[i], stats[i], errs[i] = h.inferOne(row)
+			preds[i], stats[i], errs[i] = h.inferOne(row, s)
 		}
+		scratchPool.Put(s)
 	} else {
 		next := make(chan int)
 		var wg sync.WaitGroup
@@ -521,9 +555,14 @@ func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Sta
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Each worker owns one Scratch for its whole share of the
+				// batch: all per-input buffers are reused across rows, and
+				// the arena goes back to the pool when the batch drains.
+				s := scratchPool.Get().(*Scratch)
+				defer scratchPool.Put(s)
 				for i := range next {
 					row := x.Data()[i*h.inSize : (i+1)*h.inSize]
-					preds[i], stats[i], errs[i] = h.inferOne(row)
+					preds[i], stats[i], errs[i] = h.inferOne(row, s)
 				}
 			}()
 		}
@@ -638,11 +677,15 @@ func (h *HardwareNetwork) ErrorRate(x *tensor.Tensor, labels []int) (float64, er
 	return float64(wrong) / float64(n), nil
 }
 
-func gather(enc []int, pos []int) []int {
-	out := make([]int, len(pos))
+// gatherInto fills the caller's reusable buffer with enc at the given
+// positions — the per-neuron edge gather, allocation-free once the buffer
+// has grown to the widest edge list.
+func gatherInto(buf *[]int, enc []int, pos []int) []int {
+	out := resizeInts(*buf, len(pos))
 	for i, p := range pos {
 		out[i] = enc[p]
 	}
+	*buf = out
 	return out
 }
 

@@ -1,0 +1,71 @@
+package rna
+
+import (
+	"sync"
+
+	"repro/internal/counting"
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/ndcam"
+)
+
+// Scratch is the per-worker working set of the hot inference path. Every
+// buffer the pipeline needs between two neuron fires — the counting
+// histogram, the shift-add term and addend lists, the in-memory adder's row
+// storage, the CAM candidate buffer of the fault overlay, the reusable
+// pooling CAM, and the per-input activation buffers of the network executor
+// — lives here, so a worker that owns one Scratch evaluates neurons and
+// whole inputs without allocating in steady state.
+//
+// Ownership rules: a Scratch is NOT safe for concurrent use — it is the
+// mutable state the re-entrant APIs (Eval/AccumulateBias/SearchStats) were
+// stripped of. One goroutine, one Scratch. The zero-config APIs without a
+// scratch parameter borrow one from an internal sync.Pool per call, so they
+// stay allocation-light and safe from any number of goroutines.
+type Scratch struct {
+	// Neuron-fire pipeline.
+	counts  []int            // flat (w·u) counting histogram
+	terms   []counting.Term  // shift-add decomposition of one count
+	addends []uint64         // adder operands of one accumulation
+	add     crossbar.AddScratch
+	camBuf  []int // NDCAM candidate buffer (fault-overlay searches only)
+
+	// Pooling: one CAM reused across MaxPool windows instead of a fresh
+	// allocation per window. Rebuilt only if the device parameters change.
+	pool    *ndcam.NDCAM
+	poolDev device.Params
+
+	// Network executor (inferOne): ping-pong activation buffers, the edge
+	// gather buffer, and the recurrent state/frame buffers.
+	actA, actB             []int
+	gather                 []int
+	rnnState, rnnNext, rnnFeed []int
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use and are
+// retained afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// poolCAM returns the scratch's reusable pooling CAM for the given device,
+// creating or rebuilding it only when the device parameters change.
+func (s *Scratch) poolCAM(dev device.Params) *ndcam.NDCAM {
+	if s.pool == nil || s.poolDev != dev {
+		s.pool = ndcam.New(dev, 16, ndcam.Weighted)
+		s.poolDev = dev
+	}
+	return s.pool
+}
+
+// scratchPool backs the zero-config APIs: callers that do not thread a
+// Scratch borrow one per call, so the historical signatures keep working
+// and stay allocation-free in steady state.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// resizeInts returns buf resized to n entries, reallocating only on growth.
+// Contents are unspecified; callers overwrite every entry.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}

@@ -154,11 +154,9 @@ func (m *Model) inferFn(p Path) (InferFn, error) {
 	switch p {
 	case PathSoftware:
 		in := m.InSize()
+		var flat []float32 // owned by the dispatcher goroutine, reused per batch
 		return func(rows [][]float32) ([]int, crossbar.Stats, error) {
-			flat := make([]float32, 0, len(rows)*in)
-			for _, row := range rows {
-				flat = append(flat, row...)
-			}
+			flat = flattenBatch(flat, rows)
 			preds := m.software().Predict(tensor.FromSlice(flat, len(rows), in))
 			return preds, crossbar.Stats{}, nil
 		}, nil
@@ -167,15 +165,24 @@ func (m *Model) inferFn(p Path) (InferFn, error) {
 			return nil, fmt.Errorf("serve: model %s was loaded without the hardware path", m.Name)
 		}
 		in := m.InSize()
+		var flat []float32 // owned by the dispatcher goroutine, reused per batch
 		return func(rows [][]float32) ([]int, crossbar.Stats, error) {
-			flat := make([]float32, 0, len(rows)*in)
-			for _, row := range rows {
-				flat = append(flat, row...)
-			}
+			flat = flattenBatch(flat, rows)
 			return m.hwNet().InferBatchStats(tensor.FromSlice(flat, len(rows), in))
 		}, nil
 	}
 	return nil, fmt.Errorf("serve: unknown path %q (valid: %s, %s)", p, PathSoftware, PathHardware)
+}
+
+// flattenBatch packs a coalesced batch into one contiguous feature slice,
+// reusing buf's backing array when it is large enough. InferFn runs on the
+// dispatcher goroutine only, so the closures above can keep one buffer each.
+func flattenBatch(buf []float32, rows [][]float32) []float32 {
+	buf = buf[:0]
+	for _, row := range rows {
+		buf = append(buf, row...)
+	}
+	return buf
 }
 
 // Registry is the set of models a server exposes, keyed by name.
