@@ -1,19 +1,30 @@
-# Tier-1 gate: everything must build and every test must pass.
-test:
+# Tier-1 gate: everything must lint, build and every test must pass.
+test: lint
 	go build ./...
 	go test ./...
 
-# Static analysis gate.
+# Static-analysis gate: go vet plus a gofmt cleanliness check. gofmt -l
+# prints the files that need reformatting; any output fails the target.
+lint:
+	go vet ./...
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+# Kept as an alias for the vet half of lint.
 vet:
 	go vet ./...
 
 # Tier-1-adjacent concurrency gate: the packages with parallel execution
 # paths (re-entrant RNA evaluation, batched hardware inference, k-means,
-# the serving batcher) must be clean under the race detector — including the
-# scratch-arena plumbing underneath them (counting, crossbar adder, NDCAM).
+# the serving batcher, the lock-free metrics/tracing instruments) must be
+# clean under the race detector — including the scratch-arena plumbing
+# underneath them (counting, crossbar adder, NDCAM).
 race:
 	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/... \
-		./internal/counting/... ./internal/crossbar/... ./internal/ndcam/...
+		./internal/counting/... ./internal/crossbar/... ./internal/ndcam/... \
+		./internal/obs/...
 
 # Robustness gate: fuzz the composed-artifact loader with a short budget.
 # The seed corpus (a valid artifact plus truncations/corruptions) is built
@@ -62,4 +73,4 @@ serve-smoke:
 
 check: test vet race
 
-.PHONY: test vet race fuzz bench-parallel bench-serve bench-hot bench-compare serve-smoke check
+.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-compare serve-smoke check

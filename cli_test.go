@@ -7,10 +7,12 @@ package rapidnn
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"syscall"
 	"testing"
@@ -43,13 +45,19 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	dir := t.TempDir()
 
-	// rapidnn-bench: hardware-only artifacts in quick mode.
+	// rapidnn-bench: hardware-only artifacts in quick mode, with per-artifact
+	// stage tracing.
 	benchBin := buildCmd(t, dir, "rapidnn-bench")
-	out := runCmd(t, benchBin, "-quick", "-only", "t1,f5,f14,ablate,xvar", "-csv", dir)
+	benchStages := filepath.Join(dir, "bench-stages.json")
+	out := runCmd(t, benchBin, "-quick", "-only", "t1,f5,f14,ablate,xvar", "-csv", dir,
+		"-trace-out", benchStages)
 	for _, want := range []string{"Table 1", "3841um2", "Figure 5", "Figure 14", "Ablations", "process variation"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("bench output missing %q", want)
 		}
+	}
+	if b, err := os.ReadFile(benchStages); err != nil || !strings.Contains(string(b), `"ablate"`) {
+		t.Errorf("bench stage trace missing artifact spans: %v", err)
 	}
 
 	// rapidnn-compose: train, compose, save an artifact.
@@ -73,10 +81,15 @@ func TestCLIEndToEnd(t *testing.T) {
 		}
 	}
 
-	// rapidnn-sim: analytic + event simulation + trace export.
+	// rapidnn-sim: analytic + event simulation + trace export, plus the
+	// observability exports (-metrics Prometheus snapshot, -trace-out stage
+	// spans).
 	simBin := buildCmd(t, dir, "rapidnn-sim")
 	tracePath := filepath.Join(dir, "trace.json")
-	out = runCmd(t, simBin, "-net", "MNIST", "-stream", "3", "-trace", tracePath)
+	simMetrics := filepath.Join(dir, "sim-metrics.prom")
+	simStages := filepath.Join(dir, "sim-stages.json")
+	out = runCmd(t, simBin, "-net", "MNIST", "-stream", "3", "-trace", tracePath,
+		"-metrics", simMetrics, "-trace-out", simStages)
 	for _, want := range []string{"RNA blocks", "energy breakdown", "tile placement", "steady interval"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("sim output missing %q", want)
@@ -84,6 +97,13 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
 		t.Fatalf("trace missing: %v", err)
+	}
+	simProm := parsePromFile(t, simMetrics)
+	if v, ok := simProm[`rapidnn_sim_throughput_inferences_per_second{workload="MNIST"}`]; !ok || v == "0" {
+		t.Errorf("sim metrics missing nonzero throughput gauge; got %q (present %v)", v, ok)
+	}
+	if b, err := os.ReadFile(simStages); err != nil || !strings.Contains(string(b), `"simulate"`) {
+		t.Errorf("sim stage trace missing simulate span: %v", err)
 	}
 	// Paper-scale workloads resolve by name too.
 	out = runCmd(t, simBin, "-net", "VGGNet", "-chips", "8")
@@ -100,12 +120,16 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Errorf("compose unknown-dataset error does not list valid names:\n%s", badOut)
 	}
 
-	// rapidnn-serve: serve the composed artifact over HTTP, predict through
-	// it, then shut down gracefully on SIGTERM.
+	// rapidnn-serve: serve the composed artifact over HTTP with both paths,
+	// predict through each, scrape /metrics, then shut down gracefully on
+	// SIGTERM (which snapshots metrics and trace to files).
 	serveBin := buildCmd(t, dir, "rapidnn-serve")
 	addrFile := filepath.Join(dir, "serve.addr")
-	serveCmd := exec.Command(serveBin, "-model", modelPath,
-		"-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	serveMetrics := filepath.Join(dir, "serve-metrics.prom")
+	serveTrace := filepath.Join(dir, "serve-trace.json")
+	serveCmd := exec.Command(serveBin, "-model", modelPath, "-hw",
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-metrics", serveMetrics, "-trace-out", serveTrace)
 	var serveOut bytes.Buffer
 	serveCmd.Stdout, serveCmd.Stderr = &serveOut, &serveOut
 	if err := serveCmd.Start(); err != nil {
@@ -172,6 +196,45 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("predict returned %d with %+v", resp.StatusCode, pred)
 	}
 
+	// Hardware-path predict: real substrate work that must surface in the
+	// lane's /metrics counters.
+	body, _ = json.Marshal(map[string]any{"path": "hardware", "inputs": [][]float32{row}})
+	resp, err = http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("hardware predict: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatalf("decoding hardware prediction: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(pred.Predictions) != 1 {
+		t.Fatalf("hardware predict returned %d with %+v", resp.StatusCode, pred)
+	}
+
+	// GET /metrics: well-formed Prometheus text exposition with nonzero
+	// substrate counters on the hardware lane.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	promBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	samples := parsePromText(t, string(promBody))
+	hwCycles := samples[`rapidnn_serve_substrate_cycles_total{lane="`+models.Models[0].Name+`/hardware"}`]
+	if hwCycles == "" || hwCycles == "0" {
+		t.Errorf("hardware lane substrate cycles = %q, want nonzero; metrics:\n%s", hwCycles, promBody)
+	}
+	swDone := samples[`rapidnn_serve_requests_total{lane="`+models.Models[0].Name+`/software",outcome="completed"}`]
+	if swDone != "1" {
+		t.Errorf("software lane completed = %q, want 1", swDone)
+	}
+
 	// Graceful shutdown: SIGTERM drains and exits zero.
 	if err := serveCmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("signaling server: %v", err)
@@ -189,4 +252,44 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(serveOut.String(), "drained cleanly") {
 		t.Errorf("server output missing drain confirmation:\n%s", serveOut.String())
 	}
+	// The drain wrote the final metrics snapshot and the Chrome trace.
+	finalProm := parsePromFile(t, serveMetrics)
+	if v := finalProm[`rapidnn_serve_requests_total{lane="`+models.Models[0].Name+`/hardware",outcome="completed"}`]; v != "1" {
+		t.Errorf("final metrics snapshot hardware completed = %q, want 1", v)
+	}
+	traceBytes, err := os.ReadFile(serveTrace)
+	if err != nil || !strings.Contains(string(traceBytes), `"batch"`) {
+		t.Errorf("serve trace missing batch spans: %v", err)
+	}
+}
+
+// promSampleLine matches one Prometheus exposition sample line.
+var promSampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (?:[-+]?[0-9].*|[-+]Inf|NaN)$`)
+
+// parsePromText validates Prometheus text exposition line by line and
+// returns the samples keyed by "name{labels}".
+func parsePromText(t *testing.T, text string) map[string]string {
+	t.Helper()
+	samples := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promSampleLine.MatchString(line) {
+			t.Fatalf("malformed Prometheus exposition line: %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		samples[line[:i]] = line[i+1:]
+	}
+	return samples
+}
+
+func parsePromFile(t *testing.T, path string) map[string]string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading metrics file: %v", err)
+	}
+	return parsePromText(t, string(b))
 }

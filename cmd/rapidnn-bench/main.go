@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/prof"
 )
 
@@ -29,8 +30,19 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	metricsOut := flag.String("metrics", "", "write the harness metrics registry in Prometheus text format to this file at exit")
+	traceOut := flag.String("trace-out", "", "record per-artifact and composition stage spans and write a Chrome trace to this file at exit")
 	flag.Parse()
 	bench.Workers = *workers
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(1 << 16)
+		bench.Trace = tracer
+	}
+	if *metricsOut != "" || *traceOut != "" {
+		bench.Obs = obs.NewRegistry()
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -74,118 +86,165 @@ func main() {
 		fmt.Printf("wrote %s\n\n", path)
 	}
 
-	if run("t1") {
-		fmt.Println(bench.Table1())
+	// Artifact table: each entry prints its table/figure (and CSV, when the
+	// figure has a series) or returns the error that aborts the run. The loop
+	// wraps every artifact in a stage span, so -trace-out shows where a full
+	// regeneration spends its time.
+	type artifact struct {
+		id string
+		fn func() error
 	}
-	if run("t2") {
-		fmt.Println(bench.Table2(s))
+	artifacts := []artifact{
+		{id: "t1", fn: func() error { fmt.Println(bench.Table1()); return nil }},
+		{id: "t2", fn: func() error { fmt.Println(bench.Table2(s)); return nil }},
+		{id: "t3", fn: func() error {
+			r, err := bench.Table3(s)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{id: "t4", fn: func() error {
+			r, err := bench.Table4(s)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			saveCSV("t4", r.WriteCSV)
+			return nil
+		}},
+		{id: "f5", fn: func() error { fmt.Println(bench.Figure5()); return nil }},
+		{id: "f6", fn: func() error {
+			r, err := bench.Figure6(s)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			saveCSV("f6", r.WriteCSV)
+			return nil
+		}},
+		{id: "f10", fn: func() error {
+			r, err := bench.Figure10(s)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			saveCSV("f10", r.WriteCSV)
+			return nil
+		}},
+		{id: "f11", fn: func() error {
+			r, err := bench.Figure11(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			saveCSV("f11", r.WriteCSV)
+			return nil
+		}},
+		{id: "f12", fn: func() error {
+			r, err := bench.Figure12(s)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			saveCSV("f12", r.WriteCSV)
+			return nil
+		}},
+		{id: "f13", fn: func() error {
+			r, err := bench.Figure13()
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{id: "f14", fn: func() error { fmt.Println(bench.Figure14()); return nil }},
+		{id: "f15", fn: func() error {
+			r, err := bench.Figure15(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			saveCSV("f15", r.WriteCSV)
+			return nil
+		}},
+		{id: "f16", fn: func() error {
+			r, err := bench.Figure16(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			saveCSV("f16", r.WriteCSV)
+			return nil
+		}},
+		{id: "eff", fn: func() error {
+			r, err := bench.Efficiency()
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{id: "ablate", fn: func() error { fmt.Println(bench.Ablations()); return nil }},
+		{id: "xvar", fn: func() error { fmt.Println(bench.VariationStudy()); return nil }},
+		{id: "xfault", fn: func() error {
+			r, err := bench.FaultStudy(s, bench.FaultStudyConfig{})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{id: "xprotect", fn: func() error {
+			r, err := bench.ProtectionStudy(s, 0.05, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
 	}
-	if run("t3") {
-		r, err := bench.Table3(s)
-		if err != nil {
-			fail("t3", err)
+	for _, a := range artifacts {
+		if !run(a.id) {
+			continue
 		}
-		fmt.Println(r)
-	}
-	if run("t4") {
-		r, err := bench.Table4(s)
-		if err != nil {
-			fail("t4", err)
+		sp := tracer.Start("bench", a.id)
+		if err := a.fn(); err != nil {
+			fail(a.id, err)
 		}
-		fmt.Println(r)
-		saveCSV("t4", r.WriteCSV)
-	}
-	if run("f5") {
-		fmt.Println(bench.Figure5())
-	}
-	if run("f6") {
-		r, err := bench.Figure6(s)
-		if err != nil {
-			fail("f6", err)
-		}
-		fmt.Println(r)
-		saveCSV("f6", r.WriteCSV)
-	}
-	if run("f10") {
-		r, err := bench.Figure10(s)
-		if err != nil {
-			fail("f10", err)
-		}
-		fmt.Println(r)
-		saveCSV("f10", r.WriteCSV)
-	}
-	if run("f11") {
-		r, err := bench.Figure11(*quick)
-		if err != nil {
-			fail("f11", err)
-		}
-		fmt.Println(r)
-		saveCSV("f11", r.WriteCSV)
-	}
-	if run("f12") {
-		r, err := bench.Figure12(s)
-		if err != nil {
-			fail("f12", err)
-		}
-		fmt.Println(r)
-		saveCSV("f12", r.WriteCSV)
-	}
-	if run("f13") {
-		r, err := bench.Figure13()
-		if err != nil {
-			fail("f13", err)
-		}
-		fmt.Println(r)
-	}
-	if run("f14") {
-		fmt.Println(bench.Figure14())
-	}
-	if run("f15") {
-		r, err := bench.Figure15(*quick)
-		if err != nil {
-			fail("f15", err)
-		}
-		fmt.Println(r)
-		saveCSV("f15", r.WriteCSV)
-	}
-	if run("f16") {
-		r, err := bench.Figure16(*quick)
-		if err != nil {
-			fail("f16", err)
-		}
-		fmt.Println(r)
-		saveCSV("f16", r.WriteCSV)
-	}
-	if run("eff") {
-		r, err := bench.Efficiency()
-		if err != nil {
-			fail("eff", err)
-		}
-		fmt.Println(r)
-	}
-	if run("ablate") {
-		fmt.Println(bench.Ablations())
-	}
-	if run("xvar") {
-		fmt.Println(bench.VariationStudy())
-	}
-	if run("xfault") {
-		r, err := bench.FaultStudy(s, bench.FaultStudyConfig{})
-		if err != nil {
-			fail("xfault", err)
-		}
-		fmt.Println(r)
-	}
-	if run("xprotect") {
-		r, err := bench.ProtectionStudy(s, 0.05, nil)
-		if err != nil {
-			fail("xprotect", err)
-		}
-		fmt.Println(r)
+		sp.End()
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidnn-bench: %v\n", err)
 		os.Exit(1)
 	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, bench.Obs.WritePrometheus); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidnn-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if tracer != nil {
+		if err := writeTo(*traceOut, tracer.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidnn-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote stage trace (%d spans) to %s\n", tracer.Len(), *traceOut)
+	}
 	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTo streams an exporter into a freshly created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

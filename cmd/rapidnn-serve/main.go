@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/composer"
 	"repro/internal/dataset"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -58,6 +60,20 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// writeFileWith streams an exporter (WritePrometheus, WriteChromeTrace) into
+// a freshly created file.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	var models modelFlags
 	flag.Var(&models, "model", "composed-model artifact to serve: path or name=path (repeatable)")
@@ -71,6 +87,8 @@ func main() {
 	queue := flag.Int("queue", 256, "admission queue depth; a full queue answers 503 + Retry-After")
 	timeout := flag.Duration("timeout", 30*time.Second, "server-side per-request deadline (0 = none)")
 	canaryInterval := flag.Duration("canary-interval", 0, "periodic canary self-test interval; degraded models are shed with 503s until scrubbed (0 = disabled)")
+	metricsOut := flag.String("metrics", "", "write a final Prometheus metrics snapshot to this file on drain (GET /metrics serves them live regardless)")
+	traceOut := flag.String("trace-out", "", "record per-batch serving spans and write a Chrome trace (chrome://tracing, Perfetto) to this file on drain")
 	flag.Parse()
 
 	reg := serve.NewRegistry()
@@ -110,6 +128,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(1 << 16)
+	}
 	srv := serve.NewServer(reg, serve.Config{
 		Batcher: serve.BatcherConfig{
 			MaxBatch:   *maxBatch,
@@ -118,6 +140,7 @@ func main() {
 		},
 		RequestTimeout: *timeout,
 		CanaryInterval: *canaryInterval,
+		Trace:          tracer,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -148,6 +171,20 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fail(err)
+		}
+		// Every lane has drained: the registry and tracer are quiescent, so
+		// the snapshots are complete and consistent.
+		if *metricsOut != "" {
+			if err := writeFileWith(*metricsOut, srv.Obs().WritePrometheus); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+		}
+		if tracer != nil {
+			if err := writeFileWith(*traceOut, tracer.WriteChromeTrace); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote trace (%d spans, %d dropped) to %s\n", tracer.Len(), tracer.Dropped(), *traceOut)
 		}
 		fmt.Println("drained cleanly")
 	case err := <-done:

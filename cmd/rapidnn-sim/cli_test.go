@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -42,6 +43,28 @@ func TestSimCLIFaultFlagValidation(t *testing.T) {
 		if !strings.Contains(string(out), c.want) {
 			t.Errorf("%v: output missing %q:\n%s", c.args, c.want, out)
 		}
+	}
+}
+
+// The observability exports: a plain run with -metrics and -trace-out must
+// write a Prometheus gauge file and a Chrome stage trace.
+func TestSimCLIObservabilityExports(t *testing.T) {
+	bin := buildSimBinary(t)
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.prom")
+	trace := filepath.Join(dir, "t.json")
+	out, err := exec.Command(bin, "-net", "MNIST",
+		"-metrics", metrics, "-trace-out", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("rapidnn-sim: %v\n%s", err, out)
+	}
+	m, err := os.ReadFile(metrics)
+	if err != nil || !strings.Contains(string(m), "rapidnn_sim_throughput_inferences_per_second") {
+		t.Fatalf("metrics file missing throughput gauge: %v\n%s", err, m)
+	}
+	tr, err := os.ReadFile(trace)
+	if err != nil || !strings.Contains(string(tr), `"simulate"`) {
+		t.Fatalf("trace file missing simulate span: %v", err)
 	}
 }
 

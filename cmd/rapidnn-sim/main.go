@@ -30,9 +30,37 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dataset"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/rna"
 )
+
+// exportObs writes the run's metrics registry and/or stage trace to the
+// -metrics / -trace-out files. Error paths that os.Exit lose them, same as
+// the profiles.
+func exportObs(metricsOut string, reg *obs.Registry, traceOut string, tr *obs.Tracer) {
+	write := func(path string, fn func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if metricsOut != "" {
+		write(metricsOut, func(f *os.File) error { return reg.WritePrometheus(f) })
+		fmt.Printf("wrote metrics to %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		write(traceOut, func(f *os.File) error { return tr.WriteChromeTrace(f) })
+		fmt.Printf("wrote stage trace (%d spans) to %s\n", tr.Len(), traceOut)
+	}
+}
 
 func main() {
 	name := flag.String("net", "MNIST", "workload (MNIST, ISOLET, HAR, CIFAR-10, CIFAR-100, ImageNet, AlexNet, VGGNet, GoogLeNet, ResNet)")
@@ -52,8 +80,21 @@ func main() {
 	faultSeeds := flag.Int("fault-seeds", 3, "independent fault-map seeds averaged per rate")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	metricsOut := flag.String("metrics", "", "write the run's report metrics in Prometheus text format to this file")
+	traceOut := flag.String("trace-out", "", "record run stage spans (composition, simulation, sweeps) and write a Chrome trace to this file")
 	flag.Parse()
 	bench.Workers = *workers
+
+	oreg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(1 << 16)
+		// The harness globals thread the tracer through composer runs and
+		// hardware lowerings without plumbing every call site.
+		bench.Trace = tracer
+		bench.Obs = oreg
+	}
+	defer exportObs(*metricsOut, oreg, *traceOut, tracer)
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -70,7 +111,9 @@ func main() {
 	}()
 
 	if *faults {
+		sp := tracer.Start("sim", "fault_study")
 		runFaultStudy(*faultRates, *faultModel, *protection, *spareRows, *faultSeeds)
+		sp.End()
 		return
 	}
 
@@ -111,14 +154,18 @@ func main() {
 			w, u int
 			rep  *accel.Report
 		}
+		sweepSp := tracer.Start("sim", "sweep")
 		cells, err := bench.ParallelSweep(bench.SweepGrid([]*bench.HWBench{hb}, sizes, sizes),
 			func(p bench.SweepPoint) (cell, error) {
+				sp := tracer.Start("sim", "simulate:"+strconv.Itoa(p.W)+"x"+strconv.Itoa(p.U))
 				rep, err := accel.Simulate(p.Bench.Name, p.Bench.Replan(p.W, p.U), p.Bench.MACs, cfg)
+				sp.End()
 				if err != nil {
 					return cell{}, err
 				}
 				return cell{w: p.W, u: p.U, rep: rep}, nil
 			})
+		sweepSp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rapidnn-sim: sweep: %v\n", err)
 			os.Exit(1)
@@ -133,11 +180,24 @@ func main() {
 		return
 	}
 
+	simSp := tracer.Start("sim", "simulate")
 	rep, err := accel.Simulate(hb.Name, hb.Plans, hb.MACs, cfg)
+	simSp.End()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rapidnn-sim: %v\n", err)
 		os.Exit(1)
 	}
+	// Register the report's headline numbers so -metrics captures the run in
+	// scrape-friendly form alongside the human-readable print-out.
+	wl := obs.L("workload", rep.Network)
+	oreg.Gauge("rapidnn_sim_throughput_inferences_per_second", "Pipelined simulated throughput.", wl).Set(rep.ThroughputIPS)
+	oreg.Gauge("rapidnn_sim_latency_seconds", "Single-inference simulated latency.", wl).Set(rep.LatencySeconds)
+	oreg.Gauge("rapidnn_sim_energy_per_input_joules", "Simulated energy per inference.", wl).Set(rep.EnergyPerInputJ)
+	oreg.Gauge("rapidnn_sim_area_mm2", "Accelerator area.", wl).Set(rep.AreaMM2)
+	oreg.Gauge("rapidnn_sim_peak_power_watts", "Simulated peak power.", wl).Set(rep.PeakPowerW)
+	oreg.Gauge("rapidnn_sim_table_memory_bytes", "Codebook and table memory footprint.", wl).Set(float64(rep.MemoryBytes))
+	oreg.Gauge("rapidnn_sim_rna_blocks_required", "RNA blocks the workload needs.", wl).Set(float64(rep.RNAsRequired))
+	oreg.Gauge("rapidnn_sim_edp_joule_seconds", "Energy-delay product.", wl).Set(rep.EDP())
 
 	fmt.Printf("workload: %s  (%.2f GMACs/inference)\n", rep.Network, float64(rep.MACs)/1e9)
 	fmt.Printf("deployment: %d chip(s), w=%d u=%d, sharing %.0f%%\n\n", rep.Chips, *w, *u, 100**share)

@@ -89,6 +89,7 @@ func (s *Suite) ComposerConfig() composer.Config {
 		cfg.MaxIterations = 5
 		cfg.RetrainEpochs = 2
 	}
+	cfg.Trace = Trace
 	return cfg
 }
 

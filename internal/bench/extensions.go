@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/ndcam"
+	"repro/internal/obs"
 	"repro/internal/rna"
 	"repro/internal/tensor"
 )
@@ -176,6 +177,10 @@ func faultFixture(s *Suite, samples int) (*rna.HardwareNetwork, *tensor.Tensor, 
 	hw, err := rna.BuildHardwareNetwork(re.Net(), c.Plans, device.Default())
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	hw.Trace = Trace
+	if Obs != nil {
+		hw.Instrument(Obs, obs.L("model", tb.Net.Name))
 	}
 	return hw, x, labels, nil
 }

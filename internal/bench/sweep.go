@@ -3,6 +3,8 @@ package bench
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Workers bounds the concurrency of the parallel sweep drivers (Figure11,
@@ -12,6 +14,17 @@ import (
 // out while keeping result ordering — and therefore every rendered table —
 // identical to the serial run.
 var Workers int
+
+// Trace, when set, threads stage tracing through the harness: every composer
+// run the suite launches records its composition spans and every hardware
+// network the harness lowers records its per-layer spans, all into this one
+// tracer (the CLIs export it via -trace-out). Like Workers it is a global
+// knob set once before the run.
+var Trace *obs.Tracer
+
+// Obs, when set, is the registry harness-built hardware networks register
+// their substrate counters in (the CLIs export it via -metrics).
+var Obs *obs.Registry
 
 func workerCount(n int) int {
 	w := Workers

@@ -9,9 +9,11 @@ package composer
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -66,6 +68,11 @@ type Config struct {
 	// model's predictions). 0 keeps the default of 8; negative disables.
 	Canaries int
 	Seed     int64
+	// Trace, when set, records composition stage spans — the statistics
+	// feed-forward, each layer's clustering, each iteration's retraining —
+	// on the "composer" track. Runtime-only: it never reaches serialized
+	// artifacts.
+	Trace *obs.Tracer `json:"-"`
 }
 
 // DefaultConfig returns the paper's default operating point.
@@ -152,12 +159,16 @@ func Compose(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Composed, error
 		batch = 32
 	}
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		iterSp := cfg.Trace.Start("composer", "iteration",
+			obs.L("iter", strconv.Itoa(iter)))
 		plans, err := BuildPlans(work, ds, cfg, iter)
 		if err != nil {
 			return nil, err
 		}
 		re := NewReinterpreted(work, plans)
+		estSp := cfg.Trace.Start("composer", "estimate_error")
 		clErr := re.ErrorRate(ds.TestX, ds.TestY, 64)
+		estSp.End()
 		out.History = append(out.History, IterationStats{
 			Iteration:         iter,
 			ClusteredError:    clErr,
@@ -168,14 +179,17 @@ func Compose(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Composed, error
 			best = nnSnapshot{net: nn.CloneNetwork(work), plans: plans, err: clErr}
 		}
 		if clErr-baseErr <= cfg.Epsilon {
+			iterSp.End()
 			break
 		}
 		if iter == cfg.MaxIterations-1 {
+			iterSp.End()
 			break
 		}
 		// Retrain from the clustered weights so the model adapts to the
 		// codebook ("the model is retrained under the modified condition",
 		// §3.2). Quantize in place, then run full-precision SGD.
+		retrainSp := cfg.Trace.Start("composer", "retrain")
 		QuantizeWeightsInPlace(work, plans)
 		for e := 0; e < max(1, cfg.RetrainEpochs); e++ {
 			ds.Batches(batch, func(x *tensor.Tensor, labels []int) {
@@ -183,6 +197,8 @@ func Compose(net *nn.Network, ds *dataset.Dataset, cfg Config) (*Composed, error
 			})
 			out.TotalEpochs++
 		}
+		retrainSp.End()
+		iterSp.End()
 	}
 	out.Net = best.net
 	out.Plans = best.plans

@@ -1,0 +1,64 @@
+package composer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// A traced composition must record the statistics feed-forward, every
+// layer's clustering, and the iteration/retrain stages, and the spans must
+// export as a Chrome trace.
+func TestComposeRecordsStageSpans(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	cfg.Trace = obs.NewTracer(1024)
+	if _, err := Compose(net, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Trace.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	var b strings.Builder
+	if err := cfg.Trace.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"statistics"`, `"iteration"`, `"estimate_error"`, `"cluster:`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %s span:\n%s", want, out[:min(len(out), 2000)])
+		}
+	}
+}
+
+// BuildPlans must stay bit-identical with and without a tracer attached.
+func TestBuildPlansUnaffectedByTracing(t *testing.T) {
+	net, ds := trainedFixture(t)
+	cfg := fastConfig()
+	plain, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = obs.NewTracer(256)
+	traced, err := BuildPlans(net, ds, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(traced) {
+		t.Fatalf("plan counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		a, b := plain[i], traced[i]
+		if len(a.WeightCodebooks) != len(b.WeightCodebooks) {
+			t.Fatalf("layer %d codebook counts differ", i)
+		}
+		for g := range a.WeightCodebooks {
+			for j := range a.WeightCodebooks[g] {
+				if a.WeightCodebooks[g][j] != b.WeightCodebooks[g][j] {
+					t.Fatalf("layer %d group %d entry %d diverged under tracing", i, g, j)
+				}
+			}
+		}
+	}
+}

@@ -110,7 +110,9 @@ func (p *LayerPlan) IsCompute() bool {
 // deterministic seed, so fanning the layers out across cores yields
 // bit-identical plans in any schedule.
 func BuildPlans(net *nn.Network, ds *dataset.Dataset, cfg Config, iter int) ([]*LayerPlan, error) {
+	statsSp := cfg.Trace.Start("composer", "statistics")
 	inputs, pres, err := sampleStatistics(net, ds, cfg, iter)
+	statsSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +124,11 @@ func BuildPlans(net *nn.Network, ds *dataset.Dataset, cfg Config, iter int) ([]*
 		wg.Add(1)
 		go func(i int, l nn.Layer) {
 			defer wg.Done()
+			// Span per layer clustering; the tracer is concurrency-safe, so
+			// the fan-out needs no coordination.
+			sp := cfg.Trace.Start("composer", "cluster:"+l.Name())
 			plans[i], errs[i] = buildLayerPlan(l, i, inputs[i], pres[i], cfg, seed)
+			sp.End()
 		}(i, l)
 	}
 	wg.Wait()

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the Prometheus text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format: families sorted by name, series sorted by label set,
+// histograms in the cumulative `_bucket`/`_sum`/`_count` form. The output
+// is deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, fam := range r.families {
+		fams = append(fams, fam)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, fam := range fams {
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.kind.promType())
+		ss := append([]*series(nil), fam.series...)
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			writeSeries(&b, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, s *series) {
+	switch s.kind {
+	case kindCounter:
+		writeSample(b, s.name, s.labels, "", strconv.FormatUint(s.counter.Value(), 10))
+	case kindFloatCounter:
+		writeSample(b, s.name, s.labels, "", formatFloat(s.fcounter.Value()))
+	case kindGauge:
+		writeSample(b, s.name, s.labels, "", formatFloat(s.gauge.Value()))
+	case kindGaugeFunc:
+		v := 0.0
+		if s.gaugeFn != nil {
+			v = s.gaugeFn()
+		}
+		writeSample(b, s.name, s.labels, "", formatFloat(v))
+	case kindHistogram:
+		h := s.hist
+		cum := uint64(0)
+		for i, ub := range h.bounds {
+			cum += h.counts[i].Load()
+			writeSample(b, s.name+"_bucket", s.labels, `le="`+formatFloat(ub)+`"`, strconv.FormatUint(cum, 10))
+		}
+		total := h.Count()
+		writeSample(b, s.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(total, 10))
+		writeSample(b, s.name+"_sum", s.labels, "", formatFloat(h.Sum()))
+		writeSample(b, s.name+"_count", s.labels, "", strconv.FormatUint(total, 10))
+	}
+}
+
+// writeSample emits one `name{labels,extra} value` line; extra carries the
+// histogram `le` label.
+func writeSample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, explicit +Inf/-Inf/NaN spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the help-text escapes of the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer(16)
+	sp := tr.Start("layer0", "dense", L("rows", "4"))
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Start("layer1", "pool").End()
+	if tr.Len() != 2 {
+		t.Fatalf("recorded %d spans, want 2", tr.Len())
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d, want 0", tr.Dropped())
+	}
+	e := tr.events[0]
+	if e.track != "layer0" || e.name != "dense" || e.durUS < 1 {
+		t.Fatalf("first span = %+v", e)
+	}
+}
+
+func TestTracerBoundedCapacity(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start("t", "s").End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (capacity)", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Start("worker", "span").End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("len = %d, want 800", tr.Len())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Start("beta", "b-span").End()
+	tr.Start("alpha", "a-span", L("k", "v")).End()
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// Two metadata events (sorted tracks: alpha=0, beta=1) plus two spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4:\n%s", len(doc.TraceEvents), b.String())
+	}
+	meta := map[int]string{}
+	var spans int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta[e.Tid] = e.Args["name"]
+		case "X":
+			spans++
+			if e.Name == "a-span" {
+				if e.Tid != 0 || e.Args["k"] != "v" {
+					t.Fatalf("a-span on tid %d with args %v", e.Tid, e.Args)
+				}
+			}
+		}
+	}
+	if spans != 2 || meta[0] != "alpha" || meta[1] != "beta" {
+		t.Fatalf("spans=%d meta=%v", spans, meta)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("t", "s", L("a", "b"))
+	sp.End() // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reported spans")
+	}
+	Span{}.End() // zero span is inert too
+}

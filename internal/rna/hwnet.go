@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/cluster"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -38,6 +40,14 @@ type HardwareNetwork struct {
 	// Workers bounds the concurrency of InferBatch/ErrorRate; 0 (the
 	// default) means GOMAXPROCS. Set to 1 to force the serial path.
 	Workers int
+	// Trace, when set, records one span per batch and one per layer per
+	// input on the "rna" track. Set it before inference begins; tracing a
+	// network mid-flight is a race. Nil (the default) costs one pointer
+	// check per layer and allocates nothing.
+	Trace *obs.Tracer
+	// nobs is the optional registry instrumentation installed by Instrument;
+	// nil means uninstrumented.
+	nobs *netObs
 	// Stats aggregates the substrate activity of every inference so far. It
 	// is folded once per input, in input order, so serial and batched runs
 	// accumulate bit-identical totals.
@@ -53,6 +63,9 @@ type hwLayer struct {
 	kind composer.LayerKind
 	plan *composer.LayerPlan
 	skip bool
+	// traceName is the span name of this layer, fixed at build time so the
+	// traced path formats nothing per input.
+	traceName string
 
 	// Compute layers: one functional RNA per codebook group (all neurons of
 	// a group share tables; their per-edge weight indices differ).
@@ -98,12 +111,14 @@ func BuildHardwareNetwork(qnet *nn.Network, plans []*composer.LayerPlan, dev dev
 			if err != nil {
 				return nil, err
 			}
+			hl.traceName = t.Name()
 			h.layers = append(h.layers, hl)
 		case *nn.Conv2D:
 			hl, err := buildConvHW(t, p, nextCodebook(plans, i), dev)
 			if err != nil {
 				return nil, err
 			}
+			hl.traceName = t.Name()
 			h.layers = append(h.layers, hl)
 		case *nn.Recurrent:
 			// The frame slicing of the recurrent executor requires the layer's
@@ -119,9 +134,12 @@ func BuildHardwareNetwork(qnet *nn.Network, plans []*composer.LayerPlan, dev dev
 			if err != nil {
 				return nil, err
 			}
+			hl.traceName = t.Name()
 			h.layers = append(h.layers, hl)
 		case *nn.Pool2D:
-			h.layers = append(h.layers, buildPoolHW(t, p, nextCodebook(plans, i)))
+			hl := buildPoolHW(t, p, nextCodebook(plans, i))
+			hl.traceName = t.Name()
+			h.layers = append(h.layers, hl)
 		case *nn.Dropout:
 			// Identity at inference; no hardware.
 		default:
@@ -330,7 +348,49 @@ func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 		return 0, err
 	}
 	h.Stats = addStats(h.Stats, stats)
+	h.foldObs(1, stats)
 	return pred, nil
+}
+
+// netObs is the registry-side view of a hardware network: inference and
+// substrate counters whose observations are atomic bumps.
+type netObs struct {
+	infers *obs.Counter
+	cycles *obs.Counter
+	nors   *obs.Counter
+	reads  *obs.Counter
+	writes *obs.Counter
+	energy *obs.FloatCounter
+}
+
+// Instrument registers this network's inference and substrate counters in
+// reg (under the given labels, e.g. a model name) and starts folding every
+// successful Infer/InferBatch/InferBatchStats into them. Call it once,
+// before inference begins.
+func (h *HardwareNetwork) Instrument(reg *obs.Registry, labels ...obs.Label) {
+	h.nobs = &netObs{
+		infers: reg.Counter("rapidnn_rna_inferences_total", "Inputs classified through the hardware path.", labels...),
+		cycles: reg.Counter("rapidnn_rna_substrate_cycles_total", "Substrate cycles spent by the hardware path.", labels...),
+		nors:   reg.Counter("rapidnn_rna_substrate_nors_total", "NOR gate evaluations spent by the hardware path.", labels...),
+		reads:  reg.Counter("rapidnn_rna_substrate_reads_total", "Crossbar reads spent by the hardware path.", labels...),
+		writes: reg.Counter("rapidnn_rna_substrate_writes_total", "Crossbar writes spent by the hardware path.", labels...),
+		energy: reg.FloatCounter("rapidnn_rna_substrate_energy_joules_total", "Substrate energy spent by the hardware path.", labels...),
+	}
+}
+
+// foldObs bumps the registry counters for n classified inputs; a nop on an
+// uninstrumented network.
+func (h *HardwareNetwork) foldObs(n int, st crossbar.Stats) {
+	o := h.nobs
+	if o == nil {
+		return
+	}
+	o.infers.Add(uint64(n))
+	o.cycles.Add(uint64(st.Cycles))
+	o.nors.Add(uint64(st.NORs))
+	o.reads.Add(uint64(st.Reads))
+	o.writes.Add(uint64(st.Writes))
+	o.energy.Add(st.EnergyJ)
 }
 
 // inferOne is the re-entrant evaluation of one input: it only reads the
@@ -360,6 +420,12 @@ func (h *HardwareNetwork) inferOne(x []float32, s *Scratch) (int, crossbar.Stats
 		s.actA, s.actB = enc, nxt
 	}()
 	for _, hl := range h.layers {
+		// One span per layer per input; names are fixed at build time so the
+		// traced path formats nothing. Error paths simply drop the open span.
+		var sp obs.Span
+		if h.Trace != nil {
+			sp = h.Trace.Start("rna", hl.traceName)
+		}
 		switch {
 		case hl.kind == composer.KindRecurrent:
 			if want := hl.rnnIn * hl.rnnSteps; len(enc) != want {
@@ -419,6 +485,7 @@ func (h *HardwareNetwork) inferOne(x []float32, s *Scratch) (int, crossbar.Stats
 					out[n] = cluster.Assign(hl.poolCB, float32(mean))
 				}
 				enc, nxt = out, enc
+				sp.End()
 				continue
 			}
 			// Encoded values compare like their codebook values (sorted
@@ -448,6 +515,7 @@ func (h *HardwareNetwork) inferOne(x []float32, s *Scratch) (int, crossbar.Stats
 					best, bestV = n, pre
 				}
 			}
+			sp.End()
 			return best, stats, nil
 		default:
 			inCB := hl.plan.InputCodebook
@@ -467,6 +535,7 @@ func (h *HardwareNetwork) inferOne(x []float32, s *Scratch) (int, crossbar.Stats
 			}
 			enc, nxt = out, enc
 		}
+		sp.End()
 	}
 	return 0, stats, fmt.Errorf("rna: network ended without a logit layer")
 }
@@ -537,6 +606,10 @@ func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Sta
 		return nil, total, nil
 	}
 	n := x.Dim(0)
+	var sp obs.Span
+	if h.Trace != nil {
+		sp = h.Trace.Start("rna", "infer_batch", obs.L("rows", strconv.Itoa(n)))
+	}
 	preds := make([]int, n)
 	stats := make([]crossbar.Stats, n)
 	errs := make([]error, n)
@@ -572,6 +645,7 @@ func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Sta
 		close(next)
 		wg.Wait()
 	}
+	sp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, total, err
@@ -582,6 +656,7 @@ func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Sta
 	for _, s := range stats {
 		total = addStats(total, s)
 	}
+	h.foldObs(n, total)
 	return preds, total, nil
 }
 

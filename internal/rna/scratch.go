@@ -24,9 +24,9 @@ import (
 // stay allocation-light and safe from any number of goroutines.
 type Scratch struct {
 	// Neuron-fire pipeline.
-	counts  []int            // flat (w·u) counting histogram
-	terms   []counting.Term  // shift-add decomposition of one count
-	addends []uint64         // adder operands of one accumulation
+	counts  []int           // flat (w·u) counting histogram
+	terms   []counting.Term // shift-add decomposition of one count
+	addends []uint64        // adder operands of one accumulation
 	add     crossbar.AddScratch
 	camBuf  []int // NDCAM candidate buffer (fault-overlay searches only)
 
@@ -37,8 +37,8 @@ type Scratch struct {
 
 	// Network executor (inferOne): ping-pong activation buffers, the edge
 	// gather buffer, and the recurrent state/frame buffers.
-	actA, actB             []int
-	gather                 []int
+	actA, actB                 []int
+	gather                     []int
 	rnnState, rnnNext, rnnFeed []int
 }
 

@@ -17,10 +17,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/crossbar"
+	"repro/internal/obs"
 )
 
 var (
@@ -31,6 +34,11 @@ var (
 	// ErrClosed is returned by Submit once shutdown has begun: already
 	// admitted requests drain to completion, new ones are refused.
 	ErrClosed = errors.New("serve: shutting down")
+	// ErrBackend wraps an InferFn failure — an error return, a panic, or a
+	// prediction slice of the wrong length. It fails only the batch that hit
+	// it (each of its requests gets the error; the server maps it to 500)
+	// while the dispatcher keeps serving later batches.
+	ErrBackend = errors.New("serve: inference backend failure")
 )
 
 // InferFn evaluates one coalesced batch: rows is a [n][features] batch in
@@ -50,6 +58,13 @@ type BatcherConfig struct {
 	// QueueDepth bounds the admission queue; a full queue rejects with
 	// ErrQueueFull instead of queueing unbounded latency.
 	QueueDepth int
+	// Trace, when set, records one span per dispatched batch (with a rows
+	// label) on the TraceTrack track. Nil disables tracing at the cost of a
+	// single nil check per batch.
+	Trace *obs.Tracer
+	// TraceTrack names the tracer track batch spans land on; defaults to
+	// "serve".
+	TraceTrack string
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -61,6 +76,9 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.TraceTrack == "" {
+		c.TraceTrack = "serve"
 	}
 	return c
 }
@@ -101,11 +119,12 @@ func NewBatcher(cfg BatcherConfig, infer InferFn, met *Metrics) *Batcher {
 	if met == nil {
 		met = NewMetrics()
 	}
+	cfg = cfg.withDefaults()
 	b := &Batcher{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		infer:   infer,
 		met:     met,
-		queue:   make(chan *request, cfg.withDefaults().QueueDepth),
+		queue:   make(chan *request, cfg.QueueDepth),
 		drained: make(chan struct{}),
 	}
 	go b.run()
@@ -206,7 +225,22 @@ func (b *Batcher) dispatch(batch []*request) {
 	for i, req := range live {
 		rows[i] = req.row
 	}
-	preds, stats, err := b.infer(rows)
+	// The explicit nil guard (rather than relying on the nil-tracer no-op)
+	// keeps the disabled path free of the variadic label slice and the
+	// strconv call, preserving the zero-allocation dispatch.
+	var sp obs.Span
+	if b.cfg.Trace != nil {
+		sp = b.cfg.Trace.Start(b.cfg.TraceTrack, "batch",
+			obs.L("rows", strconv.Itoa(len(live))))
+	}
+	preds, stats, err := b.safeInfer(rows)
+	sp.End()
+	// A backend that survives its own call can still hand back a prediction
+	// slice that does not match the batch; indexing it blindly would panic
+	// the dispatcher and hang every later Submit. Treat it as a failed batch.
+	if err == nil && len(preds) != len(live) {
+		err = fmt.Errorf("%w: backend returned %d predictions for %d rows", ErrBackend, len(preds), len(live))
+	}
 	if err != nil {
 		for _, req := range live {
 			req.resp <- result{err: err}
@@ -217,7 +251,30 @@ func (b *Batcher) dispatch(batch []*request) {
 	b.met.observeBatch(len(live), stats)
 	now := time.Now()
 	for i, req := range live {
+		// Inference takes real time — seconds on the hardware path — so a
+		// request's deadline may have expired mid-batch. Its caller is gone
+		// (Submit returned ctx.Err()); counting the delivery as completed
+		// with an observed latency would flatter the stats.
+		if cerr := req.ctx.Err(); cerr != nil {
+			req.resp <- result{err: cerr}
+			b.met.cancel()
+			continue
+		}
 		req.resp <- result{pred: preds[i]}
 		b.met.observeDone(now.Sub(req.enqueued))
 	}
+}
+
+// safeInfer calls the backend with a panic guard: a panicking InferFn fails
+// its batch with ErrBackend instead of killing the dispatcher goroutine
+// (which would strand every queued and future request until deadline and
+// deadlock Close).
+func (b *Batcher) safeInfer(rows [][]float32) (preds []int, stats crossbar.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			preds, stats = nil, crossbar.Stats{}
+			err = fmt.Errorf("%w: backend panic: %v", ErrBackend, r)
+		}
+	}()
+	return b.infer(rows)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/crossbar"
+	"repro/internal/obs"
 )
 
 // latWindow bounds the latency reservoir: quantiles are computed over the
@@ -14,37 +15,96 @@ import (
 // rather than the whole process history.
 const latWindow = 4096
 
+// latencyBuckets is the fixed layout of the per-lane latency histogram:
+// 100µs to ~13s in powers of two — wide enough for the software path's
+// microsecond batches and the hardware path's second-scale ones.
+var latencyBuckets = obs.ExpBuckets(0.0001, 2, 17)
+
+// batchSizeBuckets is the fixed layout of the batch-size histogram,
+// power-of-two steps up to the largest plausible MaxBatch.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // Metrics aggregates one serving lane's counters: admission and outcome
 // counts, the batch-size distribution, a sliding latency window, and the
 // substrate activity (NOR cycles, crossbar energy) folded out of rna.Stats.
-// All methods are safe for concurrent use.
+//
+// Since the observability rebase the counters and histograms are obs
+// registry instruments — pre-registered handles whose observations are
+// atomic bumps, keeping the dispatch path allocation-free — while the exact
+// batch-size map and the sliding latency window (which Prometheus bucket
+// layouts cannot express) stay under a small mutex for /stats. All methods
+// are safe for concurrent use.
 type Metrics struct {
+	admitted  *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	rejected  *obs.Counter
+	canceled  *obs.Counter
+	batches   *obs.Counter
+	batchSzH  *obs.Histogram
+	latencyH  *obs.Histogram
+	subCycles *obs.Counter
+	subNORs   *obs.Counter
+	subReads  *obs.Counter
+	subWrites *obs.Counter
+	subEnergy *obs.FloatCounter
+
 	mu        sync.Mutex
-	admitted  uint64
-	completed uint64
-	failed    uint64
-	rejected  uint64
-	canceled  uint64
-	batches   uint64
 	batchSize map[int]uint64
 	lat       [latWindow]time.Duration
-	latN      int
+	latIdx    int  // next write position, always in [0, latWindow)
+	latFull   bool // the window has wrapped at least once
 	hw        crossbar.Stats
 }
 
-// NewMetrics returns an empty sink.
-func NewMetrics() *Metrics {
-	return &Metrics{batchSize: make(map[int]uint64)}
+// NewMetrics returns a sink backed by a private, unexposed registry — the
+// shape tests and standalone batchers use. Servers register lanes into
+// their shared registry with NewMetricsIn so /metrics can expose them.
+func NewMetrics() *Metrics { return NewMetricsIn(obs.NewRegistry(), "default") }
+
+// NewMetricsIn returns a sink whose instruments are registered in reg under
+// the given lane label, so one registry exposes every lane side by side.
+func NewMetricsIn(reg *obs.Registry, lane string) *Metrics {
+	l := obs.L("lane", lane)
+	outcome := func(o string) *obs.Counter {
+		return reg.Counter("rapidnn_serve_requests_total",
+			"Requests by final outcome (completed, failed, rejected, canceled).",
+			l, obs.L("outcome", o))
+	}
+	return &Metrics{
+		admitted:  reg.Counter("rapidnn_serve_admitted_total", "Requests admitted into the batching queue.", l),
+		completed: outcome("completed"),
+		failed:    outcome("failed"),
+		rejected:  outcome("rejected"),
+		canceled:  outcome("canceled"),
+		batches:   reg.Counter("rapidnn_serve_batches_total", "Coalesced batches dispatched to the backend.", l),
+		batchSzH: reg.Histogram("rapidnn_serve_batch_size",
+			"Rows per dispatched batch.", batchSizeBuckets, l),
+		latencyH: reg.Histogram("rapidnn_serve_latency_seconds",
+			"End-to-end request latency from admission to delivery.", latencyBuckets, l),
+		subCycles: reg.Counter("rapidnn_serve_substrate_cycles_total", "Substrate cycles spent on this lane.", l),
+		subNORs:   reg.Counter("rapidnn_serve_substrate_nors_total", "NOR gate evaluations spent on this lane.", l),
+		subReads:  reg.Counter("rapidnn_serve_substrate_reads_total", "Crossbar reads spent on this lane.", l),
+		subWrites: reg.Counter("rapidnn_serve_substrate_writes_total", "Crossbar writes spent on this lane.", l),
+		subEnergy: reg.FloatCounter("rapidnn_serve_substrate_energy_joules_total", "Substrate energy spent on this lane.", l),
+		batchSize: make(map[int]uint64),
+	}
 }
 
-func (m *Metrics) admit()  { m.mu.Lock(); m.admitted++; m.mu.Unlock() }
-func (m *Metrics) reject() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *Metrics) cancel() { m.mu.Lock(); m.canceled++; m.mu.Unlock() }
-func (m *Metrics) fail()   { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *Metrics) admit()  { m.admitted.Inc() }
+func (m *Metrics) reject() { m.rejected.Inc() }
+func (m *Metrics) cancel() { m.canceled.Inc() }
+func (m *Metrics) fail()   { m.failed.Inc() }
 
 func (m *Metrics) observeBatch(size int, stats crossbar.Stats) {
+	m.batches.Inc()
+	m.batchSzH.Observe(float64(size))
+	m.subCycles.Add(uint64(stats.Cycles))
+	m.subNORs.Add(uint64(stats.NORs))
+	m.subReads.Add(uint64(stats.Reads))
+	m.subWrites.Add(uint64(stats.Writes))
+	m.subEnergy.Add(stats.EnergyJ)
 	m.mu.Lock()
-	m.batches++
 	m.batchSize[size]++
 	m.hw.Cycles += stats.Cycles
 	m.hw.NORs += stats.NORs
@@ -55,10 +115,18 @@ func (m *Metrics) observeBatch(size int, stats crossbar.Stats) {
 }
 
 func (m *Metrics) observeDone(d time.Duration) {
+	m.completed.Inc()
+	m.latencyH.Observe(d.Seconds())
 	m.mu.Lock()
-	m.lat[m.latN%latWindow] = d
-	m.latN++
-	m.completed++
+	// The window index wraps explicitly at latWindow; the historical
+	// monotonically-growing counter would overflow int on a long-lived
+	// server (and briefly mis-size the window on the wrap).
+	m.lat[m.latIdx] = d
+	m.latIdx++
+	if m.latIdx == latWindow {
+		m.latIdx = 0
+		m.latFull = true
+	}
 	m.mu.Unlock()
 }
 
@@ -101,12 +169,12 @@ func (m *Metrics) Snapshot(queueDepth int) LaneStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ls := LaneStats{
-		Admitted:   m.admitted,
-		Completed:  m.completed,
-		Failed:     m.failed,
-		Rejected:   m.rejected,
-		Canceled:   m.canceled,
-		Batches:    m.batches,
+		Admitted:   m.admitted.Value(),
+		Completed:  m.completed.Value(),
+		Failed:     m.failed.Value(),
+		Rejected:   m.rejected.Value(),
+		Canceled:   m.canceled.Value(),
+		Batches:    m.batches.Value(),
 		BatchSizes: make(map[string]uint64, len(m.batchSize)),
 		QueueDepth: queueDepth,
 		Substrate: SubstrateStats{
@@ -122,11 +190,11 @@ func (m *Metrics) Snapshot(queueDepth int) LaneStats {
 		ls.BatchSizes[strconv.Itoa(size)] = n
 		sized += uint64(size) * n
 	}
-	if m.batches > 0 {
-		ls.MeanBatch = float64(sized) / float64(m.batches)
+	if ls.Batches > 0 {
+		ls.MeanBatch = float64(sized) / float64(ls.Batches)
 	}
-	n := m.latN
-	if n > latWindow {
+	n := m.latIdx
+	if m.latFull {
 		n = latWindow
 	}
 	if n > 0 {

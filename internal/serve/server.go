@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config tunes a Server.
@@ -23,6 +25,10 @@ type Config struct {
 	// rotation (503) on divergence. 0 disables the loop; self-tests can
 	// still run on demand via RunCanaries or POST /v1/scrub.
 	CanaryInterval time.Duration
+	// Trace, when set, records serving stage spans (one per dispatched
+	// batch, tracked per lane) into this tracer; the CLI exports it as a
+	// Chrome trace on shutdown. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // lane is one (model, path) serving pipeline: its batcher and its metrics.
@@ -37,6 +43,7 @@ type lane struct {
 //	GET  /v1/models   the registry with shapes and available paths
 //	GET  /healthz     readiness (503 while draining)
 //	GET  /stats       per-lane counters, quantiles and substrate activity
+//	GET  /metrics     Prometheus text exposition of every lane's registry
 //
 // Lanes are created lazily on first use; Close drains them all.
 type Server struct {
@@ -44,6 +51,13 @@ type Server struct {
 	reg   *Registry
 	mux   *http.ServeMux
 	start time.Time
+
+	// obs is the server-wide metrics registry: every lane registers its
+	// counters and histograms here (labeled lane="model/path") and /metrics
+	// exposes the whole thing in one scrape.
+	obs         *obs.Registry
+	canaryRuns  *obs.Counter
+	canaryFails *obs.Counter
 
 	mu     sync.Mutex
 	lanes  map[string]*lane
@@ -62,13 +76,28 @@ func NewServer(reg *Registry, cfg Config) *Server {
 		reg:   reg,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+		obs:   obs.NewRegistry(),
 		lanes: make(map[string]*lane),
 	}
+	s.canaryRuns = s.obs.Counter("rapidnn_serve_canary_runs_total",
+		"Canary self-test passes executed across all models.")
+	s.canaryFails = s.obs.Counter("rapidnn_serve_canary_failures_total",
+		"Canary self-test passes that found a degraded model.")
+	s.obs.GaugeFunc("rapidnn_serve_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.obs.GaugeFunc("rapidnn_serve_models",
+		"Registered models.",
+		func() float64 { return float64(s.reg.Len()) })
+	s.obs.GaugeFunc("rapidnn_serve_degraded_models",
+		"Models currently failing their canary self-tests.",
+		func() float64 { return float64(len(s.degradedModels())) })
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/scrub", s.handleScrub)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.CanaryInterval > 0 {
 		s.canaryStop = make(chan struct{})
 		s.canaryDone = make(chan struct{})
@@ -102,11 +131,20 @@ func (s *Server) RunCanaries() []CanaryReport {
 	reports := make([]CanaryReport, 0, len(names))
 	for _, name := range names {
 		if m, ok := s.reg.Get(name); ok {
-			reports = append(reports, m.SelfTest())
+			rep := m.SelfTest()
+			s.canaryRuns.Inc()
+			if rep.Degraded {
+				s.canaryFails.Inc()
+			}
+			reports = append(reports, rep)
 		}
 	}
 	return reports
 }
+
+// Obs exposes the server-wide metrics registry so embedders (the CLI) can
+// write a final snapshot alongside the live /metrics endpoint.
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -153,8 +191,15 @@ func (s *Server) laneFor(m *Model, p Path) (*lane, error) {
 	if err != nil {
 		return nil, err
 	}
-	met := NewMetrics()
-	ln := &lane{b: NewBatcher(s.cfg.Batcher, fn, met), met: met}
+	met := NewMetricsIn(s.obs, key)
+	bcfg := s.cfg.Batcher
+	bcfg.Trace = s.cfg.Trace
+	bcfg.TraceTrack = "serve/" + key
+	ln := &lane{b: NewBatcher(bcfg, fn, met), met: met}
+	s.obs.GaugeFunc("rapidnn_serve_queue_depth",
+		"Current admission-queue occupancy.",
+		func() float64 { return float64(ln.b.Depth()) },
+		obs.L("lane", key))
 	s.lanes[key] = ln
 	return ln, nil
 }
@@ -398,6 +443,14 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleMetrics is the Prometheus scrape endpoint: the whole registry —
+// every lane's counters and histograms plus the server-level gauges — in
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.obs.WritePrometheus(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
