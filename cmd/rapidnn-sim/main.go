@@ -92,6 +92,10 @@ func main() {
 		// The harness globals thread the tracer through composer runs and
 		// hardware lowerings without plumbing every call site.
 		bench.Trace = tracer
+	}
+	if *metricsOut != "" || *traceOut != "" {
+		// -metrics alone must still populate the registry (the -faults
+		// path's counters flow through bench.Obs), same as rapidnn-bench.
 		bench.Obs = oreg
 	}
 	defer exportObs(*metricsOut, oreg, *traceOut, tracer)

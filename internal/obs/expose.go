@@ -16,11 +16,27 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // exposition format: families sorted by name, series sorted by label set,
 // histograms in the cumulative `_bucket`/`_sum`/`_count` form. The output
 // is deterministic for a given registry state.
+//
+// Rendering works from a snapshot taken under the registry lock — the
+// series slices and instrument pointers are copied while holding r.mu, so
+// a scrape concurrent with lazy registration (e.g. first-predict lane
+// creation) never observes a slice append or instrument assignment
+// mid-flight. Gauge functions run outside the lock, from the snapshot.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	type famSnap struct {
+		name, help string
+		kind       metricKind
+		series     []series
+	}
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]famSnap, 0, len(r.families))
 	for _, fam := range r.families {
-		fams = append(fams, fam)
+		fs := famSnap{name: fam.name, help: fam.help, kind: fam.kind,
+			series: make([]series, len(fam.series))}
+		for i, s := range fam.series {
+			fs.series[i] = *s
+		}
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
@@ -31,10 +47,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.kind.promType())
-		ss := append([]*series(nil), fam.series...)
+		ss := fam.series
 		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
-		for _, s := range ss {
-			writeSeries(&b, s)
+		for i := range ss {
+			writeSeries(&b, &ss[i])
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -56,16 +72,22 @@ func writeSeries(b *strings.Builder, s *series) {
 		}
 		writeSample(b, s.name, s.labels, "", formatFloat(v))
 	case kindHistogram:
+		// The +Inf sample and _count are derived from the loaded bucket
+		// counters rather than h.Count(): a concurrent Observe could have
+		// bumped a bucket but not yet the count, and an independently read
+		// total could then undercut the last finite cumulative bucket,
+		// breaking monotonicity. Summing the loads keeps the cumulative
+		// sequence monotonic by construction.
 		h := s.hist
 		cum := uint64(0)
 		for i, ub := range h.bounds {
 			cum += h.counts[i].Load()
 			writeSample(b, s.name+"_bucket", s.labels, `le="`+formatFloat(ub)+`"`, strconv.FormatUint(cum, 10))
 		}
-		total := h.Count()
-		writeSample(b, s.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(total, 10))
+		cum += h.counts[len(h.bounds)].Load()
+		writeSample(b, s.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(cum, 10))
 		writeSample(b, s.name+"_sum", s.labels, "", formatFloat(h.Sum()))
-		writeSample(b, s.name+"_count", s.labels, "", strconv.FormatUint(total, 10))
+		writeSample(b, s.name+"_count", s.labels, "", strconv.FormatUint(cum, 10))
 	}
 }
 

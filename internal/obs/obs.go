@@ -230,9 +230,13 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
-// lookup finds or creates the (name, labels) series of the given kind.
-// Type conflicts on a name are programmer errors and panic.
-func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
+// lookup finds or creates the (name, labels) series of the given kind and
+// runs init on it while still holding r.mu, so instrument creation and the
+// check-and-assign of the instrument field are atomic with the series
+// lookup — two goroutines racing to register the same series always end up
+// sharing one instrument handle. Type conflicts on a name are programmer
+// errors and panic.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, init func(*series)) *series {
 	mustValidName(name)
 	lbl := renderLabels(labels)
 	r.mu.Lock()
@@ -245,40 +249,48 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *s
 	if fam.kind != kind {
 		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, fam.kind.promType(), kind.promType()))
 	}
-	for _, s := range fam.series {
-		if s.labels == lbl {
-			return s
+	s := (*series)(nil)
+	for _, have := range fam.series {
+		if have.labels == lbl {
+			s = have
+			break
 		}
 	}
-	s := &series{name: name, labels: lbl, kind: kind}
-	fam.series = append(fam.series, s)
+	if s == nil {
+		s = &series{name: name, labels: lbl, kind: kind}
+		fam.series = append(fam.series, s)
+	}
+	init(s)
 	return s
 }
 
 // Counter registers (or finds) an integer counter series.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.lookup(name, help, kindCounter, labels)
-	if s.counter == nil {
-		s.counter = NewCounter()
-	}
+	s := r.lookup(name, help, kindCounter, labels, func(s *series) {
+		if s.counter == nil {
+			s.counter = NewCounter()
+		}
+	})
 	return s.counter
 }
 
 // FloatCounter registers (or finds) a float counter series.
 func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
-	s := r.lookup(name, help, kindFloatCounter, labels)
-	if s.fcounter == nil {
-		s.fcounter = NewFloatCounter()
-	}
+	s := r.lookup(name, help, kindFloatCounter, labels, func(s *series) {
+		if s.fcounter == nil {
+			s.fcounter = NewFloatCounter()
+		}
+	})
 	return s.fcounter
 }
 
 // Gauge registers (or finds) a settable gauge series.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.lookup(name, help, kindGauge, labels)
-	if s.gauge == nil {
-		s.gauge = NewGauge()
-	}
+	s := r.lookup(name, help, kindGauge, labels, func(s *series) {
+		if s.gauge == nil {
+			s.gauge = NewGauge()
+		}
+	})
 	return s.gauge
 }
 
@@ -287,17 +299,19 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // elsewhere (queue depth, uptime). Re-registering the same series replaces
 // the function.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	s := r.lookup(name, help, kindGaugeFunc, labels)
-	s.gaugeFn = fn
+	r.lookup(name, help, kindGaugeFunc, labels, func(s *series) {
+		s.gaugeFn = fn
+	})
 }
 
 // Histogram registers (or finds) a histogram series with the given fixed
 // bucket bounds. A pre-existing series keeps its original layout.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
-	s := r.lookup(name, help, kindHistogram, labels)
-	if s.hist == nil {
-		s.hist = NewHistogram(bounds)
-	}
+	s := r.lookup(name, help, kindHistogram, labels, func(s *series) {
+		if s.hist == nil {
+			s.hist = NewHistogram(bounds)
+		}
+	})
 	return s.hist
 }
 

@@ -240,6 +240,76 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// Regression: two goroutines racing to register the same (name, labels)
+// series must share one instrument handle — instrument creation happens
+// under the registry lock, so no handle (and none of its increments) can
+// be silently dropped.
+func TestRegistryConcurrentRegistrationSharesHandle(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			r.Counter("shared_total", "", L("lane", "x")).Inc()
+			r.FloatCounter("shared_joules_total", "").Add(1)
+			r.Histogram("shared_seconds", "", []float64{1, 2}).Observe(0.5)
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := r.Counter("shared_total", "", L("lane", "x")).Value(); got != workers {
+		t.Fatalf("counter = %d, want %d (a racing registration dropped a handle)", got, workers)
+	}
+	if got := r.FloatCounter("shared_joules_total", "").Value(); got != workers {
+		t.Fatalf("float counter = %v, want %d", got, workers)
+	}
+	if got := r.Histogram("shared_seconds", "", []float64{1, 2}).Count(); got != workers {
+		t.Fatalf("histogram count = %d, want %d", got, workers)
+	}
+}
+
+// Regression (run under -race): a /metrics scrape concurrent with lazy
+// series registration — the first-predict lane-creation path — must not
+// race on the family series slices or instrument fields. WritePrometheus
+// snapshots both under the registry lock.
+func TestScrapeConcurrentWithRegistration(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				lane := L("lane", string(rune('a'+w))+string(rune('a'+i%8)))
+				r.Counter("scrape_req_total", "", lane).Inc()
+				r.GaugeFunc("scrape_depth", "", func() float64 { return float64(i) }, lane)
+				r.Histogram("scrape_seconds", "", []float64{0.01, 0.1}, lane).Observe(0.05)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() > 0 { // the scrape may beat the very first registration
+			parsePrometheusText(t, b.String())
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
 // The whole point of the handle design: an observation is atomics only.
 func TestObservationsDoNotAllocate(t *testing.T) {
 	c := NewCounter()
