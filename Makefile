@@ -26,11 +26,14 @@ race:
 		./internal/counting/... ./internal/crossbar/... ./internal/ndcam/... \
 		./internal/obs/...
 
-# Robustness gate: fuzz the composed-artifact loader with a short budget.
-# The seed corpus (a valid artifact plus truncations/corruptions) is built
-# in-test; the contract is "never panic, return a model xor an error".
+# Robustness gate: fuzz both artifact loaders with short budgets. The seed
+# corpora (valid artifacts in each format plus truncations/corruptions) are
+# built in-test; the contract is "never panic, return a model xor an error".
+# The patterns are anchored: FuzzLoad would otherwise match FuzzLoadFlat too
+# and go refuses to fuzz two targets at once.
 fuzz:
-	go test -run FuzzLoad -fuzz FuzzLoad -fuzztime 20s ./internal/composer/
+	go test -run '^FuzzLoad$$' -fuzz '^FuzzLoad$$' -fuzztime 20s ./internal/composer/
+	go test -run '^FuzzLoadFlat$$' -fuzz '^FuzzLoadFlat$$' -fuzztime 15s ./internal/composer/
 
 # Scaling check: batched hardware inference at several worker counts.
 # On a multi-core host the ns/op should fall as workers approach GOMAXPROCS;
@@ -44,10 +47,11 @@ bench-serve:
 
 # Hot-path microbenchmarks with allocation counts: the neuron fire, the
 # pooling window, the in-memory adder, the NDCAM search, batched hardware
-# inference and the serve round-trip. BENCH_PR4.json pins the expected
-# numbers; bench-compare re-runs this set and fails on regression.
-HOT_BENCHES = BenchmarkNeuronFire|BenchmarkMaxPool|BenchmarkAddMany1024|BenchmarkAddScratch1024|BenchmarkSearchAllocs|BenchmarkHardwareInferBatch|BenchmarkServeRoundTrip
-HOT_PKGS = ./internal/rna/ ./internal/crossbar/ ./internal/ndcam/ ./internal/serve/
+# inference, the serve round-trip, and artifact cold start (gob decode vs
+# RAPIDNN2 mmap). BENCH_PR4.json pins the expected numbers; bench-compare
+# re-runs this set and fails on regression.
+HOT_BENCHES = BenchmarkNeuronFire|BenchmarkMaxPool|BenchmarkAddMany1024|BenchmarkAddScratch1024|BenchmarkSearchAllocs|BenchmarkHardwareInferBatch|BenchmarkServeRoundTrip|BenchmarkColdStart
+HOT_PKGS = ./internal/rna/ ./internal/crossbar/ ./internal/ndcam/ ./internal/serve/ ./internal/composer/
 
 bench-hot:
 	go test -run '^$$' -bench '$(HOT_BENCHES)' -benchmem $(HOT_PKGS)
@@ -56,6 +60,12 @@ bench-compare:
 	go build -o /tmp/rapidnn-benchstat ./cmd/rapidnn-benchstat
 	go test -run '^$$' -bench '$(HOT_BENCHES)' -benchmem $(HOT_PKGS) \
 		| /tmp/rapidnn-benchstat -check BENCH_PR4.json
+
+# Artifact cold-start latency alone: gob decode vs RAPIDNN2 mmap on the same
+# serving-scale model. Part of bench-compare via HOT_BENCHES; this target is
+# the quick standalone view.
+bench-cold:
+	go test -run '^$$' -bench BenchmarkColdStart -benchmem ./internal/composer/
 
 # End-to-end smoke: boot rapidnn-serve on a random port with the synthetic
 # MNIST demo model, hit /healthz, and assert it answers 200.
@@ -73,4 +83,4 @@ serve-smoke:
 
 check: test vet race
 
-.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-compare serve-smoke check
+.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare serve-smoke check

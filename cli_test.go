@@ -13,10 +13,13 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/dataset"
 )
 
 func buildCmd(t *testing.T, dir, name string) string {
@@ -78,6 +81,57 @@ func TestCLIEndToEnd(t *testing.T) {
 	for _, want := range []string{"software reinterpreted error", "hardware/software agreement", "NOR cycles"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("infer output missing %q:\n%s", want, out)
+		}
+	}
+
+	// RAPIDNN2 artifact story: transcode the gob artifact to the flat format,
+	// mmap-load it in infer, and bulk-score a feature CSV through it.
+	flatPath := filepath.Join(dir, "mnist.rapidnn2")
+	out = runCmd(t, composeBin, "-convert", modelPath, "-save", flatPath, "-format", "flat")
+	if !strings.Contains(out, "converted") {
+		t.Errorf("convert output unexpected:\n%s", out)
+	}
+	out = runCmd(t, inferBin, "-model", flatPath, "-dataset", "MNIST")
+	if !strings.Contains(out, "(mapped)") || !strings.Contains(out, "software reinterpreted error") {
+		t.Errorf("flat infer output unexpected:\n%s", out)
+	}
+	ds, err := dataset.ByName("MNIST", dataset.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.InSize()
+	var csv strings.Builder
+	csv.WriteString(strings.TrimSuffix(strings.Repeat("f,", in), ",") + "\n") // header line
+	const scoreRows = 5
+	for i := 0; i < scoreRows; i++ {
+		for j := 0; j < in; j++ {
+			if j > 0 {
+				csv.WriteByte(',')
+			}
+			csv.WriteString(strconv.FormatFloat(float64(ds.TestX.At(i, j)), 'g', -1, 32))
+		}
+		csv.WriteByte('\n')
+	}
+	scoreCSV := filepath.Join(dir, "features.csv")
+	predsPath := filepath.Join(dir, "preds.txt")
+	if err := os.WriteFile(scoreCSV, []byte(csv.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCmd(t, inferBin, "-model", flatPath, "-score", scoreCSV, "-out", predsPath, "-header", "-batch", "2")
+	if !strings.Contains(out, "scored 5 rows") {
+		t.Errorf("bulk-scoring summary missing:\n%s", out)
+	}
+	predsRaw, err := os.ReadFile(predsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := strings.Fields(strings.TrimSpace(string(predsRaw)))
+	if len(preds) != scoreRows {
+		t.Fatalf("bulk scoring wrote %d predictions, want %d:\n%s", len(preds), scoreRows, predsRaw)
+	}
+	for i, p := range preds {
+		if c, err := strconv.Atoi(p); err != nil || c < 0 || c >= ds.NumClasses {
+			t.Fatalf("prediction %d is %q, want a class in [0,%d)", i, p, ds.NumClasses)
 		}
 	}
 

@@ -5,16 +5,25 @@
 // searches — reporting the hardware/software agreement and the substrate
 // activity.
 //
+// It also bulk-scores feature files offline: -score streams a CSV of
+// feature rows (one input per line) through the reinterpreted model in
+// fixed-size batches — memory stays O(batch) however large the file — and
+// writes one predicted class per line.
+//
 // Usage:
 //
 //	rapidnn-infer -model model.rapidnn -dataset MNIST [-hw 20] [-workers N]
+//	rapidnn-infer -model model.rapidnn -score features.csv [-out preds.txt] [-batch 256] [-header]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
+	"repro/internal/bench"
 	"repro/internal/composer"
 	"repro/internal/dataset"
 	"repro/internal/device"
@@ -27,26 +36,38 @@ func main() {
 	dsName := flag.String("dataset", "MNIST", "benchmark dataset to evaluate on")
 	hwSamples := flag.Int("hw", 0, "validate this many samples through the functional hardware path")
 	workers := flag.Int("workers", 0, "hardware-validation worker goroutines (0 = GOMAXPROCS)")
+	scorePath := flag.String("score", "", "bulk-score this CSV of feature rows instead of evaluating a dataset")
+	outPath := flag.String("out", "", "write bulk-scoring predictions here (default stdout)")
+	batch := flag.Int("batch", 256, "bulk-scoring batch size")
+	header := flag.Bool("header", false, "the -score file starts with a header line")
 	flag.Parse()
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "rapidnn-infer: -model is required")
 		os.Exit(1)
 	}
 
-	f, err := os.Open(*modelPath)
+	// RAPIDNN2 artifacts mmap in with no decode pass; gob artifacts decode.
+	c, err := composer.LoadFile(*modelPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rapidnn-infer: %v\n", err)
 		os.Exit(1)
 	}
-	c, err := composer.Load(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rapidnn-infer: %v\n", err)
-		os.Exit(1)
+	defer c.Close()
+	how := "decoded"
+	if c.Mapped() {
+		how = "mapped"
 	}
-	fmt.Printf("loaded %s: %s\n", *modelPath, c.Net.Topology())
+	fmt.Printf("loaded %s (%s): %s\n", *modelPath, how, c.Net.Topology())
 	fmt.Printf("recorded quality: baseline %.2f%%, reinterpreted %.2f%%\n",
 		100*c.BaselineError, 100*c.FinalError)
+
+	if *scorePath != "" {
+		if err := bulkScore(c, *scorePath, *outPath, *batch, *header); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidnn-infer: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ds, err := dataset.ByName(*dsName, dataset.Small)
 	if err != nil {
@@ -77,13 +98,13 @@ func main() {
 	}
 	in := ds.InSize()
 	hw.Workers = *workers
-	batch := tensor.FromSlice(ds.TestX.Data()[:n*in], n, in)
-	hwPreds, err := hw.InferBatch(batch)
+	sample := tensor.FromSlice(ds.TestX.Data()[:n*in], n, in)
+	hwPreds, err := hw.InferBatch(sample)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rapidnn-infer: %v\n", err)
 		os.Exit(1)
 	}
-	swPreds := re.Predict(batch)
+	swPreds := re.Predict(sample)
 	agree, correct := 0, 0
 	for i := 0; i < n; i++ {
 		if hwPreds[i] == swPreds[i] {
@@ -98,4 +119,55 @@ func main() {
 	fmt.Printf("  hardware accuracy:           %d/%d\n", correct, n)
 	fmt.Printf("  substrate activity: %d NOR cycles, %d operand writes, %.2f nJ in the crossbars\n",
 		hw.Stats.NORs, hw.Stats.Writes, hw.Stats.EnergyJ*1e9)
+}
+
+// bulkScore streams the feature file through the reinterpreted model in
+// fixed-size batches and writes one predicted class per input line.
+func bulkScore(c *composer.Composed, scorePath, outPath string, batch int, header bool) error {
+	in, err := os.Open(scorePath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	var out *os.File
+	if outPath != "" {
+		if out, err = os.Create(outPath); err != nil {
+			return err
+		}
+	} else {
+		out = os.Stdout
+	}
+	w := bufio.NewWriterSize(out, 1<<16)
+	re := composer.NewReinterpreted(c.Net, c.Plans)
+	features := c.Net.InSize()
+	rr, err := bench.NewRecordReader(in, features, header)
+	if err != nil {
+		return err
+	}
+	n, err := bench.BulkScore(rr, features, batch,
+		func(x *tensor.Tensor) ([]int, error) { return re.Predict(x), nil },
+		func(base int, preds []int) error {
+			for _, p := range preds {
+				if _, err := w.WriteString(strconv.Itoa(p)); err != nil {
+					return err
+				}
+				if err := w.WriteByte('\n'); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "scored %d rows (%d features each) in batches of %d\n", n, features, batch)
+	return nil
 }

@@ -135,10 +135,32 @@ type Composed struct {
 	// Canaries are the golden self-test vectors recorded at compose time
 	// (canary.go); they ship inside the serialized artifact.
 	Canaries []Canary
+
+	// release unmaps the backing file of an mmap-loaded (RAPIDNN2) model;
+	// nil for composed or gob-loaded models.
+	release func() error
 }
 
 // DeltaE returns the accuracy loss Δe = e_clustered − e_baseline (§3.2).
 func (c *Composed) DeltaE() float64 { return c.FinalError - c.BaselineError }
+
+// Mapped reports whether the model borrows its tables from a file mapping —
+// i.e. it was loaded via OpenFlat/LoadFile from a RAPIDNN2 artifact.
+func (c *Composed) Mapped() bool { return c.release != nil }
+
+// Close releases the file mapping behind an mmap-loaded model. After Close,
+// the model and everything built from it — reinterpreted predictors,
+// lowered hardware networks, borrowed canary inputs — must not be used:
+// their table views die with the mapping. Close is a no-op (and safe to call
+// any number of times) on models that own their memory.
+func (c *Composed) Close() error {
+	if c == nil || c.release == nil {
+		return nil
+	}
+	rel := c.release
+	c.release = nil
+	return rel()
+}
 
 // Compose reinterprets net for in-memory execution. The input network is not
 // modified; the returned Composed holds a retrained clone. The dataset's

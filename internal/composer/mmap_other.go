@@ -1,0 +1,15 @@
+//go:build !unix
+
+package composer
+
+import "os"
+
+// mmapFile on platforms without syscall.Mmap falls back to reading the whole
+// file; release frees nothing, the slice is ordinary heap memory.
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

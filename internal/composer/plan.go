@@ -69,6 +69,17 @@ type LayerPlan struct {
 	WeightTrees []*cluster.Tree
 	InputTree   *cluster.Tree
 
+	// Products holds the pre-composed fixed-point product tables of a
+	// RAPIDNN2 artifact, one stride-indexed [len(wcb)·len(ucb)] table per
+	// weight-codebook group, at ProductFracBits fractional bits. Populated
+	// only by the flat loader, where each table is a read-only view into the
+	// mapped file — the hardware lowering borrows it instead of recomputing
+	// (see rna.NewFuncRNAShared); everything else leaves it nil. Borrowed
+	// tables are owned by the artifact mapping: they stay valid until the
+	// loading Composed's Close.
+	Products        [][]int64
+	ProductFracBits uint
+
 	// RawInputs is the network's raw feature count, set on the first compute
 	// layer's plan; the accelerator charges the data-block read and virtual
 	// encoding layer (§2.2) from it.

@@ -1,6 +1,7 @@
 package composer
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -49,6 +50,11 @@ type planSnapshot struct {
 	ActName         string
 	ActY, ActZ      []float32
 	Neurons, Edges  int
+	// Index and RawInputs were added after the first artifacts shipped; gob
+	// leaves them zero when decoding an older stream, which matches the old
+	// restore behavior.
+	Index     int
+	RawInputs int
 }
 
 type modelSnapshot struct {
@@ -88,11 +94,30 @@ func (c *Composed) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// Load reads a composed model written by Save. It never panics on malformed
-// input: a truncated or corrupted gob stream, a file of some other format,
-// or an internally inconsistent snapshot all come back as descriptive
-// wrapped errors.
-func Load(r io.Reader) (c *Composed, err error) {
+// Load reads a composed model written by Save or SaveFlat, sniffing the
+// format from the first bytes: a RAPIDNN2 magic selects the flat reader
+// (buffering the stream in memory — use LoadFile/OpenFlat to map a file
+// zero-copy instead), anything else is treated as the RAPIDNN1 gob stream.
+// It never panics on malformed input: a truncated or corrupted stream, a
+// file of some other format, or an internally inconsistent snapshot all come
+// back as descriptive wrapped errors.
+func Load(r io.Reader) (*Composed, error) {
+	var head [8]byte
+	n, err := io.ReadFull(r, head[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("composer: %w", err)
+	}
+	if n == len(head) && string(head[:]) == flatMagic {
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("composer: %w", err)
+		}
+		return LoadFlat(append(head[:0:0], append(head[:], rest...)...))
+	}
+	return loadGob(io.MultiReader(bytes.NewReader(head[:n]), r))
+}
+
+func loadGob(r io.Reader) (c *Composed, err error) {
 	// Layer constructors size their tensors from decoded fields; a corrupted
 	// snapshot that slips past the explicit checks below must still surface
 	// as an error, not a panic.
@@ -126,19 +151,10 @@ func Load(r io.Reader) (c *Composed, err error) {
 	for _, ps := range snap.Plans {
 		c.Plans = append(c.Plans, restorePlan(ps))
 	}
-	if len(c.Plans) != len(net.Layers) {
-		return nil, fmt.Errorf("composer: %d plans for %d layers", len(c.Plans), len(net.Layers))
-	}
-	for i, cn := range snap.Canaries {
-		if len(cn.Input) != net.InSize() {
-			return nil, fmt.Errorf("composer: canary %d has %d features, network wants %d",
-				i, len(cn.Input), net.InSize())
-		}
-		if cn.Pred < 0 || cn.Pred >= net.OutSize() {
-			return nil, fmt.Errorf("composer: canary %d predicts class %d of %d", i, cn.Pred, net.OutSize())
-		}
-	}
 	c.Canaries = snap.Canaries
+	if err := validateComposed(c); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -183,8 +199,6 @@ func fillParam(dst []float32, src []float32, param string) error {
 }
 
 func restoreLayer(ls layerSnapshot) (nn.Layer, error) {
-	// The RNG only seeds initial weights, which are overwritten below.
-	rng := rand.New(rand.NewSource(1))
 	act := nn.ActivationByName(ls.Act)
 	if act == nil && (ls.Kind == "dense" || ls.Kind == "conv" || ls.Kind == "recurrent") {
 		return nil, fmt.Errorf("unknown activation %q", ls.Act)
@@ -194,7 +208,7 @@ func restoreLayer(ls layerSnapshot) (nn.Layer, error) {
 		if ls.In <= 0 || ls.Out <= 0 {
 			return nil, fmt.Errorf("dense layer has non-positive shape %dx%d", ls.In, ls.Out)
 		}
-		d := nn.NewDense(ls.Name, ls.In, ls.Out, act, rng)
+		d := nn.NewDense(ls.Name, ls.In, ls.Out, act, nil)
 		d.Skip = ls.Skip
 		if err := fillParam(d.W.Value.Data(), ls.W, "weight"); err != nil {
 			return nil, err
@@ -207,7 +221,7 @@ func restoreLayer(ls layerSnapshot) (nn.Layer, error) {
 		if ls.OutC <= 0 || ls.Geom.InC <= 0 || ls.Geom.KH <= 0 || ls.Geom.KW <= 0 || ls.Geom.Stride <= 0 {
 			return nil, fmt.Errorf("conv layer has invalid geometry %+v outC=%d", ls.Geom, ls.OutC)
 		}
-		c := nn.NewConv2D(ls.Name, ls.Geom, ls.OutC, act, rng)
+		c := nn.NewConv2D(ls.Name, ls.Geom, ls.OutC, act, nil)
 		c.Skip = ls.Skip
 		if err := fillParam(c.W.Value.Data(), ls.W, "weight"); err != nil {
 			return nil, err
@@ -225,12 +239,16 @@ func restoreLayer(ls layerSnapshot) (nn.Layer, error) {
 		if ls.Size <= 0 {
 			return nil, fmt.Errorf("dropout layer has non-positive size %d", ls.Size)
 		}
-		return nn.NewDropout(ls.Name, ls.Size, ls.Rate, rng), nil
+		// Weighted layers above take a nil rng: their parameters are
+		// overwritten from the snapshot, and skipping the random init is most
+		// of a cold start's CPU on large models. Dropout draws masks at
+		// training time, so it alone gets a real source.
+		return nn.NewDropout(ls.Name, ls.Size, ls.Rate, rand.New(rand.NewSource(1))), nil
 	case "recurrent":
 		if ls.In <= 0 || ls.Hidden <= 0 || ls.Steps <= 0 {
 			return nil, fmt.Errorf("recurrent layer has non-positive shape in=%d h=%d steps=%d", ls.In, ls.Hidden, ls.Steps)
 		}
-		r := nn.NewRecurrent(ls.Name, ls.In, ls.Hidden, ls.Steps, act, rng)
+		r := nn.NewRecurrent(ls.Name, ls.In, ls.Hidden, ls.Steps, act, nil)
 		if err := fillParam(r.Wx.Value.Data(), ls.Wx, "input-weight"); err != nil {
 			return nil, err
 		}
@@ -252,6 +270,8 @@ func snapshotPlan(p *LayerPlan) planSnapshot {
 		ChannelCodebook: p.ChannelCodebook,
 		InputCodebook:   p.InputCodebook,
 		Neurons:         p.Neurons, Edges: p.Edges,
+		Index:     p.Index,
+		RawInputs: p.RawInputs,
 	}
 	if p.ActTable != nil {
 		ps.ActName = p.ActTable.Name
@@ -268,8 +288,12 @@ func restorePlan(ps planSnapshot) *LayerPlan {
 		ChannelCodebook: ps.ChannelCodebook,
 		InputCodebook:   ps.InputCodebook,
 		Neurons:         ps.Neurons, Edges: ps.Edges,
+		Index:     ps.Index,
+		RawInputs: ps.RawInputs,
 	}
-	if len(ps.ActY) > 0 {
+	// A present-but-mismatched table (ActZ shorter than ActY, unsorted Y)
+	// is rejected downstream by validatePlan, which both readers run.
+	if len(ps.ActY) > 0 || len(ps.ActZ) > 0 {
 		p.ActTable = &quant.ActTable{Name: ps.ActName, Y: ps.ActY, Z: ps.ActZ}
 	}
 	return p

@@ -129,10 +129,13 @@ func TestLoadRejectsGarbage(t *testing.T) {
 func snapshotBytes(t *testing.T) []byte {
 	t.Helper()
 	rng := rand.New(rand.NewSource(53))
+	// Sigmoid (not ReLU) so the first plan carries an ActTable for the
+	// activation-table corruption cases.
 	net := nn.NewNetwork("hard").
-		Add(nn.NewDense("fc", 6, 5, nn.ReLU{}, rng)).
+		Add(nn.NewDense("fc", 6, 5, nn.Sigmoid{}, rng)).
 		Add(nn.NewDense("out", 5, 2, nn.Identity{}, rng))
 	c := &Composed{Net: net, Plans: SyntheticPlans(net, 8, 8, 16)}
+	c.SynthesizeCanaries(2, 53)
 	var buf bytes.Buffer
 	if err := c.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -211,6 +214,79 @@ func TestLoadRejectsMismatchedWeightLength(t *testing.T) {
 	for _, want := range []string{"layer 0", "fc", "weight"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestLoadRejectsInconsistentPlans is the gob-side regression suite of the
+// loader-hardening sweep: snapshots that decode as valid gob but describe an
+// inconsistent plan previously escaped Load and detonated later on a serving
+// goroutine (ActTable.Eval indexing a short Z column, downstream code
+// trusting negative geometry or a mislabeled kind). Every case must now be
+// rejected at load time with a descriptive error.
+func TestLoadRejectsInconsistentPlans(t *testing.T) {
+	raw := snapshotBytes(t)
+	cases := []struct {
+		name   string
+		errHas string
+		mutate func(s *modelSnapshot)
+	}{
+		{"short ActZ", "Z rows", func(s *modelSnapshot) { s.Plans[0].ActZ = s.Plans[0].ActZ[:3] }},
+		{"empty Z", "empty Z", func(s *modelSnapshot) { s.Plans[0].ActZ = nil }},
+		{"unsorted ActY", "unsorted", func(s *modelSnapshot) {
+			s.Plans[0].ActY[0] = s.Plans[0].ActY[1] + 1
+		}},
+		{"negative neurons", "geometry", func(s *modelSnapshot) { s.Plans[0].Neurons = -4 }},
+		{"negative edges", "geometry", func(s *modelSnapshot) { s.Plans[1].Edges = -1 }},
+		{"kind out of range", "kind", func(s *modelSnapshot) { s.Plans[0].Kind = 17 }},
+		{"plan kind vs layer kind", "kind", func(s *modelSnapshot) { s.Plans[0].Kind = int(KindConv) }},
+		{"channel to missing codebook", "codebook", func(s *modelSnapshot) { s.Plans[0].ChannelCodebook = []int{9} }},
+		{"empty input codebook", "input codebook", func(s *modelSnapshot) { s.Plans[0].InputCodebook = nil }},
+		{"canary class out of range", "canary", func(s *modelSnapshot) { s.Canaries[0].Pred = 99 }},
+	}
+	for _, tc := range cases {
+		var snap modelSnapshot
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		tc.mutate(&snap)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Load(&buf)
+		if err == nil {
+			t.Fatalf("%s: inconsistent snapshot loaded successfully", tc.name)
+		}
+		if m != nil {
+			t.Fatalf("%s: non-nil model alongside error %v", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.errHas) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.errHas)
+		}
+	}
+}
+
+func TestSaveLoadPreservesPlanIndexAndRawInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	net := nn.NewNetwork("idx").
+		Add(nn.NewDense("fc", 6, 5, nn.Sigmoid{}, rng)).
+		Add(nn.NewDense("out", 5, 2, nn.Identity{}, rng))
+	c := &Composed{Net: net, Plans: SyntheticPlans(net, 8, 8, 16)}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range loaded.Plans {
+		if p.Index != c.Plans[i].Index {
+			t.Fatalf("plan %d: Index %d, want %d (silently dropped by the snapshot schema)", i, p.Index, c.Plans[i].Index)
+		}
+		if p.RawInputs != c.Plans[i].RawInputs {
+			t.Fatalf("plan %d: RawInputs %d, want %d", i, p.RawInputs, c.Plans[i].RawInputs)
 		}
 	}
 }

@@ -32,7 +32,9 @@ type Conv2D struct {
 	lastPost *tensor.Tensor
 }
 
-// NewConv2D creates a convolution layer with He-scaled initialization.
+// NewConv2D creates a convolution layer with He-scaled initialization. A nil
+// rng leaves the weights zero — for loaders that overwrite every parameter
+// anyway.
 func NewConv2D(name string, g tensor.ConvGeom, outC int, act Activation, rng *rand.Rand) *Conv2D {
 	if err := g.Validate(); err != nil {
 		panic("nn: " + err.Error())
@@ -42,9 +44,11 @@ func NewConv2D(name string, g tensor.ConvGeom, outC int, act Activation, rng *ra
 	}
 	k := g.InC * g.KH * g.KW
 	w := tensor.New(outC, k)
-	bound := float32(math.Sqrt(6.0 / float64(k)))
-	for i := range w.Data() {
-		w.Data()[i] = (rng.Float32()*2 - 1) * bound
+	if rng != nil {
+		bound := float32(math.Sqrt(6.0 / float64(k)))
+		for i := range w.Data() {
+			w.Data()[i] = (rng.Float32()*2 - 1) * bound
+		}
 	}
 	return &Conv2D{
 		name: name, Geom: g, OutC: outC,

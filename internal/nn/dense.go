@@ -28,15 +28,18 @@ type Dense struct {
 }
 
 // NewDense creates a fully-connected layer with He-scaled uniform
-// initialization drawn from rng.
+// initialization drawn from rng. A nil rng leaves the weights zero — for
+// loaders that overwrite every parameter anyway.
 func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
 	if in <= 0 || out <= 0 {
 		panic(fmt.Sprintf("nn: invalid Dense dims %d→%d", in, out))
 	}
 	w := tensor.New(in, out)
-	bound := float32(math.Sqrt(6.0 / float64(in)))
-	for i := range w.Data() {
-		w.Data()[i] = (rng.Float32()*2 - 1) * bound
+	if rng != nil {
+		bound := float32(math.Sqrt(6.0 / float64(in)))
+		for i := range w.Data() {
+			w.Data()[i] = (rng.Float32()*2 - 1) * bound
+		}
 	}
 	return &Dense{
 		name: name, in: in, out: out,

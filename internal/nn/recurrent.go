@@ -32,20 +32,23 @@ type Recurrent struct {
 }
 
 // NewRecurrent creates an RNN layer over sequences of `steps` frames with
-// `in` features each.
+// `in` features each. A nil rng leaves the weights zero — for loaders that
+// overwrite every parameter anyway.
 func NewRecurrent(name string, in, hidden, steps int, act Activation, rng *rand.Rand) *Recurrent {
 	if in <= 0 || hidden <= 0 || steps <= 0 {
 		panic(fmt.Sprintf("nn: invalid Recurrent dims in=%d h=%d steps=%d", in, hidden, steps))
 	}
 	wx := tensor.New(in, hidden)
 	wh := tensor.New(hidden, hidden)
-	bx := float32(math.Sqrt(6.0 / float64(in)))
-	bh := float32(math.Sqrt(6.0 / float64(hidden)))
-	for i := range wx.Data() {
-		wx.Data()[i] = (rng.Float32()*2 - 1) * bx
-	}
-	for i := range wh.Data() {
-		wh.Data()[i] = (rng.Float32()*2 - 1) * bh
+	if rng != nil {
+		bx := float32(math.Sqrt(6.0 / float64(in)))
+		bh := float32(math.Sqrt(6.0 / float64(hidden)))
+		for i := range wx.Data() {
+			wx.Data()[i] = (rng.Float32()*2 - 1) * bx
+		}
+		for i := range wh.Data() {
+			wh.Data()[i] = (rng.Float32()*2 - 1) * bh
+		}
 	}
 	return &Recurrent{
 		name: name, In: in, H: hidden, Steps: steps,

@@ -1,0 +1,23 @@
+package quant
+
+import "math"
+
+// Fixed-point conversion shared by the hardware substrates and the artifact
+// composer. The RNA crossbars store pre-computed weight×input products as
+// two's-complement fixed-point words; the composer writes the very same
+// representation into RAPIDNN2 artifacts so a lowered network can borrow the
+// tables without recomputing them. Both sides MUST round identically — any
+// divergence would make an artifact-loaded product table differ from the
+// locally composed one and break bit-identical predictions.
+
+// ToFixed converts v to fixed point with frac fractional bits, rounding to
+// nearest (ties away from zero, math.Round semantics).
+func ToFixed(v float64, frac uint) int64 {
+	return int64(math.Round(v * float64(int64(1)<<frac)))
+}
+
+// FromFixed converts a fixed-point value with frac fractional bits back to
+// floating point.
+func FromFixed(v int64, frac uint) float64 {
+	return float64(v) / float64(int64(1)<<frac)
+}

@@ -57,6 +57,20 @@ const sumWidth = 32
 // layer's input codebook the output is encoded with.
 func NewFuncRNA(dev device.Params, wcb, ucb []float32, bias float32,
 	actTable *quant.ActTable, relu bool, nextCodebook []float32, fracBits uint) *FuncRNA {
+	return NewFuncRNAShared(dev, wcb, ucb, bias, actTable, relu, nextCodebook, fracBits, nil)
+}
+
+// NewFuncRNAShared is NewFuncRNA with an optionally pre-composed product
+// table: when products is non-nil it must be the stride-indexed
+// [len(wcb)·len(ucb)] table at fracBits fractional bits (what
+// composer.SaveFlat embeds in RAPIDNN2 artifacts), and the block BORROWS it
+// — typically a read-only view into an mmap'd artifact, shared by every
+// block configured from the same codebook group. The caller owns the
+// backing memory and must keep it mapped for the block's lifetime
+// (composer.Composed.Close is the usual release point). A nil products
+// recomputes the table locally, bit-identically.
+func NewFuncRNAShared(dev device.Params, wcb, ucb []float32, bias float32,
+	actTable *quant.ActTable, relu bool, nextCodebook []float32, fracBits uint, products []int64) *FuncRNA {
 	if len(wcb) == 0 || len(ucb) == 0 || len(nextCodebook) == 0 {
 		panic("rna: empty codebook")
 	}
@@ -68,14 +82,24 @@ func NewFuncRNA(dev device.Params, wcb, ucb []float32, bias float32,
 		bias: toFixed(float64(bias), fracBits), fracBits: fracBits,
 		actTable: actTable, relu: relu, encCB: nextCodebook,
 	}
-	// Pre-compute the crossbar product table (what the composer writes at
-	// configuration time, §3.3).
 	r.nW, r.nU = len(wcb), len(ucb)
-	r.products = make([]int64, r.nW*r.nU)
-	for wi, wv := range wcb {
-		row := r.products[wi*r.nU : (wi+1)*r.nU]
-		for ui, uv := range ucb {
-			row[ui] = toFixed(float64(wv)*float64(uv), fracBits)
+	if products != nil {
+		if len(products) != r.nW*r.nU {
+			panic(fmt.Sprintf("rna: borrowed product table holds %d entries, codebooks want %d×%d",
+				len(products), r.nW, r.nU))
+		}
+		// The pristine path only ever reads the table (fault injection is an
+		// overlay, faults.go), so a read-only mapping is safe to borrow.
+		r.products = products
+	} else {
+		// Pre-compute the crossbar product table (what the composer writes at
+		// configuration time, §3.3).
+		r.products = make([]int64, r.nW*r.nU)
+		for wi, wv := range wcb {
+			row := r.products[wi*r.nU : (wi+1)*r.nU]
+			for ui, uv := range ucb {
+				row[ui] = toFixed(float64(wv)*float64(uv), fracBits)
+			}
 		}
 	}
 	if actTable != nil {
@@ -289,10 +313,8 @@ func (r *FuncRNA) InjectStuckFaults(rate float64, rng *rand.Rand) int {
 	return r.injectFaults(fault.Config{StuckRate: rate}, rng, r.cnt).StuckBits
 }
 
-func toFixed(v float64, frac uint) int64 {
-	return int64(math.Round(v * float64(int64(1)<<frac)))
-}
+// toFixed / fromFixed delegate to the shared quant conversions so the
+// locally composed tables stay bit-identical to artifact-embedded ones.
+func toFixed(v float64, frac uint) int64 { return quant.ToFixed(v, frac) }
 
-func fromFixed(v int64, frac uint) float64 {
-	return float64(v) / float64(int64(1)<<frac)
-}
+func fromFixed(v int64, frac uint) float64 { return quant.FromFixed(v, frac) }

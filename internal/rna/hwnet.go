@@ -98,6 +98,13 @@ type hwLayer struct {
 // BuildHardwareNetwork lowers a quantized network and its plans into
 // functional hardware. qnet must be the reinterpreted clone (weights already
 // snapped to the codebooks); plans must come from the same composition.
+//
+// Plans loaded from a RAPIDNN2 artifact carry pre-composed product tables
+// (LayerPlan.Products); when their fixed-point format matches the hardware
+// path, every RNA block borrows its table instead of recomputing it, so the
+// crossbar configuration stays a view into the mapped file. The built
+// network then shares the plans' lifetime: it must not be used after the
+// owning composer.Composed is Closed.
 func BuildHardwareNetwork(qnet *nn.Network, plans []*composer.LayerPlan, dev device.Params) (*HardwareNetwork, error) {
 	if len(qnet.Layers) != len(plans) {
 		return nil, fmt.Errorf("rna: %d layers vs %d plans", len(qnet.Layers), len(plans))
@@ -185,13 +192,30 @@ func nextCodebook(plans []*composer.LayerPlan, i int) []float32 {
 
 const hwFracBits = 16
 
+// planProducts returns the plan's pre-composed product table for codebook
+// group g when it is usable by the hardware path — present, in the hardware
+// fixed-point format, and at the geometry the current codebooks imply — and
+// nil otherwise (NewFuncRNAShared then recomputes, bit-identically). The
+// geometry check matters after ReconfigurePlans: re-clustering replaces the
+// codebooks but a plan struct-copy can carry the stale table along.
+func planProducts(p *composer.LayerPlan, g int) []int64 {
+	if p.ProductFracBits != hwFracBits || g >= len(p.Products) {
+		return nil
+	}
+	tab := p.Products[g]
+	if len(tab) != len(p.WeightCodebooks[g])*len(p.InputCodebook) {
+		return nil
+	}
+	return tab
+}
+
 func buildDenseHW(t *nn.Dense, p *composer.LayerPlan, next []float32, dev device.Params) (*hwLayer, error) {
 	wcb := p.WeightCodebooks[0]
 	relu := p.ActTable == nil
 	if next == nil {
 		next = []float32{0} // logits bypass encoding
 	}
-	rna := NewFuncRNA(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits)
+	rna := NewFuncRNAShared(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits, planProducts(p, 0))
 	hl := &hwLayer{kind: p.Kind, plan: p, skip: t.Skip, rnas: []*FuncRNA{rna}}
 	in, out := t.InSize(), t.OutSize()
 	hl.weightIdx = make([][]int, out)
@@ -227,7 +251,7 @@ func buildConvHW(t *nn.Conv2D, p *composer.LayerPlan, next []float32, dev device
 	// One functional RNA per codebook group.
 	hl.rnas = make([]*FuncRNA, len(p.WeightCodebooks))
 	for g, wcb := range p.WeightCodebooks {
-		hl.rnas[g] = NewFuncRNA(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits)
+		hl.rnas[g] = NewFuncRNAShared(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits, planProducts(p, g))
 	}
 	g := t.Geom
 	outH, outW := g.OutH(), g.OutW()
@@ -293,9 +317,10 @@ func buildRecurrentHW(t *nn.Recurrent, p *composer.LayerPlan, next []float32, de
 		kind: p.Kind, plan: p,
 		rnnIn: t.In, rnnH: t.H, rnnSteps: t.Steps,
 		// rnas[0] encodes the final hidden state for the consumer; rnnLoop
-		// re-encodes intermediate states onto the layer's own codebook.
-		rnas:    []*FuncRNA{NewFuncRNA(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits)},
-		rnnLoop: NewFuncRNA(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, p.InputCodebook, hwFracBits),
+		// re-encodes intermediate states onto the layer's own codebook. Both
+		// share the (wcb, ucb) pair, so a borrowed product table serves both.
+		rnas:    []*FuncRNA{NewFuncRNAShared(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits, planProducts(p, 0))},
+		rnnLoop: NewFuncRNAShared(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, p.InputCodebook, hwFracBits, planProducts(p, 0)),
 	}
 	// Per hidden neuron j: In edges from the frame (Wx column j) followed by
 	// H edges from the fed-back state (Wh column j).

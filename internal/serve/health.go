@@ -51,14 +51,23 @@ func canaryTensor(c *composer.Composed) *tensor.Tensor {
 // the model's health state and returns the report. It is safe to call
 // concurrently with inference: both paths are evaluated re-entrantly.
 func (m *Model) SelfTest() CanaryReport {
+	rep := m.runCanaries()
+	m.setHealth(rep)
+	return rep
+}
+
+// runCanaries evaluates the canaries while holding the model read lock for
+// the whole pass — a concurrent Scrub must not swap (and, for mmap-backed
+// artifacts, unmap) the executor state mid-evaluation. The lock is released
+// before setHealth takes the write lock.
+func (m *Model) runCanaries() CanaryReport {
 	m.mu.RLock()
+	defer m.mu.RUnlock()
 	c, re, hw, golden := m.Composed, m.re, m.hw, m.hwGolden
-	m.mu.RUnlock()
 	rep := CanaryReport{Model: m.Name, Time: time.Now(), Total: len(c.Canaries)}
 	x := canaryTensor(c)
 	if x == nil {
 		// No canaries means no evidence either way; stay in rotation.
-		m.setHealth(rep)
 		return rep
 	}
 	preds := re.Predict(x)
@@ -80,7 +89,6 @@ func (m *Model) SelfTest() CanaryReport {
 		}
 	}
 	rep.Degraded = rep.SoftwareFailed > 0 || rep.HardwareFailed > 0
-	m.setHealth(rep)
 	return rep
 }
 
@@ -110,7 +118,9 @@ func (m *Model) LastReport() (CanaryReport, bool) {
 // Scrub rebuilds the model's executor state — reloading the artifact file
 // for disk-backed models, re-deriving the execution paths from the in-memory
 // Composed otherwise — then re-runs the self-test and returns its report.
-// In-flight requests finish on the old state; later batches see the new one.
+// The swap waits for in-flight batches (they evaluate under the model read
+// lock); later batches see the new state. A displaced mmap-backed artifact
+// is unmapped once the swap is done.
 func (m *Model) Scrub() (CanaryReport, error) {
 	var fresh *Model
 	var err error
@@ -129,10 +139,16 @@ func (m *Model) Scrub() (CanaryReport, error) {
 		return CanaryReport{}, fmt.Errorf("serve: scrubbing %s: %w", m.Name, err)
 	}
 	m.mu.Lock()
+	old := m.Composed
 	m.Composed = fresh.Composed
 	m.re = fresh.re
 	m.hw = fresh.hw
 	m.hwGolden = fresh.hwGolden
 	m.mu.Unlock()
+	if old != fresh.Composed {
+		// Disk-backed scrub loaded a fresh artifact: nothing references the
+		// displaced one now that the write lock has drained all readers.
+		old.Close()
+	}
 	return m.SelfTest(), nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/composer"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // corruptWeights scrambles a model's first-layer weights in place — the
@@ -213,5 +214,106 @@ func TestCanaryLoopCatchesCorruptArtifact(t *testing.T) {
 	}
 	if rep, err := badModel.Scrub(); err != nil || rep.Degraded {
 		t.Fatalf("scrub from restored artifact failed: %+v err=%v", rep, err)
+	}
+}
+
+// Regression: a lane keeps its InferFn for the model's lifetime, and the
+// closure used to freeze the feature width captured at registration. A Scrub
+// that swapped in an artifact with a different input size then mis-sliced
+// every later batch (admission checked the live width, the closure flattened
+// with the stale one). The width must be resolved per batch under the model
+// lock. The artifacts here are RAPIDNN2, so the same test covers the
+// mmap-backed swap: the displaced mapping is released while later batches
+// read the new one.
+func TestScrubPicksUpNewArtifactWidthAndRemapsFlat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.rapidnn")
+	build := func(seed int64, in, hidden, out int) *composer.Composed {
+		rng := rand.New(rand.NewSource(seed))
+		net := nn.NewNetwork("resize").
+			Add(nn.NewDense("fc1", in, hidden, nn.ReLU{}, rng)).
+			Add(nn.NewDense("out", hidden, out, nn.Identity{}, rng))
+		return &composer.Composed{Net: net, Plans: composer.SyntheticPlans(net, 8, 8, 16)}
+	}
+	saveFlat := func(c *composer.Composed) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SaveFlat(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	saveFlat(build(21, 12, 10, 4))
+	m, err := LoadModelFile("resize", path, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Composed.Mapped() {
+		t.Fatal("flat artifact was not mmap'd")
+	}
+	reg := NewRegistry()
+	if err := reg.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(reg, Config{Batcher: BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond}})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if resp, payload := postPredict(t, ts.URL, map[string]any{"inputs": testRows(3, 12, 31)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-scrub predict answered %d: %v", resp.StatusCode, payload)
+	}
+
+	// Replace the artifact on disk with a model of a different feature width,
+	// then scrub: the server must serve the new geometry, not mis-slice with
+	// the old one.
+	saveFlat(build(22, 16, 9, 5))
+	body, _ := json.Marshal(map[string]string{"model": "resize"})
+	sr, err := http.Post(ts.URL+"/v1/scrub", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep CanaryReport
+	json.NewDecoder(sr.Body).Decode(&rep)
+	sr.Body.Close()
+	if sr.StatusCode != http.StatusOK || rep.Degraded {
+		t.Fatalf("scrub answered %d %+v", sr.StatusCode, rep)
+	}
+	if got := m.InSize(); got != 16 {
+		t.Fatalf("post-scrub InSize = %d, want 16", got)
+	}
+
+	// Old-width rows are now malformed and must be rejected at admission.
+	if resp, _ := postPredict(t, ts.URL, map[string]any{"inputs": testRows(1, 12, 32)}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stale-width row answered %d, want 400", resp.StatusCode)
+	}
+
+	// New-width rows must flow through the swapped mmap-backed executor state
+	// and match an independent load of the same artifact bit-for-bit.
+	rows := testRows(3, 16, 33)
+	resp, payload := postPredict(t, ts.URL, map[string]any{"inputs": rows})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-scrub predict answered %d: %v", resp.StatusCode, payload)
+	}
+	ref, err := composer.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	re := composer.NewReinterpreted(ref.Net, ref.Plans)
+	flat := make([]float32, 0, 3*16)
+	for _, row := range rows {
+		flat = append(flat, row...)
+	}
+	want := re.Predict(tensor.FromSlice(flat, 3, 16))
+	preds := payload["predictions"].([]any)
+	for i := range want {
+		if int(preds[i].(float64)) != want[i] {
+			t.Fatalf("row %d: served %v after scrub, independent load says %d", i, preds[i], want[i])
+		}
 	}
 }

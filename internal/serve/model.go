@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -91,15 +90,12 @@ func NewModel(name string, c *composer.Composed, hardware bool, hwWorkers int) (
 }
 
 // LoadModelFile reads a .rapidnn artifact saved by rapidnn-compose and
-// wraps it for serving. An empty name defaults to the file's base name
-// without extension.
+// wraps it for serving. RAPIDNN2 artifacts are mmap'd zero-copy — the served
+// tables stay views into the page cache, shared across replica processes —
+// and the mapping is released when Scrub swaps the model out. An empty name
+// defaults to the file's base name without extension.
 func LoadModelFile(name, path string, hardware bool, hwWorkers int) (*Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
-	defer f.Close()
-	c, err := composer.Load(f)
+	c, err := composer.LoadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
 	}
@@ -109,6 +105,7 @@ func LoadModelFile(name, path string, hardware bool, hwWorkers int) (*Model, err
 	}
 	m, err := NewModel(name, c, hardware, hwWorkers)
 	if err != nil {
+		c.Close()
 		return nil, err
 	}
 	m.srcPath = path
@@ -150,39 +147,66 @@ func (m *Model) HasHardware() bool { return m.hwNet() != nil }
 // inferFn returns the batch-evaluation function of one execution path. Both
 // are pure per row, so the batcher's coalescing cannot change any answer;
 // the hardware path additionally reports the batch's substrate activity.
+//
+// A lane keeps its InferFn for the model's whole lifetime, so the closures
+// must not freeze any executor state: Scrub swaps the Composed (and with it
+// the feature width and, for mmap-backed artifacts, the table memory itself)
+// under m.mu. Each batch therefore resolves the live state under the read
+// lock and holds that lock across the evaluation — a Scrub waits for
+// in-flight batches instead of unmapping the tables they are reading.
 func (m *Model) inferFn(p Path) (InferFn, error) {
 	switch p {
 	case PathSoftware:
-		in := m.InSize()
 		var flat []float32 // owned by the dispatcher goroutine, reused per batch
 		return func(rows [][]float32) ([]int, crossbar.Stats, error) {
-			flat = flattenBatch(flat, rows)
-			preds := m.software().Predict(tensor.FromSlice(flat, len(rows), in))
+			m.mu.RLock()
+			defer m.mu.RUnlock()
+			in := m.Composed.Net.InSize()
+			var err error
+			if flat, err = flattenBatch(flat, rows, in); err != nil {
+				return nil, crossbar.Stats{}, err
+			}
+			preds := m.re.Predict(tensor.FromSlice(flat, len(rows), in))
 			return preds, crossbar.Stats{}, nil
 		}, nil
 	case PathHardware:
 		if m.hwNet() == nil {
 			return nil, fmt.Errorf("serve: model %s was loaded without the hardware path", m.Name)
 		}
-		in := m.InSize()
 		var flat []float32 // owned by the dispatcher goroutine, reused per batch
 		return func(rows [][]float32) ([]int, crossbar.Stats, error) {
-			flat = flattenBatch(flat, rows)
-			return m.hwNet().InferBatchStats(tensor.FromSlice(flat, len(rows), in))
+			m.mu.RLock()
+			defer m.mu.RUnlock()
+			hw := m.hw
+			if hw == nil {
+				return nil, crossbar.Stats{}, fmt.Errorf("serve: model %s lost its hardware path", m.Name)
+			}
+			in := hw.InSize()
+			var err error
+			if flat, err = flattenBatch(flat, rows, in); err != nil {
+				return nil, crossbar.Stats{}, err
+			}
+			return hw.InferBatchStats(tensor.FromSlice(flat, len(rows), in))
 		}, nil
 	}
 	return nil, fmt.Errorf("serve: unknown path %q (valid: %s, %s)", p, PathSoftware, PathHardware)
 }
 
-// flattenBatch packs a coalesced batch into one contiguous feature slice,
-// reusing buf's backing array when it is large enough. InferFn runs on the
-// dispatcher goroutine only, so the closures above can keep one buffer each.
-func flattenBatch(buf []float32, rows [][]float32) []float32 {
+// flattenBatch packs a coalesced batch into one contiguous feature slice of
+// in-wide rows, reusing buf's backing array when it is large enough. A row
+// of any other width — a request admitted against a feature width that a
+// concurrent Scrub then changed — is rejected here rather than silently
+// mis-sliced. InferFn runs on the dispatcher goroutine only, so the closures
+// above can keep one buffer each.
+func flattenBatch(buf []float32, rows [][]float32, in int) ([]float32, error) {
 	buf = buf[:0]
-	for _, row := range rows {
+	for i, row := range rows {
+		if len(row) != in {
+			return buf, fmt.Errorf("serve: batch row %d has %d features, model wants %d", i, len(row), in)
+		}
 		buf = append(buf, row...)
 	}
-	return buf
+	return buf, nil
 }
 
 // Registry is the set of models a server exposes, keyed by name.
