@@ -1,7 +1,9 @@
-# Tier-1 gate: everything must lint, build and every test must pass.
+# Tier-1 gate: everything must lint, build and every test must pass, and
+# the two-backend fleet smoke must come up healthy behind the router.
 test: lint
 	go build ./...
 	go test ./...
+	$(MAKE) fleet-smoke
 
 # Static-analysis gate: go vet plus a gofmt cleanliness check. gofmt -l
 # prints the files that need reformatting; any output fails the target.
@@ -24,7 +26,7 @@ vet:
 race:
 	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/... \
 		./internal/counting/... ./internal/crossbar/... ./internal/ndcam/... \
-		./internal/obs/...
+		./internal/obs/... ./internal/fleet/...
 
 # Robustness gate: fuzz both artifact loaders with short budgets. The seed
 # corpora (valid artifacts in each format plus truncations/corruptions) are
@@ -81,6 +83,34 @@ serve-smoke:
 	echo "serve-smoke: /healthz -> $$code"; \
 	[ "$$code" = "200" ]
 
+# Fleet smoke: two demo backends behind a rapidnn-router, assert the
+# router's /healthz reports the fleet healthy (it polls the backends, so
+# give the first probe round a moment to land).
+fleet-smoke:
+	go build -o /tmp/rapidnn-serve ./cmd/rapidnn-serve
+	go build -o /tmp/rapidnn-router ./cmd/rapidnn-router
+	@rm -f /tmp/rapidnn-fleet-b1.addr /tmp/rapidnn-fleet-b2.addr /tmp/rapidnn-fleet-router.addr
+	@/tmp/rapidnn-serve -demo MNIST -addr 127.0.0.1:0 -addr-file /tmp/rapidnn-fleet-b1.addr & \
+	b1=$$!; \
+	/tmp/rapidnn-serve -demo MNIST -addr 127.0.0.1:0 -addr-file /tmp/rapidnn-fleet-b2.addr & \
+	b2=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/rapidnn-fleet-b1.addr ] && [ -s /tmp/rapidnn-fleet-b2.addr ] && break; sleep 0.1; done; \
+	/tmp/rapidnn-router -addr 127.0.0.1:0 -addr-file /tmp/rapidnn-fleet-router.addr \
+		-poll-interval 100ms \
+		-replica "http://$$(cat /tmp/rapidnn-fleet-b1.addr)" \
+		-replica "http://$$(cat /tmp/rapidnn-fleet-b2.addr)" & \
+	rt=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/rapidnn-fleet-router.addr ] && break; sleep 0.1; done; \
+	addr=$$(cat /tmp/rapidnn-fleet-router.addr); \
+	code=000; \
+	for i in $$(seq 1 50); do \
+		code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/healthz"); \
+		[ "$$code" = "200" ] && break; sleep 0.1; \
+	done; \
+	kill $$rt $$b1 $$b2; wait $$rt $$b1 $$b2 2>/dev/null; \
+	echo "fleet-smoke: router /healthz -> $$code"; \
+	[ "$$code" = "200" ]
+
 check: test vet race
 
-.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare serve-smoke check
+.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare serve-smoke fleet-smoke check

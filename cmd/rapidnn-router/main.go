@@ -1,0 +1,134 @@
+// Command rapidnn-router is the serving fleet's front door: it consistent-
+// hashes (tenant, model) predict traffic across rapidnn-serve replicas,
+// probes their health and queue depth, retries idempotent predicts on the
+// next ring member when a replica dies mid-request, enforces fleet-wide
+// per-tenant admission quotas, and — when started with -registry — drives
+// canary-then-promote artifact rollouts over the live fleet.
+//
+// Usage:
+//
+//	rapidnn-router -replica http://127.0.0.1:8081 -replica http://127.0.0.1:8082
+//	rapidnn-router -registry ./artifacts -replica ...   # enables /fleet/rollout
+//
+// Backends may also join later via POST /fleet/register {"url": "..."} (see
+// rapidnn-serve -register).
+//
+//	curl -s localhost:8090/fleet/replicas
+//	curl -s localhost:8090/v1/predict -H 'X-Tenant: team-a' -d '{"model":"m","inputs":[[...]]}'
+//	curl -s localhost:8090/fleet/rollout -d '{"model":"m","version":"v2"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/fleet/rollout"
+)
+
+// replicaFlags collects repeated -replica URLs.
+type replicaFlags []string
+
+func (r *replicaFlags) String() string { return fmt.Sprintf("%d replicas", len(*r)) }
+
+func (r *replicaFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rapidnn-router: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	var replicas replicaFlags
+	flag.Var(&replicas, "replica", "backend base URL to route to, e.g. http://127.0.0.1:8081 (repeatable)")
+	addr := flag.String("addr", ":8090", "listen address (use 127.0.0.1:0 for a random port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	registryDir := flag.String("registry", "", "versioned artifact registry directory; enables POST /fleet/rollout")
+	pollInterval := flag.Duration("poll-interval", 500*time.Millisecond, "replica health/queue-depth probe period")
+	downAfter := flag.Int("down-after", 2, "consecutive failed probes before a replica is marked down")
+	retries := flag.Int("retries", 2, "distinct replicas a predict may try along the ring walk")
+	maxQueueDepth := flag.Float64("max-queue-depth", 0, "shed predicts to replicas whose scraped queue depth exceeds this (0 = disabled)")
+	tenantRate := flag.Float64("tenant-rps", 0, "fleet-wide per-tenant admission quota in requests/second (0 = disabled)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant quota burst capacity (0 = 2x rate)")
+	canaryFraction := flag.Float64("canary-fraction", 0.25, "fraction of the fleet a rollout canaries first (rounded up, min 1)")
+	observeWindow := flag.Duration("observe-window", 2*time.Second, "how long canaries take live traffic before the error-rate gate")
+	maxErrorDelta := flag.Float64("max-error-delta", 0.05, "rollback when canary error rate exceeds control replicas' by more than this")
+	flag.Parse()
+
+	pool := fleet.NewPool(fleet.PoolConfig{
+		PollInterval: *pollInterval,
+		DownAfter:    *downAfter,
+	})
+	for _, r := range replicas {
+		info := pool.Add(r)
+		fmt.Printf("replica %s: %s", info.URL, info.State)
+		if info.LastError != "" {
+			fmt.Printf(" (%s)", info.LastError)
+		}
+		fmt.Println()
+	}
+	pool.Start()
+	defer pool.Stop()
+
+	cfg := fleet.RouterConfig{
+		Pool:          pool,
+		Retries:       *retries,
+		MaxQueueDepth: *maxQueueDepth,
+		TenantRate:    *tenantRate,
+		TenantBurst:   *tenantBurst,
+	}
+	if *registryDir != "" {
+		reg, err := rollout.NewRegistry(*registryDir)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Registry = reg
+		cfg.Controller = rollout.NewController(reg, pool, rollout.Config{
+			CanaryFraction:    *canaryFraction,
+			ObserveWindow:     *observeWindow,
+			MaxErrorRateDelta: *maxErrorDelta,
+		})
+		fmt.Printf("rollout registry: %s\n", reg.Dir())
+	}
+	router := fleet.NewRouter(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("routing on %s (%d replicas, retries %d)\n", ln.Addr(), len(replicas), *retries)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: router}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %v, shutting down\n", s)
+		// The router holds no request state: in-flight proxies finish via
+		// Close's connection drain, and the backends drain themselves.
+		if err := httpSrv.Close(); err != nil {
+			fail(err)
+		}
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}
+}

@@ -21,7 +21,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +62,37 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// registerWith announces this replica to a rapidnn-router so it joins the
+// routing ring without appearing in the router's -replica flags. A wildcard
+// listen address is rewritten to loopback: the router must be handed a URL
+// it can actually dial.
+func registerWith(router string, bound net.Addr) error {
+	host, port, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return err
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	body, err := json.Marshal(map[string]string{
+		"url": fmt.Sprintf("http://%s", net.JoinHostPort(host, port)),
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(router, "/")+"/fleet/register",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("router answered HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
 // writeFileWith streams an exporter (WritePrometheus, WriteChromeTrace) into
 // a freshly created file.
 func writeFileWith(path string, write func(io.Writer) error) error {
@@ -89,6 +122,10 @@ func main() {
 	canaryInterval := flag.Duration("canary-interval", 0, "periodic canary self-test interval; degraded models are shed with 503s until scrubbed (0 = disabled)")
 	metricsOut := flag.String("metrics", "", "write a final Prometheus metrics snapshot to this file on drain (GET /metrics serves them live regardless)")
 	traceOut := flag.String("trace-out", "", "record per-batch serving spans and write a Chrome trace (chrome://tracing, Perfetto) to this file on drain")
+	replicaID := flag.String("replica-id", "", "stamp every metric series with replica=\"...\" so a fleet scrape can tell replicas apart")
+	tenantRate := flag.Float64("tenant-rps", 0, "per-tenant admission quota in requests/second; over-quota tenants are shed with 429 (0 = disabled)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant quota burst capacity (0 = 2x rate)")
+	register := flag.String("register", "", "rapidnn-router base URL to register this replica with once listening")
 	flag.Parse()
 
 	reg := serve.NewRegistry()
@@ -141,6 +178,9 @@ func main() {
 		RequestTimeout: *timeout,
 		CanaryInterval: *canaryInterval,
 		Trace:          tracer,
+		Replica:        *replicaID,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -153,6 +193,12 @@ func main() {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			fail(err)
 		}
+	}
+	if *register != "" {
+		if err := registerWith(*register, ln.Addr()); err != nil {
+			fail(fmt.Errorf("registering with %s: %w", *register, err))
+		}
+		fmt.Printf("registered with router %s\n", *register)
 	}
 
 	httpSrv := &http.Server{Handler: srv}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFanOutRoundRobins(t *testing.T) {
+	hits := make([]int, 3)
+	fn := FanOut(
+		func(i int) error { hits[0]++; return nil },
+		func(i int) error { hits[1]++; return nil },
+		func(i int) error { hits[2]++; return nil },
+	)
+	for i := 0; i < 9; i++ {
+		if err := fn(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, h := range hits {
+		if h != 3 {
+			t.Fatalf("target %d got %d of 9 requests, want 3", k, h)
+		}
+	}
+}
+
+func TestFanOutEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FanOut() with no targets did not panic")
+		}
+	}()
+	FanOut()
+}
+
+func TestOpenLoopTaggedPartitionsByClass(t *testing.T) {
+	classOf := func(i int) string {
+		if i%3 == 0 {
+			return "heavy"
+		}
+		return "light"
+	}
+	var errHeavy = errors.New("shed")
+	reports := OpenLoopTagged(100*time.Microsecond, 90, classOf, func(i int) error {
+		if classOf(i) == "heavy" {
+			return errHeavy
+		}
+		return nil
+	})
+	if len(reports) != 2 {
+		t.Fatalf("got %d classes, want 2", len(reports))
+	}
+	heavy, light := reports["heavy"], reports["light"]
+	if heavy.Requests != 30 || light.Requests != 60 {
+		t.Fatalf("partition sizes heavy=%d light=%d, want 30/60", heavy.Requests, light.Requests)
+	}
+	if heavy.Errors != 30 {
+		t.Fatalf("heavy class errors = %d, want all 30", heavy.Errors)
+	}
+	if light.Errors != 0 {
+		t.Fatalf("light class errors = %d, want 0", light.Errors)
+	}
+	if light.P99 <= 0 || light.Max < light.P99 {
+		t.Fatalf("light percentiles inconsistent: p99=%v max=%v", light.P99, light.Max)
+	}
+}

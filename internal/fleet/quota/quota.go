@@ -1,0 +1,118 @@
+// Package quota implements the token-bucket admission quotas the serving
+// fabric applies per tenant: a tenant may burst up to Burst requests and
+// sustain Rate requests per second; beyond that its traffic is shed with an
+// explicit retry hint while other tenants are untouched. Buckets take the
+// clock as an argument so policy is unit-testable without sleeping.
+package quota
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is one token bucket. All methods are safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time // last refill instant; zero until the first call
+}
+
+// NewBucket returns a full bucket refilling at rate tokens/second up to
+// burst. A non-positive burst is clamped to 1 (a bucket that can never hold
+// a token would shed everything); a non-positive rate never refills.
+func NewBucket(rate, burst float64) *Bucket {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// refill credits tokens for the time since the last call. Caller holds mu.
+func (b *Bucket) refill(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	if b.rate <= 0 {
+		return
+	}
+	b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+}
+
+// Allow takes one token if available and reports whether it did.
+func (b *Bucket) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryAfter returns how long until the bucket next holds a full token —
+// the Retry-After hint a shed request carries. A bucket that never refills
+// reports an hour rather than forever.
+func (b *Bucket) RetryAfter(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	if b.rate <= 0 {
+		return time.Hour
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Set is a keyed collection of buckets sharing one rate/burst policy — the
+// per-tenant quota table. Buckets are created lazily on first sight of a
+// key. The zero Set is not usable; call NewSet.
+type Set struct {
+	rate, burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*Bucket
+}
+
+// NewSet returns an empty set whose buckets refill at rate up to burst.
+func NewSet(rate, burst float64) *Set {
+	return &Set{rate: rate, burst: burst, buckets: make(map[string]*Bucket)}
+}
+
+// Get returns the key's bucket, creating it full on first use.
+func (s *Set) Get(key string) *Bucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[key]
+	if !ok {
+		b = NewBucket(s.rate, s.burst)
+		s.buckets[key] = b
+	}
+	return b
+}
+
+// Allow takes one token from the key's bucket.
+func (s *Set) Allow(key string, now time.Time) bool { return s.Get(key).Allow(now) }
+
+// RetryAfter returns the key's retry hint.
+func (s *Set) RetryAfter(key string, now time.Time) time.Duration {
+	return s.Get(key).RetryAfter(now)
+}
+
+// Len returns the number of keys seen so far.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buckets)
+}

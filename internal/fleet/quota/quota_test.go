@@ -1,0 +1,119 @@
+package quota
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBurstThenShed(t *testing.T) {
+	b := NewBucket(10, 5)
+	for i := 0; i < 5; i++ {
+		if !b.Allow(t0) {
+			t.Fatalf("request %d within burst was shed", i)
+		}
+	}
+	if b.Allow(t0) {
+		t.Fatal("request beyond burst was admitted with no time elapsed")
+	}
+}
+
+func TestRefillAtRate(t *testing.T) {
+	b := NewBucket(10, 5) // 10 tokens/s
+	for i := 0; i < 5; i++ {
+		b.Allow(t0)
+	}
+	// 250ms refills 2.5 tokens: two admits, then shed again.
+	now := t0.Add(250 * time.Millisecond)
+	if !b.Allow(now) || !b.Allow(now) {
+		t.Fatal("refilled tokens were not granted")
+	}
+	if b.Allow(now) {
+		t.Fatal("admitted more than the refill paid for")
+	}
+}
+
+func TestBurstIsCapped(t *testing.T) {
+	b := NewBucket(10, 3)
+	b.Allow(t0)
+	// A long idle period must not accumulate more than burst.
+	now := t0.Add(time.Hour)
+	admits := 0
+	for b.Allow(now) {
+		admits++
+	}
+	if admits != 3 {
+		t.Fatalf("after long idle the bucket granted %d, want burst=3", admits)
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	b := NewBucket(2, 1) // 2 tokens/s: an empty bucket refills in 500ms
+	if !b.Allow(t0) {
+		t.Fatal("fresh bucket shed")
+	}
+	ra := b.RetryAfter(t0)
+	if ra <= 0 || ra > 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want (0, 500ms]", ra)
+	}
+	if got := b.RetryAfter(t0.Add(time.Second)); got != 0 {
+		t.Fatalf("refilled bucket RetryAfter = %v, want 0", got)
+	}
+}
+
+func TestZeroRateNeverRefills(t *testing.T) {
+	b := NewBucket(0, 2)
+	b.Allow(t0)
+	b.Allow(t0)
+	if b.Allow(t0.Add(time.Hour)) {
+		t.Fatal("zero-rate bucket refilled")
+	}
+	if ra := b.RetryAfter(t0.Add(time.Hour)); ra != time.Hour {
+		t.Fatalf("zero-rate RetryAfter = %v, want 1h sentinel", ra)
+	}
+}
+
+func TestSetIsolatesKeys(t *testing.T) {
+	s := NewSet(1, 2)
+	// Exhaust tenant a.
+	s.Allow("a", t0)
+	s.Allow("a", t0)
+	if s.Allow("a", t0) {
+		t.Fatal("tenant a admitted beyond burst")
+	}
+	// Tenant b is untouched.
+	if !s.Allow("b", t0) {
+		t.Fatal("tenant b shed by tenant a's exhaustion")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestConcurrentAllowNeverOveradmits(t *testing.T) {
+	b := NewBucket(0, 100)
+	var wg sync.WaitGroup
+	total := 0
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 100; i++ {
+				if b.Allow(t0) {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != 100 {
+		t.Fatalf("8 racing workers admitted %d, want exactly burst=100", total)
+	}
+}

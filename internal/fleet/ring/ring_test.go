@@ -1,0 +1,157 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%d|model-%d", i%97, i%7)
+	}
+	return out
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if _, ok := r.Get("k"); ok {
+		t.Fatal("empty ring returned a member")
+	}
+	if got := r.GetN("k", 3); got != nil {
+		t.Fatalf("empty ring GetN = %v, want nil", got)
+	}
+}
+
+func TestGetIsDeterministicAcrossInstances(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, r2 := New(64), New(64)
+	r1.Set(members)
+	// Build r2 in a different order: layout must not depend on history.
+	r2.Add(members[2])
+	r2.Add(members[0])
+	r2.Add(members[1])
+	for _, k := range keys(500) {
+		m1, _ := r1.Get(k)
+		m2, _ := r2.Get(k)
+		if m1 != m2 {
+			t.Fatalf("key %q: instance 1 says %s, instance 2 says %s", k, m1, m2)
+		}
+	}
+}
+
+func TestSpreadAcrossMembers(t *testing.T) {
+	r := New(128)
+	r.Set([]string{"a", "b", "c", "d"})
+	counts := map[string]int{}
+	ks := keys(4000)
+	for _, k := range ks {
+		m, ok := r.Get(k)
+		if !ok {
+			t.Fatal("no member")
+		}
+		counts[m]++
+	}
+	mean := float64(len(ks)) / 4
+	for m, c := range counts {
+		if float64(c) < 0.5*mean || float64(c) > 1.6*mean {
+			t.Fatalf("member %s owns %d of %d keys (mean %.0f): spread too skewed", m, c, len(ks), mean)
+		}
+	}
+}
+
+// Removing one member must only remap the keys it owned: every key owned by
+// a surviving member stays put. This is the property that makes health-based
+// ejection cheap for the fleet.
+func TestRemoveOnlyRemapsOwnedKeys(t *testing.T) {
+	r := New(128)
+	r.Set([]string{"a", "b", "c"})
+	before := map[string]string{}
+	for _, k := range keys(2000) {
+		before[k], _ = r.Get(k)
+	}
+	r.Remove("b")
+	moved := 0
+	for k, owner := range before {
+		after, ok := r.Get(k)
+		if !ok {
+			t.Fatal("ring emptied unexpectedly")
+		}
+		if owner != "b" {
+			if after != owner {
+				t.Fatalf("key %q moved %s -> %s though its owner survived", k, owner, after)
+			}
+			continue
+		}
+		if after == "b" {
+			t.Fatalf("key %q still maps to removed member", k)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed member; test is vacuous")
+	}
+}
+
+// Re-adding a member restores its prior placement exactly — recovery puts
+// every key back on its cache-warm replica.
+func TestReAdmissionRestoresPlacement(t *testing.T) {
+	r := New(128)
+	r.Set([]string{"a", "b", "c"})
+	before := map[string]string{}
+	for _, k := range keys(1000) {
+		before[k], _ = r.Get(k)
+	}
+	r.Remove("c")
+	r.Add("c")
+	for k, owner := range before {
+		after, _ := r.Get(k)
+		if after != owner {
+			t.Fatalf("key %q: %s before eviction, %s after re-admission", k, owner, after)
+		}
+	}
+}
+
+func TestGetNDistinctAndOwnerFirst(t *testing.T) {
+	r := New(128)
+	r.Set([]string{"a", "b", "c", "d"})
+	for _, k := range keys(300) {
+		owner, _ := r.Get(k)
+		got := r.GetN(k, 3)
+		if len(got) != 3 {
+			t.Fatalf("GetN returned %d members, want 3", len(got))
+		}
+		if got[0] != owner {
+			t.Fatalf("GetN[0] = %s, owner = %s", got[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range got {
+			if seen[m] {
+				t.Fatalf("GetN returned duplicate member %s", m)
+			}
+			seen[m] = true
+		}
+	}
+	// Asking for more members than exist returns them all.
+	if got := r.GetN("k", 10); len(got) != 4 {
+		t.Fatalf("GetN(10) over 4 members returned %d", len(got))
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New(32)
+	r.Set([]string{"a", "b", "c"})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r.Remove("b")
+			r.Add("b")
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		r.Get(fmt.Sprintf("k%d", i))
+		r.GetN(fmt.Sprintf("k%d", i), 2)
+	}
+	<-done
+}

@@ -1,0 +1,359 @@
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Target is the controller's view of the fleet. The router's replica pool
+// implements it over HTTP; tests implement it in memory. Keeping the
+// controller behind this interface means the rollout state machine never
+// imports the router (or vice versa) and can be driven hermetically.
+type Target interface {
+	// Replicas returns the base URLs of the replicas currently eligible to
+	// receive a rollout — healthy members only.
+	Replicas() []string
+	// Scrub asks one replica to rebuild a model's executor state from the
+	// given artifact path (the generalized /v1/scrub). The replica runs its
+	// canary self-test on the fresh state and reports the verdict plus the
+	// version it is now serving.
+	Scrub(replica, model, artifact string) (ScrubResult, error)
+	// ServingVersion reports which artifact version a replica currently
+	// serves for a model.
+	ServingVersion(replica, model string) (string, error)
+	// ModelStats returns a replica's cumulative completed and failed request
+	// counters for a model, in requests since process start. The controller
+	// only ever uses deltas.
+	ModelStats(replica, model string) (completed, failed uint64, err error)
+}
+
+// ScrubResult is a replica's answer to a scrub: its self-test verdict on the
+// freshly built state and the version it ended up serving.
+type ScrubResult struct {
+	Degraded       bool
+	CanariesFailed int
+	Version        string
+}
+
+// Phase names a rollout state. Transitions run strictly forward:
+// canary → observe → promote → done, detouring to rollback → failed on any
+// gate trip.
+type Phase string
+
+const (
+	PhaseCanary   Phase = "canary"
+	PhaseObserve  Phase = "observe"
+	PhasePromote  Phase = "promote"
+	PhaseDone     Phase = "done"
+	PhaseRollback Phase = "rollback"
+	PhaseFailed   Phase = "failed"
+)
+
+// Config tunes the rollout gates.
+type Config struct {
+	// CanaryFraction of the pool (rounded up, minimum one replica) takes the
+	// new version first. Default 0.25.
+	CanaryFraction float64
+	// ObserveWindow is how long canaries serve live traffic before the
+	// error-rate gate is evaluated. Default 2s.
+	ObserveWindow time.Duration
+	// MaxErrorRateDelta is how much worse (absolute error-rate fraction) the
+	// canaries may do than the untouched control replicas over the window
+	// before the rollout is rolled back. With no control replicas the canary
+	// rate is compared against this bound directly. Default 0.05.
+	MaxErrorRateDelta float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CanaryFraction <= 0 || c.CanaryFraction > 1 {
+		c.CanaryFraction = 0.25
+	}
+	if c.ObserveWindow <= 0 {
+		c.ObserveWindow = 2 * time.Second
+	}
+	if c.MaxErrorRateDelta <= 0 {
+		c.MaxErrorRateDelta = 0.05
+	}
+	return c
+}
+
+// Status is a rollout's externally visible state. Event strings are
+// append-only and timestamped; the struct is returned by value so readers
+// never share slices with the running state machine.
+type Status struct {
+	Model       string    `json:"model"`
+	Version     string    `json:"version"`
+	PrevVersion string    `json:"prev_version,omitempty"`
+	Phase       Phase     `json:"phase"`
+	Canaries    []string  `json:"canaries,omitempty"`
+	Promoted    []string  `json:"promoted,omitempty"`
+	Events      []string  `json:"events"`
+	Error       string    `json:"error,omitempty"`
+	StartedAt   time.Time `json:"started_at"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// Controller executes canary-then-promote rollouts against a Target, one at
+// a time per model, resolving versions through a Registry.
+type Controller struct {
+	reg *Registry
+	tgt Target
+	cfg Config
+
+	mu      sync.Mutex
+	status  map[string]*Status
+	running map[string]bool
+}
+
+// NewController wires a controller to its registry and fleet.
+func NewController(reg *Registry, tgt Target, cfg Config) *Controller {
+	return &Controller{
+		reg: reg, tgt: tgt, cfg: cfg.withDefaults(),
+		status:  make(map[string]*Status),
+		running: make(map[string]bool),
+	}
+}
+
+// Status returns the most recent rollout state for a model.
+func (c *Controller) Status(model string) (Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.status[model]
+	if !ok {
+		return Status{}, false
+	}
+	return c.snapshot(st), true
+}
+
+// snapshot copies a status for external use; callers hold c.mu.
+func (c *Controller) snapshot(st *Status) Status {
+	out := *st
+	out.Canaries = append([]string(nil), st.Canaries...)
+	out.Promoted = append([]string(nil), st.Promoted...)
+	out.Events = append([]string(nil), st.Events...)
+	return out
+}
+
+func (c *Controller) setPhase(st *Status, p Phase) {
+	c.mu.Lock()
+	st.Phase = p
+	st.UpdatedAt = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *Controller) event(st *Status, format string, args ...any) {
+	c.mu.Lock()
+	st.Events = append(st.Events, fmt.Sprintf("%s %s",
+		time.Now().Format("15:04:05.000"), fmt.Sprintf(format, args...)))
+	st.UpdatedAt = time.Now()
+	c.mu.Unlock()
+}
+
+// Rollout deploys a registry version to the fleet: scrub it onto a canary
+// subset, gate on the canaries' self-test verdicts and their live error-rate
+// delta against the untouched replicas over the observation window, then
+// promote to the rest — or roll every touched replica back to the version it
+// was serving before. It runs synchronously and returns the final status;
+// only one rollout per model may be in flight at a time.
+func (c *Controller) Rollout(model, version string) (Status, error) {
+	artifact, err := c.reg.Resolve(model, version)
+	if err != nil {
+		return Status{}, err
+	}
+	c.mu.Lock()
+	if c.running[model] {
+		c.mu.Unlock()
+		return Status{}, fmt.Errorf("rollout: a rollout of %s is already in flight", model)
+	}
+	c.running[model] = true
+	prev, _ := c.reg.Current(model)
+	st := &Status{
+		Model: model, Version: version, PrevVersion: prev,
+		Phase: PhaseCanary, StartedAt: time.Now(), UpdatedAt: time.Now(),
+	}
+	c.status[model] = st
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.running, model)
+		c.mu.Unlock()
+	}()
+
+	fail := func(reason string) (Status, error) {
+		c.mu.Lock()
+		st.Phase = PhaseFailed
+		st.Error = reason
+		st.UpdatedAt = time.Now()
+		out := c.snapshot(st)
+		c.mu.Unlock()
+		return out, fmt.Errorf("rollout: %s", reason)
+	}
+
+	replicas := append([]string(nil), c.tgt.Replicas()...)
+	sort.Strings(replicas)
+	if len(replicas) == 0 {
+		return fail("no healthy replicas to roll out to")
+	}
+
+	// Remember what every replica serves now: that, not the manifest, is the
+	// rollback point — a replica that joined mid-history may be behind.
+	prior := make(map[string]string, len(replicas))
+	for _, rep := range replicas {
+		if v, err := c.tgt.ServingVersion(rep, model); err == nil {
+			prior[rep] = v
+		}
+	}
+
+	nCanary := int(math.Ceil(c.cfg.CanaryFraction * float64(len(replicas))))
+	if nCanary < 1 {
+		nCanary = 1
+	}
+	if nCanary > len(replicas) {
+		nCanary = len(replicas)
+	}
+	canaries, rest := replicas[:nCanary], replicas[nCanary:]
+	c.mu.Lock()
+	st.Canaries = append([]string(nil), canaries...)
+	c.mu.Unlock()
+	c.event(st, "rolling out %s/%s to %d canaries of %d replicas", model, version, nCanary, len(replicas))
+
+	// Canary: load the new version on the subset; every scrub must come back
+	// clean and actually serving the requested version.
+	touched := make([]string, 0, len(replicas))
+	for _, rep := range canaries {
+		res, err := c.tgt.Scrub(rep, model, artifact)
+		if err != nil {
+			c.event(st, "canary %s scrub failed: %v", rep, err)
+			c.rollback(st, touched, model, prior)
+			return fail(fmt.Sprintf("canary %s rejected %s: %v", rep, version, err))
+		}
+		touched = append(touched, rep)
+		if res.Degraded || res.CanariesFailed > 0 {
+			c.event(st, "canary %s self-test failed: %d canaries diverged", rep, res.CanariesFailed)
+			c.rollback(st, touched, model, prior)
+			return fail(fmt.Sprintf("canary %s self-test failed on %s (%d diverged)", rep, version, res.CanariesFailed))
+		}
+		if res.Version != "" && res.Version != version {
+			c.event(st, "canary %s serving %q after scrub, expected %q", rep, res.Version, version)
+			c.rollback(st, touched, model, prior)
+			return fail(fmt.Sprintf("canary %s serving %q after scrub of %s", rep, res.Version, version))
+		}
+		c.event(st, "canary %s serving %s, self-test clean", rep, version)
+	}
+
+	// Observe: let the canaries take live traffic, then compare their window
+	// error rate against the untouched control replicas. Counters are
+	// cumulative, so both gates work on deltas across the same window.
+	c.setPhase(st, PhaseObserve)
+	before := c.statsSnapshot(model, replicas)
+	time.Sleep(c.cfg.ObserveWindow)
+	after := c.statsSnapshot(model, replicas)
+	canaryRate := windowErrorRate(before, after, canaries)
+	controlRate := windowErrorRate(before, after, rest)
+	bound := controlRate + c.cfg.MaxErrorRateDelta
+	c.event(st, "observe window %s: canary error rate %.4f, control %.4f (bound %.4f)",
+		c.cfg.ObserveWindow, canaryRate, controlRate, bound)
+	if canaryRate > bound {
+		c.rollback(st, touched, model, prior)
+		return fail(fmt.Sprintf("canary error rate %.4f exceeds control %.4f by more than %.4f",
+			canaryRate, controlRate, c.cfg.MaxErrorRateDelta))
+	}
+
+	// Promote: the gates passed; roll the rest of the pool.
+	c.setPhase(st, PhasePromote)
+	for _, rep := range rest {
+		res, err := c.tgt.Scrub(rep, model, artifact)
+		if err != nil {
+			c.event(st, "promote %s failed: %v", rep, err)
+			c.rollback(st, touched, model, prior)
+			return fail(fmt.Sprintf("promoting %s failed: %v", rep, err))
+		}
+		touched = append(touched, rep)
+		if res.Degraded || res.CanariesFailed > 0 {
+			c.event(st, "promote %s self-test failed: %d canaries diverged", rep, res.CanariesFailed)
+			c.rollback(st, touched, model, prior)
+			return fail(fmt.Sprintf("promote %s self-test failed (%d diverged)", rep, res.CanariesFailed))
+		}
+		c.mu.Lock()
+		st.Promoted = append(st.Promoted, rep)
+		c.mu.Unlock()
+		c.event(st, "promoted %s to %s", rep, version)
+	}
+
+	if err := c.reg.SetCurrent(model, version); err != nil {
+		return fail(fmt.Sprintf("recording promotion: %v", err))
+	}
+	c.setPhase(st, PhaseDone)
+	c.event(st, "rollout of %s/%s complete across %d replicas", model, version, len(replicas))
+	c.mu.Lock()
+	out := c.snapshot(st)
+	c.mu.Unlock()
+	return out, nil
+}
+
+// rollback restores every touched replica to the version it served before
+// the rollout began. Best effort: a replica whose prior version is unknown
+// or no longer in the registry is reported, not retried — its state is still
+// the all-or-nothing scrub's, so it keeps serving whatever it last loaded
+// successfully.
+func (c *Controller) rollback(st *Status, touched []string, model string, prior map[string]string) {
+	c.setPhase(st, PhaseRollback)
+	for _, rep := range touched {
+		pv, ok := prior[rep]
+		if !ok || pv == "" || pv == "unversioned" {
+			c.event(st, "cannot roll back %s: prior version unknown", rep)
+			continue
+		}
+		path, err := c.reg.Resolve(model, pv)
+		if err != nil {
+			c.event(st, "cannot roll back %s to %s: %v", rep, pv, err)
+			continue
+		}
+		if res, err := c.tgt.Scrub(rep, model, path); err != nil {
+			c.event(st, "rollback of %s to %s failed: %v", rep, pv, err)
+		} else if res.Degraded || res.CanariesFailed > 0 {
+			c.event(st, "rollback of %s to %s left it degraded (%d diverged)", rep, pv, res.CanariesFailed)
+		} else {
+			c.event(st, "rolled %s back to %s", rep, pv)
+		}
+	}
+}
+
+// replicaStats is one replica's cumulative counters at a sample point.
+type replicaStats struct {
+	completed, failed uint64
+	ok                bool
+}
+
+func (c *Controller) statsSnapshot(model string, replicas []string) map[string]replicaStats {
+	out := make(map[string]replicaStats, len(replicas))
+	for _, rep := range replicas {
+		comp, fail, err := c.tgt.ModelStats(rep, model)
+		out[rep] = replicaStats{completed: comp, failed: fail, ok: err == nil}
+	}
+	return out
+}
+
+// windowErrorRate pools the counter deltas of a replica group across the
+// observation window into one error fraction. Replicas whose counters could
+// not be read at either edge are excluded; a group with no traffic reports
+// 0 (no evidence of harm).
+func windowErrorRate(before, after map[string]replicaStats, group []string) float64 {
+	var dc, df uint64
+	for _, rep := range group {
+		b, a := before[rep], after[rep]
+		if !b.ok || !a.ok || a.completed < b.completed || a.failed < b.failed {
+			continue
+		}
+		dc += a.completed - b.completed
+		df += a.failed - b.failed
+	}
+	total := dc + df
+	if total == 0 {
+		return 0
+	}
+	return float64(df) / float64(total)
+}

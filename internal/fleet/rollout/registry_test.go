@@ -1,0 +1,186 @@
+package rollout
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/composer"
+	"repro/internal/nn"
+)
+
+// buildComposed makes a small valid composed model with embedded canaries.
+func buildComposed(t *testing.T, seed int64) *composer.Composed {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork("regtest").
+		Add(nn.NewDense("fc1", 12, 10, nn.ReLU{}, rng)).
+		Add(nn.NewDense("out", 10, 4, nn.Identity{}, rng))
+	c := &composer.Composed{Net: net, Plans: composer.SyntheticPlans(net, 8, 8, 16)}
+	c.SynthesizeCanaries(8, 1)
+	return c
+}
+
+// artifactBytes serializes a model in either format.
+func artifactBytes(t *testing.T, c *composer.Composed, flat bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	if flat {
+		err = c.SaveFlat(&buf)
+	} else {
+		err = c.Save(&buf)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRegistryPushResolveVersions(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := artifactBytes(t, buildComposed(t, 1), false) // gob
+	v2 := artifactBytes(t, buildComposed(t, 2), true)  // flat
+
+	p1, err := reg.Push("mnist", "v1", bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("pushing valid gob artifact: %v", err)
+	}
+	if _, err := reg.Push("mnist", "v2", bytes.NewReader(v2)); err != nil {
+		t.Fatalf("pushing valid flat artifact: %v", err)
+	}
+
+	got, err := reg.Resolve("mnist", "v1")
+	if err != nil || got != p1 {
+		t.Fatalf("Resolve = %q, %v; want %q", got, err, p1)
+	}
+	if _, err := reg.Resolve("mnist", "v9"); err == nil {
+		t.Fatal("Resolve of absent version succeeded")
+	}
+
+	vs, err := reg.Versions("mnist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0] != "v1" || vs[1] != "v2" {
+		t.Fatalf("Versions = %v, want [v1 v2]", vs)
+	}
+	models, err := reg.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0] != "mnist" {
+		t.Fatalf("Models = %v, want [mnist]", models)
+	}
+	if vs, err := reg.Versions("absent"); err != nil || len(vs) != 0 {
+		t.Fatalf("Versions of unknown model = %v, %v; want empty, nil", vs, err)
+	}
+}
+
+func TestRegistryVersionsAreImmutable(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := artifactBytes(t, buildComposed(t, 3), true)
+	if _, err := reg.Push("m", "v1", bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Push("m", "v1", bytes.NewReader(raw)); err == nil {
+		t.Fatal("re-pushing an existing version succeeded; versions must be immutable")
+	}
+}
+
+func TestRegistryRejectsCorruptPush(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := artifactBytes(t, buildComposed(t, 4), true)
+	raw[len(raw)/2] ^= 0xFF // flip a byte mid-artifact: CRC must catch it
+	if _, err := reg.Push("m", "bad", bytes.NewReader(raw)); err == nil {
+		t.Fatal("push of corrupt artifact was accepted")
+	}
+	if vs, _ := reg.Versions("m"); len(vs) != 0 {
+		t.Fatalf("corrupt push left versions behind: %v", vs)
+	}
+	// No temp droppings either.
+	ents, _ := os.ReadDir(filepath.Join(reg.Dir(), "m"))
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".push-") {
+			t.Fatalf("corrupt push left temp file %s", e.Name())
+		}
+	}
+}
+
+func TestRegistryRejectsStaleCanaries(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildComposed(t, 5)
+	// Make the artifact internally consistent but wrong: the embedded golden
+	// predictions no longer match the model's own answers — exactly what a
+	// mis-built or stale artifact looks like.
+	for i := range c.Canaries {
+		c.Canaries[i].Pred = (c.Canaries[i].Pred + 1) % c.Net.OutSize()
+	}
+	raw := artifactBytes(t, c, true)
+	if _, err := reg.Push("m", "stale", bytes.NewReader(raw)); err == nil {
+		t.Fatal("push of artifact with diverging canaries was accepted")
+	}
+}
+
+func TestRegistryRejectsTraversalNames(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := artifactBytes(t, buildComposed(t, 6), true)
+	for _, bad := range []string{"", "..", "a/b", `a\b`, "."} {
+		if _, err := reg.Push(bad, "v1", bytes.NewReader(raw)); err == nil {
+			t.Fatalf("Push accepted model name %q", bad)
+		}
+		if _, err := reg.Push("m", bad, bytes.NewReader(raw)); err == nil {
+			t.Fatalf("Push accepted version name %q", bad)
+		}
+	}
+}
+
+func TestRegistryManifestCurrent(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur, err := reg.Current("m"); err != nil || cur != "" {
+		t.Fatalf("Current before any promotion = %q, %v; want empty", cur, err)
+	}
+	raw := artifactBytes(t, buildComposed(t, 7), true)
+	if _, err := reg.Push("m", "v1", bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetCurrent("m", "v9"); err == nil {
+		t.Fatal("SetCurrent accepted a version not in the registry")
+	}
+	if err := reg.SetCurrent("m", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if cur, err := reg.Current("m"); err != nil || cur != "v1" {
+		t.Fatalf("Current = %q, %v; want v1", cur, err)
+	}
+	// Reopening the same directory sees the same state: the manifest is the
+	// durable record, not process memory.
+	reg2, err := NewRegistry(reg.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := reg2.Current("m"); cur != "v1" {
+		t.Fatalf("reopened registry Current = %q, want v1", cur)
+	}
+}

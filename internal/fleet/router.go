@@ -1,0 +1,420 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet/quota"
+	"repro/internal/fleet/rollout"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// RouterConfig wires a Router to its pool and policies.
+type RouterConfig struct {
+	// Pool is the replica membership the router balances over. Required.
+	Pool *Pool
+	// Controller, when set, exposes canary-then-promote rollouts on
+	// POST /fleet/rollout.
+	Controller *rollout.Controller
+	// Registry, when set, lets /fleet/rollout name registry versions and
+	// GET /fleet/rollout report what is promotable.
+	Registry *rollout.Registry
+	// Retries is how many distinct replicas a predict may try (the ring
+	// walk's candidate count). Default 2: the consistent owner plus one
+	// failover. Predicts are pure, so retrying is always safe.
+	Retries int
+	// MaxQueueDepth sheds requests to replicas whose scraped queue-depth
+	// gauge exceeds it, before spending a proxy attempt on them. 0 disables.
+	MaxQueueDepth float64
+	// TenantRate/TenantBurst enable router-level per-tenant token buckets,
+	// the fleet-wide admission quota in front of the per-replica ones.
+	// TenantRate 0 disables.
+	TenantRate  float64
+	TenantBurst int
+	// Client proxies the predict calls; nil uses a client with a 30s
+	// timeout (hardware-path predicts are slow).
+	Client *http.Client
+}
+
+// Router is the fleet front door. Routes:
+//
+//	POST /v1/predict    proxied to the consistent-hash owner, failing over
+//	                    across the ring walk; per-tenant quotas apply
+//	GET  /v1/models     the fleet's model → replicas/versions view
+//	GET  /healthz       router readiness (needs ≥1 healthy replica)
+//	GET  /metrics       Prometheus exposition of the router's own metrics
+//	GET  /fleet/replicas  every replica's probed state
+//	POST /fleet/register  {"url": ...} adds a backend to the pool
+//	POST /fleet/rollout   {"model","version"} runs a canary-then-promote
+//	GET  /fleet/rollout?model=m  the latest rollout status
+type Router struct {
+	cfg     RouterConfig
+	pool    *Pool
+	client  *http.Client
+	mux     *http.ServeMux
+	tenants *quota.Set
+
+	obs     *obs.Registry
+	retries *obs.Counter
+}
+
+// NewRouter builds the fleet front door over a pool.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Pool == nil {
+		panic("fleet: RouterConfig.Pool is required")
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rt := &Router{
+		cfg:    cfg,
+		pool:   cfg.Pool,
+		client: client,
+		mux:    http.NewServeMux(),
+		obs:    obs.NewRegistry(),
+	}
+	if cfg.TenantRate > 0 {
+		burst := float64(cfg.TenantBurst)
+		if burst <= 0 {
+			burst = 2 * cfg.TenantRate
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		rt.tenants = quota.NewSet(cfg.TenantRate, burst)
+	}
+	rt.retries = rt.obs.Counter("rapidnn_router_retries_total",
+		"Predict attempts beyond each request's first replica.")
+	rt.obs.GaugeFunc("rapidnn_router_healthy_replicas",
+		"Replicas currently in the routing ring.",
+		func() float64 { return float64(len(rt.pool.Replicas())) })
+	rt.obs.GaugeFunc("rapidnn_router_replicas",
+		"Replicas registered with the pool, in any state.",
+		func() float64 { return float64(len(rt.pool.Snapshot())) })
+	rt.mux.HandleFunc("/v1/predict", rt.handlePredict)
+	rt.mux.HandleFunc("/v1/models", rt.handleModels)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/fleet/replicas", rt.handleReplicas)
+	rt.mux.HandleFunc("/fleet/register", rt.handleRegister)
+	rt.mux.HandleFunc("/fleet/rollout", rt.handleRollout)
+	return rt
+}
+
+// Obs exposes the router's metrics registry (for final snapshots).
+func (rt *Router) Obs() *obs.Registry { return rt.obs }
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+func (rt *Router) tenantOutcome(tenant, outcome string) {
+	rt.obs.Counter("rapidnn_router_tenant_requests_total",
+		"Predict requests per tenant by admission outcome (admitted, shed).",
+		obs.L("tenant", tenant), obs.L("outcome", outcome)).Inc()
+}
+
+func (rt *Router) replicaOutcome(replica, outcome string) {
+	rt.obs.Counter("rapidnn_router_replica_requests_total",
+		"Proxied predict attempts per replica by outcome (ok, client_error, overloaded, error, skipped).",
+		obs.L("target", replica), obs.L("outcome", outcome)).Inc()
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// predictEnvelope is the slice of the predict body the router reads; the
+// body is forwarded verbatim, so unknown fields pass through untouched.
+type predictEnvelope struct {
+	Model  string `json:"model"`
+	Tenant string `json:"tenant"`
+}
+
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var env predictEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	tenant := env.Tenant
+	if t := r.Header.Get(serve.TenantHeader); t != "" {
+		tenant = t
+	}
+	if tenant == "" {
+		tenant = serve.DefaultTenant
+	}
+	if rt.tenants != nil {
+		now := time.Now()
+		if !rt.tenants.Allow(tenant, now) {
+			rt.tenantOutcome(tenant, "shed")
+			ra := int(rt.tenants.RetryAfter(tenant, now)/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+			writeError(w, http.StatusTooManyRequests,
+				"tenant %q is over its admission quota; retry after %ds", tenant, ra)
+			return
+		}
+	}
+	rt.tenantOutcome(tenant, "admitted")
+
+	model := env.Model
+	if model == "" {
+		// Mirror the single-model convenience of the backends: when the
+		// whole fleet serves exactly one model, requests may omit it.
+		if models := rt.pool.Models(); len(models) == 1 {
+			model = models[0]
+		} else {
+			writeError(w, http.StatusBadRequest,
+				"request names no model and the fleet serves %d", len(models))
+			return
+		}
+	}
+
+	// The ring places (tenant, model): one tenant's traffic for one model
+	// lands on one replica (batching locality), spilling to ring successors
+	// only on failure or overload.
+	candidates := rt.pool.Route(tenant+"|"+model, rt.cfg.Retries)
+	if len(candidates) == 0 {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no healthy replicas")
+		return
+	}
+
+	maxRetryAfter := 0
+	sawOverload := false
+	var lastErr error
+	for i, replica := range candidates {
+		if i > 0 {
+			rt.retries.Inc()
+		}
+		if rt.cfg.MaxQueueDepth > 0 && rt.pool.QueueDepth(replica) > rt.cfg.MaxQueueDepth {
+			// The scraped gauge says this replica is saturated; shed here
+			// rather than adding to its queue and waiting for the 503.
+			rt.replicaOutcome(replica, "skipped")
+			sawOverload = true
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			replica+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(serve.TenantHeader, tenant)
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			// Transport failure: the replica may be mid-death ahead of the
+			// pool's next poll. Predicts are pure, so walk the ring.
+			rt.replicaOutcome(replica, "error")
+			lastErr = err
+			continue
+		}
+		respBody, readErr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if readErr != nil {
+			rt.replicaOutcome(replica, "error")
+			lastErr = readErr
+			continue
+		}
+		switch {
+		case resp.StatusCode < 300:
+			rt.replicaOutcome(replica, "ok")
+			relay(w, resp, respBody)
+			return
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			// Backend backpressure: remember its Retry-After hint and try
+			// the next ring member, which hashes this key elsewhere.
+			rt.replicaOutcome(replica, "overloaded")
+			sawOverload = true
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > maxRetryAfter {
+				maxRetryAfter = ra
+			}
+			continue
+		case resp.StatusCode >= 500:
+			rt.replicaOutcome(replica, "error")
+			lastErr = fmt.Errorf("%s returned HTTP %d: %s", replica, resp.StatusCode,
+				strings.TrimSpace(string(respBody)))
+			continue
+		default:
+			// 4xx is the client's problem (bad shape, unknown model, its
+			// backend-level quota): no other replica would answer differently.
+			rt.replicaOutcome(replica, "client_error")
+			relay(w, resp, respBody)
+			return
+		}
+	}
+	if sawOverload {
+		if maxRetryAfter <= 0 {
+			maxRetryAfter = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(maxRetryAfter))
+		writeError(w, http.StatusServiceUnavailable,
+			"all candidate replicas are shedding load; retry after %ds", maxRetryAfter)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "all candidate replicas failed: %v", lastErr)
+}
+
+// relay copies a backend response through, preserving status, content type
+// and retry hints.
+func relay(w http.ResponseWriter, resp *http.Response, body []byte) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// fleetModel is one model's fleet-wide view in /v1/models.
+type fleetModel struct {
+	Name     string                       `json:"name"`
+	Replicas []string                     `json:"replicas"`
+	Versions map[string]serve.VersionInfo `json:"versions"`
+}
+
+func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
+	byModel := make(map[string]*fleetModel)
+	for _, rep := range rt.pool.Snapshot() {
+		if rep.State != StateHealthy {
+			continue
+		}
+		for _, m := range rep.Models {
+			fm, ok := byModel[m]
+			if !ok {
+				fm = &fleetModel{Name: m, Versions: make(map[string]serve.VersionInfo)}
+				byModel[m] = fm
+			}
+			fm.Replicas = append(fm.Replicas, rep.URL)
+			if v, ok := rep.Versions[m]; ok {
+				fm.Versions[rep.URL] = v
+			}
+		}
+	}
+	models := make([]fleetModel, 0, len(byModel))
+	for _, name := range rt.pool.Models() {
+		if fm, ok := byModel[name]; ok {
+			models = append(models, *fm)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": models})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := rt.pool.Replicas()
+	status, code := "ok", http.StatusOK
+	if len(healthy) == 0 {
+		status, code = "unavailable", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":           status,
+		"healthy_replicas": len(healthy),
+		"replicas":         len(rt.pool.Snapshot()),
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	rt.obs.WritePrometheus(w)
+}
+
+func (rt *Router) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"replicas": rt.pool.Snapshot()})
+}
+
+type registerRequest struct {
+	URL string `json:"url"`
+}
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req registerRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if !strings.HasPrefix(req.URL, "http://") && !strings.HasPrefix(req.URL, "https://") {
+		writeError(w, http.StatusBadRequest, "url must be an http(s) base URL, got %q", req.URL)
+		return
+	}
+	info := rt.pool.Add(req.URL)
+	writeJSON(w, http.StatusOK, map[string]any{"replica": info})
+}
+
+type rolloutRequest struct {
+	Model   string `json:"model"`
+	Version string `json:"version"`
+}
+
+// handleRollout triggers a canary-then-promote rollout (POST, synchronous:
+// the response is the terminal status) or reports the latest status (GET).
+func (rt *Router) handleRollout(w http.ResponseWriter, r *http.Request) {
+	if rt.cfg.Controller == nil {
+		writeError(w, http.StatusNotFound, "this router has no rollout controller (start it with a registry)")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		model := r.URL.Query().Get("model")
+		st, ok := rt.cfg.Controller.Status(model)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no rollout recorded for model %q", model)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodPost:
+		var req rolloutRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		st, err := rt.cfg.Controller.Rollout(req.Model, req.Version)
+		if err != nil {
+			// The status carries the state machine's whole trajectory —
+			// which canaries failed, what was rolled back — so ship it with
+			// the error rather than a bare message.
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": err.Error(), "status": st,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}

@@ -223,11 +223,23 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	common   []Label
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// SetCommonLabels appends the given labels to every series registered from
+// now on — the fleet uses it to stamp a replica identity onto every metric a
+// server exposes, so scrapes from many replicas aggregate without relabeling.
+// Call it before instruments are registered: series that already exist keep
+// the labels they were created with.
+func (r *Registry) SetCommonLabels(labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.common = append([]Label(nil), labels...)
 }
 
 // lookup finds or creates the (name, labels) series of the given kind and
@@ -238,9 +250,12 @@ func NewRegistry() *Registry {
 // errors and panic.
 func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, init func(*series)) *series {
 	mustValidName(name)
-	lbl := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.common) > 0 {
+		labels = append(append([]Label(nil), labels...), r.common...)
+	}
+	lbl := renderLabels(labels)
 	fam, ok := r.families[name]
 	if !ok {
 		fam = &family{name: name, help: help, kind: kind}

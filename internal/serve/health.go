@@ -121,15 +121,28 @@ func (m *Model) LastReport() (CanaryReport, bool) {
 // The swap waits for in-flight batches (they evaluate under the model read
 // lock); later batches see the new state. A displaced mmap-backed artifact
 // is unmapped once the swap is done.
-func (m *Model) Scrub() (CanaryReport, error) {
+func (m *Model) Scrub() (CanaryReport, error) { return m.ScrubTo("") }
+
+// ScrubTo generalizes Scrub into a hot version swap: a non-empty artifact
+// path is loaded and installed in place of the current executor state, no
+// drain required — this is how the fleet rollout controller moves a replica
+// to a new version (or back to the old one). An empty path keeps Scrub's
+// reload-in-place behavior. A load failure leaves the serving state exactly
+// as it was: the swap is all-or-nothing, so a corrupt new version can never
+// take a healthy replica out.
+func (m *Model) ScrubTo(artifact string) (CanaryReport, error) {
 	var fresh *Model
 	var err error
 	m.mu.RLock()
 	srcPath, hardware, hwWorkers := m.srcPath, m.hardware, m.hwWorkers
 	c := m.Composed
 	m.mu.RUnlock()
-	if srcPath != "" {
-		fresh, err = LoadModelFile(m.Name, srcPath, hardware, hwWorkers)
+	target := artifact
+	if target == "" {
+		target = srcPath
+	}
+	if target != "" {
+		fresh, err = LoadModelFile(m.Name, target, hardware, hwWorkers)
 	} else {
 		// NewReinterpreted clones the network, so the in-memory Composed is
 		// still pristine even if the served executor state decayed.
@@ -144,6 +157,12 @@ func (m *Model) Scrub() (CanaryReport, error) {
 	m.re = fresh.re
 	m.hw = fresh.hw
 	m.hwGolden = fresh.hwGolden
+	m.ver = fresh.ver
+	if artifact != "" {
+		// The swap target is the model's source from now on: a later plain
+		// Scrub reloads the version actually being served.
+		m.srcPath = artifact
+	}
 	m.mu.Unlock()
 	if old != fresh.Composed {
 		// Disk-backed scrub loaded a fresh artifact: nothing references the

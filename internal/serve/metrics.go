@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -55,6 +56,13 @@ type Metrics struct {
 	latIdx    int  // next write position, always in [0, latWindow)
 	latFull   bool // the window has wrapped at least once
 	hw        crossbar.Stats
+
+	// Drain-rate estimator state: an EWMA of completions/second, sampled
+	// lazily by DrainRate so the hot dispatch path pays nothing for it.
+	drainMu        sync.Mutex
+	drainCompleted uint64
+	drainSample    time.Time
+	drainRate      float64
 }
 
 // NewMetrics returns a sink backed by a private, unexposed registry — the
@@ -128,6 +136,65 @@ func (m *Metrics) observeDone(d time.Duration) {
 		m.latFull = true
 	}
 	m.mu.Unlock()
+}
+
+// drainEWMAAlpha blends each fresh completions/second sample into the
+// running estimate: high enough to track a regime change within a few
+// samples, low enough that one bursty scrape does not whipsaw Retry-After.
+const drainEWMAAlpha = 0.5
+
+// drainMinInterval is the shortest interval a rate sample may span; calls
+// inside it reuse the previous estimate instead of dividing by noise.
+const drainMinInterval = 100 * time.Millisecond
+
+// DrainRate estimates this lane's current completion throughput in
+// requests/second, from the completed counter sampled at call time and
+// blended as an EWMA. The first call primes the estimator and returns 0
+// ("unknown"), as does a lane that has not completed anything between
+// samples for a while.
+func (m *Metrics) DrainRate(now time.Time) float64 {
+	m.drainMu.Lock()
+	defer m.drainMu.Unlock()
+	completed := m.completed.Value()
+	if m.drainSample.IsZero() {
+		m.drainSample, m.drainCompleted = now, completed
+		return 0
+	}
+	dt := now.Sub(m.drainSample)
+	if dt < drainMinInterval {
+		return m.drainRate
+	}
+	sample := float64(completed-m.drainCompleted) / dt.Seconds()
+	m.drainRate = drainEWMAAlpha*sample + (1-drainEWMAAlpha)*m.drainRate
+	m.drainSample, m.drainCompleted = now, completed
+	return m.drainRate
+}
+
+// Retry-After bounds: a shed client always waits at least a second (less
+// would stampede a queue that is full *now*) and never more than thirty (a
+// stale hint must not park clients beyond any plausible drain).
+const (
+	retryAfterMinSec = 1
+	retryAfterMaxSec = 30
+)
+
+// RetryAfterSeconds derives the 503 Retry-After hint from the shedding
+// lane's actual state: the time the current queue needs to drain at the
+// observed completion rate, clamped to [retryAfterMinSec, retryAfterMaxSec].
+// An unknown rate (a lane that just started) falls back to the minimum — the
+// queue was deep enough to shed, but there is no evidence it drains slowly.
+func RetryAfterSeconds(depth int, drainPerSec float64) int {
+	if depth <= 0 || drainPerSec <= 0 {
+		return retryAfterMinSec
+	}
+	secs := int(math.Ceil(float64(depth) / drainPerSec))
+	if secs < retryAfterMinSec {
+		return retryAfterMinSec
+	}
+	if secs > retryAfterMaxSec {
+		return retryAfterMaxSec
+	}
+	return secs
 }
 
 // LatencyQuantiles is the latency block of a lane's /stats entry, in

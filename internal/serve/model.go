@@ -2,10 +2,14 @@ package serve
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/composer"
 	"repro/internal/crossbar"
@@ -38,9 +42,10 @@ type Model struct {
 	// served: Scrub swaps it under the model lock.
 	Composed *composer.Composed
 
-	mu sync.RWMutex
-	re *composer.Reinterpreted
-	hw *rna.HardwareNetwork
+	mu  sync.RWMutex
+	re  *composer.Reinterpreted
+	hw  *rna.HardwareNetwork
+	ver VersionInfo
 	// hwGolden is the hardware path's own answer to every canary, captured
 	// at build time while the lowered network is known-pristine. Hardware
 	// inference is deterministic, so later divergence means the executor
@@ -59,6 +64,67 @@ type Model struct {
 // canarySeed seeds SynthesizeCanaries for artifacts that carry none.
 const canarySeed = 1
 
+// VersionInfo identifies which artifact a model is actually serving — the
+// rollout controller compares it against its registry before and after a
+// scrub, so "the canary loaded v3" is verified, not assumed.
+type VersionInfo struct {
+	// Version is the artifact's version name: the file's base name without
+	// extension for disk-backed models ("v3" for reg/mnist/v3.rapidnn),
+	// "unversioned" for in-memory ones.
+	Version string `json:"version"`
+	// Format is the serialization format served (composer.FormatGob,
+	// composer.FormatFlat, or "in-memory").
+	Format string `json:"format"`
+	// Checksum fingerprints the artifact file's content (FNV-1a over a
+	// bounded prefix plus the size); empty for in-memory models. Two
+	// replicas serving the same bytes report the same checksum.
+	Checksum string `json:"checksum,omitempty"`
+	// LoadedAt is when this executor state was (re)built.
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// fileVersionInfo derives a disk-backed model's identity from its artifact
+// file. Checksum failures are not fatal — the file was just loaded, so a
+// racing replace merely yields a fingerprint of the new bytes.
+func fileVersionInfo(path string) VersionInfo {
+	base := filepath.Base(path)
+	v := VersionInfo{
+		Version:  strings.TrimSuffix(base, filepath.Ext(base)),
+		LoadedAt: time.Now(),
+	}
+	if format, err := composer.FileFormat(path); err == nil {
+		v.Format = format
+	}
+	if sum, err := fileChecksum(path); err == nil {
+		v.Checksum = sum
+	}
+	return v
+}
+
+// checksumPrefix bounds how much of the artifact the fingerprint reads. Both
+// formats carry their real integrity checks inside (gob structure, CRC-32C'd
+// sections); this hash only needs to distinguish versions cheaply, without
+// faulting a whole mmap'd file through the page cache.
+const checksumPrefix = 1 << 20
+
+func fileChecksum(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	if _, err := io.CopyN(h, f, checksumPrefix); err != nil && err != io.EOF {
+		return "", err
+	}
+	fmt.Fprintf(h, "|%d", st.Size())
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
 // NewModel wraps a composed model for serving. When hardware is true the
 // functional-hardware path is lowered too, with hwWorkers bounding its
 // batch fan-out (0 = GOMAXPROCS). Models without embedded canaries get
@@ -72,6 +138,7 @@ func NewModel(name string, c *composer.Composed, hardware bool, hwWorkers int) (
 		Name: name, Composed: c,
 		re:       composer.NewReinterpreted(c.Net, c.Plans),
 		hardware: hardware, hwWorkers: hwWorkers,
+		ver: VersionInfo{Version: "unversioned", Format: "in-memory", LoadedAt: time.Now()},
 	}
 	if hardware {
 		hw, err := rna.BuildHardwareNetwork(m.re.Net(), c.Plans, device.Default())
@@ -109,7 +176,15 @@ func LoadModelFile(name, path string, hardware bool, hwWorkers int) (*Model, err
 		return nil, err
 	}
 	m.srcPath = path
+	m.ver = fileVersionInfo(path)
 	return m, nil
+}
+
+// Version reports which artifact the model is currently serving.
+func (m *Model) Version() VersionInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ver
 }
 
 // composed returns the current artifact under the model lock (Scrub swaps

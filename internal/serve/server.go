@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/fleet/quota"
 	"repro/internal/obs"
 )
 
@@ -29,6 +31,18 @@ type Config struct {
 	// batch, tracked per lane) into this tracer; the CLI exports it as a
 	// Chrome trace on shutdown. Nil disables tracing.
 	Trace *obs.Tracer
+	// Replica, when non-empty, stamps every metric series this server
+	// registers with a replica="..." label, so a fleet scraping many
+	// replicas into one view can tell them apart without relabeling.
+	Replica string
+	// TenantRate enables per-tenant admission quotas: each tenant gets a
+	// token bucket refilling at this many requests/second (burst
+	// TenantBurst), and a tenant past its bucket is shed with 429 +
+	// Retry-After while other tenants are untouched. 0 disables quotas.
+	TenantRate float64
+	// TenantBurst is the per-tenant bucket capacity; <=0 defaults to
+	// max(1, 2*TenantRate).
+	TenantBurst int
 }
 
 // lane is one (model, path) serving pipeline: its batcher and its metrics.
@@ -59,6 +73,10 @@ type Server struct {
 	canaryRuns  *obs.Counter
 	canaryFails *obs.Counter
 
+	// tenants holds the per-tenant admission buckets (nil when quotas are
+	// disabled); tenantSheds/tenantAdmits are registered lazily per tenant.
+	tenants *quota.Set
+
 	mu     sync.Mutex
 	lanes  map[string]*lane
 	closed bool
@@ -78,6 +96,19 @@ func NewServer(reg *Registry, cfg Config) *Server {
 		start: time.Now(),
 		obs:   obs.NewRegistry(),
 		lanes: make(map[string]*lane),
+	}
+	if cfg.Replica != "" {
+		s.obs.SetCommonLabels(obs.L("replica", cfg.Replica))
+	}
+	if cfg.TenantRate > 0 {
+		burst := float64(cfg.TenantBurst)
+		if burst <= 0 {
+			burst = 2 * cfg.TenantRate
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		s.tenants = quota.NewSet(cfg.TenantRate, burst)
 	}
 	s.canaryRuns = s.obs.Counter("rapidnn_serve_canary_runs_total",
 		"Canary self-test passes executed across all models.")
@@ -207,7 +238,34 @@ func (s *Server) laneFor(m *Model, p Path) (*lane, error) {
 type predictRequest struct {
 	Model  string      `json:"model"`
 	Path   string      `json:"path"`
+	Tenant string      `json:"tenant"`
 	Inputs [][]float32 `json:"inputs"`
+}
+
+// TenantHeader carries the tenant identity when it is not in the request
+// body; the header wins when both are set (it is what proxies stamp).
+const TenantHeader = "X-Tenant"
+
+// DefaultTenant is the bucket anonymous traffic shares.
+const DefaultTenant = "anonymous"
+
+// tenantOf resolves a request's tenant identity.
+func tenantOf(r *http.Request, body *predictRequest) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	if body.Tenant != "" {
+		return body.Tenant
+	}
+	return DefaultTenant
+}
+
+// tenantOutcome bumps the per-tenant admission counter — the observable
+// record of every quota decision, labeled tenant + outcome.
+func (s *Server) tenantOutcome(tenant, outcome string) {
+	s.obs.Counter("rapidnn_serve_tenant_requests_total",
+		"Predict requests per tenant by admission outcome (admitted, shed).",
+		obs.L("tenant", tenant), obs.L("outcome", outcome)).Inc()
 }
 
 type predictResponse struct {
@@ -233,7 +291,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // writeOverload is the backpressure response: clients are told to retry
 // rather than pile onto a saturated queue.
 func writeOverload(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", "1")
+	writeOverloadAfter(w, err, retryAfterMinSec)
+}
+
+// writeOverloadAfter sheds with an explicit Retry-After — the lane-aware
+// path computes the hint from queue depth and drain rate.
+func writeOverloadAfter(w http.ResponseWriter, err error, secs int) {
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeError(w, http.StatusServiceUnavailable, "%v", err)
 }
 
@@ -251,6 +315,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
+	}
+	tenant := tenantOf(r, &req)
+	if s.tenants != nil {
+		now := time.Now()
+		if !s.tenants.Allow(tenant, now) {
+			// Quota shed is a client-rate problem, not server overload: 429
+			// keeps it distinct from the 503 backpressure signals so the
+			// router and the load reports can tell the two apart.
+			s.tenantOutcome(tenant, "shed")
+			ra := int(s.tenants.RetryAfter(tenant, now)/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+			writeError(w, http.StatusTooManyRequests,
+				"tenant %q is over its admission quota; retry after %ds", tenant, ra)
+			return
+		}
+		s.tenantOutcome(tenant, "admitted")
 	}
 	if req.Model == "" && s.reg.Len() == 1 {
 		req.Model = s.reg.Names()[0]
@@ -323,7 +403,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		switch {
-		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrQueueFull):
+			// The shed carries a data-driven hint: how long this lane's
+			// current queue needs to drain at its observed completion rate.
+			writeOverloadAfter(w, err,
+				RetryAfterSeconds(ln.b.Depth(), ln.met.DrainRate(time.Now())))
+		case errors.Is(err, ErrClosed):
 			writeOverload(w, err)
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "%v", err)
@@ -346,6 +431,7 @@ type modelInfo struct {
 	Paths    []string      `json:"paths"`
 	Topology string        `json:"topology"`
 	Health   string        `json:"health"`
+	Artifact VersionInfo   `json:"artifact"`
 	Canary   *CanaryReport `json:"canary,omitempty"`
 }
 
@@ -363,6 +449,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		info := modelInfo{
 			Name: m.Name, InSize: m.InSize(), Classes: m.Classes(),
 			Paths: paths, Topology: m.Topology(), Health: "ok",
+			Artifact: m.Version(),
 		}
 		if m.Degraded() {
 			info.Health = "degraded"
@@ -396,9 +483,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	// Versions lets the fleet verify what each replica actually serves —
+	// the rollout controller gates promotion on seeing the new version here,
+	// not on having asked for it.
+	versions := make(map[string]VersionInfo, s.reg.Len())
+	for _, name := range s.reg.Names() {
+		if m, ok := s.reg.Get(name); ok {
+			versions[name] = m.Version()
+		}
+	}
 	body := map[string]any{
 		"status":   status,
 		"models":   s.reg.Names(),
+		"versions": versions,
 		"uptime_s": time.Since(s.start).Seconds(),
 	}
 	if len(degraded) > 0 {
@@ -409,11 +506,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 type scrubRequest struct {
 	Model string `json:"model"`
+	// Artifact, when set, hot-swaps the model to this artifact file instead
+	// of reloading the current one — the fleet's load-new-version primitive.
+	Artifact string `json:"artifact"`
+}
+
+// scrubResponse extends the self-test report with the identity of whatever
+// the model serves after the scrub, so a rollout controller can verify the
+// swap it asked for actually took.
+type scrubResponse struct {
+	CanaryReport
+	Artifact VersionInfo `json:"artifact"`
 }
 
 // handleScrub rebuilds a degraded model's executor state (reloading its
-// artifact when disk-backed) and re-runs the self-test, returning the fresh
-// report. Healthy models may be scrubbed too — it is idempotent.
+// artifact when disk-backed, or hot-swapping to a new artifact when the
+// request names one) and re-runs the self-test, returning the fresh report.
+// Healthy models may be scrubbed too — the no-artifact form is idempotent.
 func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
@@ -437,12 +546,12 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 			req.Model, strings.Join(s.reg.Names(), ", "))
 		return
 	}
-	rep, err := m.Scrub()
+	rep, err := m.ScrubTo(req.Artifact)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rep)
+	writeJSON(w, http.StatusOK, scrubResponse{CanaryReport: rep, Artifact: m.Version()})
 }
 
 // handleMetrics is the Prometheus scrape endpoint: the whole registry —
