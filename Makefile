@@ -4,6 +4,7 @@ test: lint
 	go build ./...
 	go test ./...
 	$(MAKE) fleet-smoke
+	$(MAKE) chaos-smoke
 
 # Static-analysis gate: go vet plus a gofmt cleanliness check. gofmt -l
 # prints the files that need reformatting; any output fails the target.
@@ -26,7 +27,7 @@ vet:
 race:
 	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/... \
 		./internal/counting/... ./internal/crossbar/... ./internal/ndcam/... \
-		./internal/obs/... ./internal/fleet/...
+		./internal/obs/... ./internal/fleet/... ./internal/chaos/...
 
 # Robustness gate: fuzz both artifact loaders with short budgets. The seed
 # corpora (valid artifacts in each format plus truncations/corruptions) are
@@ -111,6 +112,15 @@ fleet-smoke:
 	echo "fleet-smoke: router /healthz -> $$code"; \
 	[ "$$code" = "200" ]
 
+# Resilience smoke: deterministic failpoints through the real binaries — a
+# slow replica (latency failpoint) and a flaky one (injected 500s) behind
+# the router. Closed-loop load must see only successes and explicit sheds,
+# with a bounded tail (hedging) and bounded attempt amplification (retry
+# budget); a sub-batch-floor deadline must be shed at admission. -count=1 so
+# the fault run is always live, never a cached test result.
+chaos-smoke:
+	go test -run '^TestRouterChaosSmoke$$' -count=1 ./cmd/rapidnn-router/
+
 check: test vet race
 
-.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare serve-smoke fleet-smoke check
+.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare serve-smoke fleet-smoke chaos-smoke check

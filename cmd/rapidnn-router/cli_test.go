@@ -10,6 +10,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -374,4 +377,183 @@ func TestRouterCLICanaryRolloutGatesAndRollsBack(t *testing.T) {
 			t.Fatalf("post-rollback predict %d: HTTP %d, %v", i, code, err)
 		}
 	}
+}
+
+// scrapeCounter sums every series of a metric from a /metrics endpoint;
+// (0, false) when the metric is absent.
+func scrapeCounter(t *testing.T, base, name string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, found := 0.0, false
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest == "" || (rest[0] != '{' && rest[0] != ' ') {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	return sum, found
+}
+
+// chaosFires reads a replica's /chaos admin endpoint and sums fire counts.
+func chaosFires(t *testing.T, base string) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Points []struct {
+			Fires uint64 `json:"fires"`
+		} `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	var fires uint64
+	for _, p := range st.Points {
+		fires += p.Fires
+	}
+	return fires
+}
+
+// The resilience layer under deterministic fault injection, end to end
+// through the real binaries: one replica is slow (latency failpoint), one is
+// flaky (injected 500s). Closed-loop load through the router must see only
+// successes and explicit sheds — never a raw backend error — with a bounded
+// tail (hedging routes around the slow replica) and bounded attempt
+// amplification (the retry budget caps retries+hedges as a fraction of
+// primaries). A request arriving with a deadline below the replicas' batch
+// floor is rejected at admission, not enqueued.
+func TestRouterChaosSmoke(t *testing.T) {
+	routerBin := buildBinary(t, ".", "rapidnn-router")
+	serveBin := buildBinary(t, "repro/cmd/rapidnn-serve", "rapidnn-serve")
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "v1.rapidnn")
+	writeFlat(t, artifact, makeComposed(t, 1))
+
+	slow := start(t, serveBin, "-model", "m="+artifact, "-max-delay", "4ms", "-replica-id", "slow",
+		"-chaos", "serve.predict=latency:150ms@0.5", "-chaos-seed", "7")
+	flaky := start(t, serveBin, "-model", "m="+artifact, "-max-delay", "4ms", "-replica-id", "flaky",
+		"-chaos", "serve.predict=http:500@0.3", "-chaos-seed", "11")
+	rt := start(t, routerBin,
+		"-replica", slow.addr, "-replica", flaky.addr,
+		"-poll-interval", "50ms", "-retries", "2",
+		"-retry-budget", "0.2", "-retry-budget-cap", "3",
+		"-hedge-after", "50ms")
+	waitHealthy(t, rt.addr, 2)
+
+	const total = 200
+	counts := map[int]int{}
+	lats := make([]time.Duration, 0, total)
+	for i := 0; i < total; i++ {
+		// Closed loop: each arrival waits for the previous completion, so
+		// attempt amplification is purely retry/hedge-driven.
+		t0 := time.Now()
+		code, err := predictVia(rt.addr, fmt.Sprintf("tenant-%d", i%16))
+		if err != nil {
+			t.Fatalf("request %d: transport error through router: %v", i, err)
+		}
+		lats = append(lats, time.Since(t0))
+		counts[code]++
+	}
+	for code, n := range counts {
+		switch code {
+		case http.StatusOK, http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		default:
+			t.Errorf("%d requests answered HTTP %d: injected faults leaked through the router", n, code)
+		}
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatalf("no request succeeded under chaos: %v", counts)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[int(0.99*float64(len(lats)-1))]
+	if p99 > 1500*time.Millisecond {
+		t.Errorf("p99 latency %v under chaos; hedging should bound the tail well below 1.5s", p99)
+	}
+
+	// Attempt amplification: every request launches one primary; retries and
+	// hedges beyond that are funded by the budget (ratio 0.2, cap 3), so
+	// total attempts <= total*(1+ratio) + cap.
+	attempts, ok := scrapeCounter(t, rt.addr, "rapidnn_router_backend_attempts_total")
+	if !ok {
+		t.Fatal("router exports no rapidnn_router_backend_attempts_total")
+	}
+	if attempts < total {
+		t.Errorf("only %.0f backend attempts for %d requests", attempts, total)
+	}
+	if max := float64(total)*1.2 + 3; attempts > max+0.5 {
+		t.Errorf("attempt amplification: %.0f attempts for %d requests exceeds budget bound %.0f", attempts, total, max)
+	}
+
+	// Both failpoints actually fired: this run exercised real faults, not a
+	// quiet fleet.
+	if f := chaosFires(t, slow.addr); f == 0 {
+		t.Error("slow replica's latency failpoint never fired")
+	}
+	if f := chaosFires(t, flaky.addr); f == 0 {
+		t.Error("flaky replica's 500 failpoint never fired")
+	}
+
+	// Deadline probe: a 1ms budget is under the replicas' 4ms batch floor,
+	// so it must be rejected at admission — shed with a 503, never batched
+	// into the lane and never answered 200.
+	probe503 := 0
+	for i := 0; i < 10; i++ {
+		body, _ := json.Marshal(map[string]any{
+			"model": "m", "tenant": "probe", "inputs": [][]float32{make([]float32, 12)},
+		})
+		req, err := http.NewRequest(http.MethodPost, rt.addr+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Rapidnn-Deadline-Ms", "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("deadline probe %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("deadline probe %d answered 200: a 1ms budget beat a 4ms batch floor", i)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			probe503++
+		}
+	}
+	if probe503 == 0 {
+		t.Error("no deadline probe was shed with 503")
+	}
+	rejected := 0.0
+	for _, replica := range []string{slow.addr, flaky.addr} {
+		if v, ok := scrapeCounter(t, replica, "rapidnn_serve_deadline_rejected_total"); ok {
+			rejected += v
+		}
+	}
+	if rejected == 0 {
+		t.Error("no replica counted a deadline admission rejection")
+	}
+	t.Logf("chaos smoke: statuses %v, p99 %v, %.0f attempts, %d/10 probes 503, %.0f admission rejections",
+		counts, p99, attempts, probe503, rejected)
 }

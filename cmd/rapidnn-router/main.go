@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/fleet/rollout"
 )
@@ -62,11 +63,34 @@ func main() {
 	canaryFraction := flag.Float64("canary-fraction", 0.25, "fraction of the fleet a rollout canaries first (rounded up, min 1)")
 	observeWindow := flag.Duration("observe-window", 2*time.Second, "how long canaries take live traffic before the error-rate gate")
 	maxErrorDelta := flag.Float64("max-error-delta", 0.05, "rollback when canary error rate exceeds control replicas' by more than this")
+	tenantMax := flag.Int("tenant-max", 0, "max tracked per-tenant quota buckets before LRU eviction (0 = default 4096)")
+	retryBudget := flag.Float64("retry-budget", 0.2, "retry/hedge tokens earned per primary attempt (fraction of primary traffic retries may add)")
+	retryBudgetCap := flag.Float64("retry-budget-cap", 10, "max banked retry/hedge tokens (burst failover allowance)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive 5xx/transport failures that open a replica's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe")
+	hedgeAfter := flag.Duration("hedge-after", 0, "floor on the tail-hedging delay; 0 disables hedging entirely")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.9, "latency quantile of recent traffic that sets the hedge delay (>= -hedge-after)")
+	chaosSpec := flag.String("chaos", "", "failpoint spec for the router's own points, e.g. 'router.forward=error@0.1' (enables POST /chaos)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic failpoint engine")
 	flag.Parse()
+
+	var eng *chaos.Engine
+	if *chaosSpec != "" {
+		rules, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fail(fmt.Errorf("-chaos: %w", err))
+		}
+		eng = chaos.New(*chaosSeed)
+		if err := eng.Set(rules); err != nil {
+			fail(fmt.Errorf("-chaos: %w", err))
+		}
+		fmt.Printf("chaos engine armed (seed %d): %s\n", *chaosSeed, *chaosSpec)
+	}
 
 	pool := fleet.NewPool(fleet.PoolConfig{
 		PollInterval: *pollInterval,
 		DownAfter:    *downAfter,
+		Chaos:        eng,
 	})
 	for _, r := range replicas {
 		info := pool.Add(r)
@@ -80,11 +104,19 @@ func main() {
 	defer pool.Stop()
 
 	cfg := fleet.RouterConfig{
-		Pool:          pool,
-		Retries:       *retries,
-		MaxQueueDepth: *maxQueueDepth,
-		TenantRate:    *tenantRate,
-		TenantBurst:   *tenantBurst,
+		Pool:            pool,
+		Retries:         *retries,
+		MaxQueueDepth:   *maxQueueDepth,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
+		TenantMax:       *tenantMax,
+		RetryBudget:     *retryBudget,
+		RetryBudgetCap:  *retryBudgetCap,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		HedgeAfter:      *hedgeAfter,
+		HedgeQuantile:   *hedgeQuantile,
+		Chaos:           eng,
 	}
 	if *registryDir != "" {
 		reg, err := rollout.NewRegistry(*registryDir)

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/composer"
 	"repro/internal/dataset"
 	"repro/internal/model"
@@ -126,7 +127,23 @@ func main() {
 	tenantRate := flag.Float64("tenant-rps", 0, "per-tenant admission quota in requests/second; over-quota tenants are shed with 429 (0 = disabled)")
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant quota burst capacity (0 = 2x rate)")
 	register := flag.String("register", "", "rapidnn-router base URL to register this replica with once listening")
+	tenantMax := flag.Int("tenant-max", 0, "max tracked per-tenant quota buckets before LRU eviction (0 = default 4096)")
+	chaosSpec := flag.String("chaos", "", "failpoint spec, e.g. 'serve.predict=latency:50ms@0.1;serve.predict=http:500@0.05' (enables POST /chaos)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic failpoint engine")
 	flag.Parse()
+
+	var eng *chaos.Engine
+	if *chaosSpec != "" {
+		rules, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fail(fmt.Errorf("-chaos: %w", err))
+		}
+		eng = chaos.New(*chaosSeed)
+		if err := eng.Set(rules); err != nil {
+			fail(fmt.Errorf("-chaos: %w", err))
+		}
+		fmt.Printf("chaos engine armed (seed %d): %s\n", *chaosSeed, *chaosSpec)
+	}
 
 	reg := serve.NewRegistry()
 	for _, mf := range models {
@@ -181,6 +198,8 @@ func main() {
 		Replica:        *replicaID,
 		TenantRate:     *tenantRate,
 		TenantBurst:    *tenantBurst,
+		TenantMax:      *tenantMax,
+		Chaos:          eng,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,326 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrInjected is the marker wrapped by every synthetic transport failure, so
+// tests can tell an injected error from a real one.
+var ErrInjected = fmt.Errorf("chaos: injected failure")
+
+// Transport is an http.RoundTripper that evaluates a failpoint in front of
+// (and, for body actions, behind) a base transport. A nil Engine passes
+// everything through.
+type Transport struct {
+	Engine *Engine
+	Point  string
+	// Base is the wrapped transport; nil uses http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	out := t.Engine.Eval(t.Point)
+	switch out.Action {
+	case ActNone:
+		return t.base().RoundTrip(req)
+	case ActLatency:
+		t.Engine.Sleep(req.Context(), out.Delay)
+		if err := req.Context().Err(); err != nil {
+			return nil, err
+		}
+		return t.base().RoundTrip(req)
+	case ActError:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: transport error at %s", ErrInjected, t.Point)
+	case ActBlackhole:
+		// The far end never answers; the caller's deadline is the only exit.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%w: blackhole at %s: %v", ErrInjected, t.Point, req.Context().Err())
+	case ActHTTP:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		body := fmt.Sprintf("{\"error\":\"chaos: injected HTTP %d at %s\"}", out.Code, t.Point)
+		return &http.Response{
+			StatusCode:    out.Code,
+			Status:        fmt.Sprintf("%d chaos", out.Code),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case ActCorrupt:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &corruptBody{inner: resp.Body}
+		return resp, nil
+	case ActTruncate:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &truncateBody{inner: resp.Body, remaining: truncateKeep(resp.ContentLength)}
+		return resp, nil
+	case ActDrip:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &dripBody{inner: resp.Body, engine: t.Engine, delay: out.Delay, req: req}
+		return resp, nil
+	}
+	return t.base().RoundTrip(req)
+}
+
+// truncateKeep decides how much of a payload a truncation lets through:
+// half of a known length, a token prefix of an unknown one. Always less than
+// the real body, so Content-Length-checked clients see an unexpected EOF.
+func truncateKeep(contentLength int64) int64 {
+	if contentLength > 1 {
+		return contentLength / 2
+	}
+	return 16
+}
+
+// corruptBody flips the low bit of every 7th byte — enough to break JSON,
+// checksums and magic numbers while keeping lengths intact.
+type corruptBody struct {
+	inner io.ReadCloser
+	off   int64
+}
+
+func (c *corruptBody) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	for i := 0; i < n; i++ {
+		if (c.off+int64(i))%7 == 0 {
+			p[i] ^= 0x01
+		}
+	}
+	c.off += int64(n)
+	return n, err
+}
+
+func (c *corruptBody) Close() error { return c.inner.Close() }
+
+// truncateBody ends the stream early.
+type truncateBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (t *truncateBody) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > t.remaining {
+		p = p[:t.remaining]
+	}
+	n, err := t.inner.Read(p)
+	t.remaining -= int64(n)
+	if err == nil && t.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *truncateBody) Close() error { return t.inner.Close() }
+
+// dripBody hands out one byte per read with a delay in front — the
+// slow-drip response that ties up a reader for its whole deadline.
+type dripBody struct {
+	inner  io.ReadCloser
+	engine *Engine
+	delay  time.Duration
+	req    *http.Request
+}
+
+func (d *dripBody) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	d.engine.Sleep(d.req.Context(), d.delay)
+	if err := d.req.Context().Err(); err != nil {
+		return 0, err
+	}
+	return d.inner.Read(p[:1])
+}
+
+func (d *dripBody) Close() error { return d.inner.Close() }
+
+// Middleware wraps an http.Handler with a failpoint on the server side: the
+// handler path's latency, 5xx, corrupt/truncate/drip response and blackhole
+// injections all happen here, in front of the real handler. A nil engine
+// returns next untouched — the no-op default costs nothing.
+func Middleware(e *Engine, pt string, next http.Handler) http.Handler {
+	if e == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out := e.Eval(pt)
+		switch out.Action {
+		case ActNone:
+			next.ServeHTTP(w, r)
+		case ActLatency:
+			e.Sleep(r.Context(), out.Delay)
+			if r.Context().Err() != nil {
+				return // the client is gone; nothing to answer
+			}
+			next.ServeHTTP(w, r)
+		case ActError:
+			// Aborting the handler makes net/http sever the connection with
+			// no response — a server-side transport failure.
+			panic(http.ErrAbortHandler)
+		case ActHTTP:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(out.Code)
+			fmt.Fprintf(w, "{\"error\":\"chaos: injected HTTP %d at %s\"}", out.Code, pt)
+		case ActBlackhole:
+			<-r.Context().Done()
+		case ActCorrupt, ActTruncate:
+			cw := &captureWriter{header: make(http.Header), code: http.StatusOK}
+			next.ServeHTTP(cw, r)
+			body := cw.buf.Bytes()
+			if out.Action == ActCorrupt {
+				for i := range body {
+					if i%7 == 0 {
+						body[i] ^= 0x01
+					}
+				}
+			} else {
+				keep := truncateKeep(int64(len(body)))
+				if keep > int64(len(body)) {
+					keep = int64(len(body))
+				}
+				body = body[:keep]
+			}
+			copyHeader(w.Header(), cw.header)
+			// Keep the original Content-Length on a truncation so the client
+			// sees a short read, not a clean small body.
+			w.Header().Set("Content-Length", strconv.Itoa(cw.buf.Len()))
+			w.WriteHeader(cw.code)
+			w.Write(body)
+		case ActDrip:
+			cw := &captureWriter{header: make(http.Header), code: http.StatusOK}
+			next.ServeHTTP(cw, r)
+			copyHeader(w.Header(), cw.header)
+			w.Header().Set("Content-Length", strconv.Itoa(cw.buf.Len()))
+			w.WriteHeader(cw.code)
+			flusher, _ := w.(http.Flusher)
+			for _, b := range cw.buf.Bytes() {
+				e.Sleep(r.Context(), out.Delay)
+				if r.Context().Err() != nil {
+					return
+				}
+				if _, err := w.Write([]byte{b}); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+		}
+	})
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// captureWriter buffers a handler's response so the middleware can mangle it
+// before it reaches the wire.
+type captureWriter struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func (c *captureWriter) Header() http.Header { return c.header }
+
+func (c *captureWriter) WriteHeader(code int) { c.code = code }
+
+func (c *captureWriter) Write(p []byte) (int, error) { return c.buf.Write(p) }
+
+// adminRequest is the /chaos POST payload.
+type adminRequest struct {
+	// Spec is a rule set in the Parse grammar; empty clears all rules.
+	Spec string `json:"spec"`
+	// Seed, when non-zero, reseeds the random stream before the new rules
+	// apply, so a test run replays exactly.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// AdminHandler exposes an engine for tests and operators:
+//
+//	GET    /chaos   the engine's rules and per-point call/fire counters
+//	POST   /chaos   {"spec":"point=action@rate;...","seed":N} replaces rules
+//	DELETE /chaos   removes every rule
+func AdminHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeStatus := func(code int) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(e.Status())
+		}
+		switch r.Method {
+		case http.MethodGet:
+			writeStatus(http.StatusOK)
+		case http.MethodDelete:
+			e.Clear()
+			writeStatus(http.StatusOK)
+		case http.MethodPost:
+			var req adminRequest
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+				http.Error(w, fmt.Sprintf("{\"error\":%q}", err.Error()), http.StatusBadRequest)
+				return
+			}
+			if req.Seed != 0 {
+				e.Reseed(req.Seed)
+			}
+			if strings.TrimSpace(req.Spec) == "" {
+				e.Clear()
+				writeStatus(http.StatusOK)
+				return
+			}
+			rules, err := Parse(req.Spec)
+			if err == nil {
+				err = e.Set(rules)
+			}
+			if err != nil {
+				http.Error(w, fmt.Sprintf("{\"error\":%q}", err.Error()), http.StatusBadRequest)
+				return
+			}
+			writeStatus(http.StatusOK)
+		default:
+			http.Error(w, `{"error":"use GET, POST or DELETE"}`, http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Breaker states, reported as strings so they read well as metric labels
+// and in /fleet JSON.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half_open"
+)
+
+// BreakerConfig tunes the per-replica circuit breakers.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures (transport errors or
+	// non-backpressure 5xx) open a replica's breaker. <=0 defaults to 5.
+	Failures int
+	// Cooldown is how long an open breaker refuses traffic before letting a
+	// single half-open probe through. <=0 defaults to 5s.
+	Cooldown time.Duration
+	// Now is the clock; nil uses time.Now. Injectable so breaker policy is
+	// unit-testable without sleeping.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// breaker is one target's state. The zero value is a closed breaker.
+type breaker struct {
+	state    string // "" means closed (zero value)
+	fails    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// BreakerSet holds one circuit breaker per target, sharing a policy. It is
+// the router's fast ejection path, distinct from the pool's health prober:
+// the prober notices a dead replica within PollInterval×DownAfter, while the
+// breaker notices within Failures consecutive request failures — usually
+// much sooner under load — and re-admits via cheap half-open probes instead
+// of waiting out the full health cycle.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*breaker
+	// onTransition, when set, observes every state change (under the lock —
+	// keep it cheap); counters are the intended use.
+	onTransition func(target, to string)
+}
+
+// NewBreakerSet returns an empty set; breakers materialize closed on first
+// sight of a target.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), m: make(map[string]*breaker)}
+}
+
+// OnTransition registers the state-change observer.
+func (bs *BreakerSet) OnTransition(fn func(target, to string)) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	bs.onTransition = fn
+}
+
+func (bs *BreakerSet) get(target string) *breaker {
+	b, ok := bs.m[target]
+	if !ok {
+		b = &breaker{state: BreakerClosed}
+		bs.m[target] = b
+	}
+	return b
+}
+
+func (bs *BreakerSet) transition(target string, b *breaker, to string) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	if bs.onTransition != nil {
+		bs.onTransition(target, to)
+	}
+}
+
+// Allow reports whether a request may be sent to the target. An open
+// breaker refuses until its cooldown elapses, then admits exactly one
+// half-open probe; the probe's Success or Failure decides what happens to
+// everyone queued behind it.
+func (bs *BreakerSet) Allow(target string) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(target)
+	switch b.state {
+	case BreakerOpen:
+		if bs.cfg.Now().Sub(b.openedAt) < bs.cfg.Cooldown {
+			return false
+		}
+		bs.transition(target, b, BreakerHalfOpen)
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// Success records a successful request: the breaker closes and the failure
+// streak resets, whatever state it was in.
+func (bs *BreakerSet) Success(target string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(target)
+	b.fails = 0
+	b.probing = false
+	bs.transition(target, b, BreakerClosed)
+}
+
+// Failure records a failed request. A closed breaker opens after Failures
+// consecutive ones; a half-open probe's failure re-opens immediately and
+// restarts the cooldown.
+func (bs *BreakerSet) Failure(target string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(target)
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.openedAt = bs.cfg.Now()
+		bs.transition(target, b, BreakerOpen)
+	case BreakerOpen:
+		// Late failures from requests admitted before the trip change nothing.
+	default:
+		b.fails++
+		if b.fails >= bs.cfg.Failures {
+			b.openedAt = bs.cfg.Now()
+			bs.transition(target, b, BreakerOpen)
+		}
+	}
+}
+
+// State reports the target's current state; unseen targets are closed.
+func (bs *BreakerSet) State(target string) string {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b, ok := bs.m[target]; ok {
+		return b.state
+	}
+	return BreakerClosed
+}
+
+// OpenCount is the number of currently open (not half-open) breakers — the
+// router's "how much of the fleet am I refusing to talk to" gauge.
+func (bs *BreakerSet) OpenCount() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	n := 0
+	for _, b := range bs.m {
+		if b.state == BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns every non-closed breaker's state, sorted by target.
+func (bs *BreakerSet) Snapshot() []BreakerInfo {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var out []BreakerInfo
+	for target, b := range bs.m {
+		if b.state != BreakerClosed {
+			out = append(out, BreakerInfo{Target: target, State: b.state})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}
+
+// BreakerInfo is one tripped breaker in a Snapshot.
+type BreakerInfo struct {
+	Target string `json:"target"`
+	State  string `json:"state"`
+}

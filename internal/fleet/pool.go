@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet/ring"
 	"repro/internal/fleet/rollout"
 	"repro/internal/serve"
@@ -60,6 +61,10 @@ type PoolConfig struct {
 	// Client issues the health and metrics probes; nil uses a client with a
 	// 2s timeout.
 	Client *http.Client
+	// Chaos, when set, arms the "pool.probe" failpoint on the probe client's
+	// transport — the knob that exercises flapping and grace-window behavior
+	// deterministically. Nil wires nothing.
+	Chaos *chaos.Engine
 }
 
 // Pool tracks the fleet's replicas: who is healthy (probed via /healthz),
@@ -101,6 +106,11 @@ func NewPool(cfg PoolConfig) *Pool {
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if cfg.Chaos != nil {
+		wrapped := *client
+		wrapped.Transport = &chaos.Transport{Engine: cfg.Chaos, Point: "pool.probe", Base: client.Transport}
+		client = &wrapped
 	}
 	return &Pool{
 		cfg:    cfg,

@@ -6,6 +6,7 @@
 package quota
 
 import (
+	"container/list"
 	"math"
 	"sync"
 	"time"
@@ -75,30 +76,97 @@ func (b *Bucket) RetryAfter(now time.Time) time.Duration {
 	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
 }
 
+// DefaultMaxKeys bounds a Set's bucket map when no explicit bound is given.
+// A request can mint a bucket for any tenant string it claims, so an
+// unbounded map is a memory-exhaustion vector; the bound turns adversarial
+// cardinality into LRU churn instead.
+const DefaultMaxKeys = 4096
+
 // Set is a keyed collection of buckets sharing one rate/burst policy — the
 // per-tenant quota table. Buckets are created lazily on first sight of a
-// key. The zero Set is not usable; call NewSet.
+// key and the map is LRU-bounded: past the bound, the least recently used
+// key is evicted, and if that tenant returns it starts from a fresh
+// full-burst bucket (a deliberate trade — bounded memory over perfect
+// fairness for tenants idle long enough to fall off the end of the list).
+// The zero Set is not usable; call NewSet.
 type Set struct {
 	rate, burst float64
 
 	mu      sync.Mutex
-	buckets map[string]*Bucket
+	max     int
+	buckets map[string]*list.Element // values are *entry
+	lru     *list.List               // front = most recently used
+	onEvict func(key string)
 }
 
-// NewSet returns an empty set whose buckets refill at rate up to burst.
+// entry is one LRU slot: the key (so eviction can delete from the map and
+// name the tenant to the callback) and its bucket.
+type entry struct {
+	key    string
+	bucket *Bucket
+}
+
+// NewSet returns an empty set whose buckets refill at rate up to burst,
+// holding at most DefaultMaxKeys keys until SetMax says otherwise.
 func NewSet(rate, burst float64) *Set {
-	return &Set{rate: rate, burst: burst, buckets: make(map[string]*Bucket)}
+	return &Set{
+		rate:    rate,
+		burst:   burst,
+		max:     DefaultMaxKeys,
+		buckets: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
 }
 
-// Get returns the key's bucket, creating it full on first use.
+// SetMax rebounds the bucket map; non-positive restores DefaultMaxKeys.
+// Shrinking below the current population evicts immediately, oldest first.
+func (s *Set) SetMax(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMaxKeys
+	}
+	s.max = n
+	s.evictOverLocked()
+}
+
+// SetOnEvict registers a callback invoked (under the set's lock — keep it
+// cheap) with each evicted key; counters are the intended use.
+func (s *Set) SetOnEvict(fn func(key string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEvict = fn
+}
+
+// evictOverLocked trims least-recently-used keys down to the bound.
+// Caller holds mu.
+func (s *Set) evictOverLocked() {
+	for s.lru.Len() > s.max {
+		el := s.lru.Back()
+		if el == nil {
+			return
+		}
+		ent := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.buckets, ent.key)
+		if s.onEvict != nil {
+			s.onEvict(ent.key)
+		}
+	}
+}
+
+// Get returns the key's bucket, creating it full on first use and marking
+// it most recently used.
 func (s *Set) Get(key string) *Bucket {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b, ok := s.buckets[key]
-	if !ok {
-		b = NewBucket(s.rate, s.burst)
-		s.buckets[key] = b
+	if el, ok := s.buckets[key]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*entry).bucket
 	}
+	b := NewBucket(s.rate, s.burst)
+	s.buckets[key] = s.lru.PushFront(&entry{key: key, bucket: b})
+	s.evictOverLocked()
 	return b
 }
 

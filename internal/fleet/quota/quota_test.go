@@ -1,6 +1,7 @@
 package quota
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -115,5 +116,69 @@ func TestConcurrentAllowNeverOveradmits(t *testing.T) {
 	wg.Wait()
 	if total != 100 {
 		t.Fatalf("8 racing workers admitted %d, want exactly burst=100", total)
+	}
+}
+
+func TestSetEvictsLeastRecentlyUsed(t *testing.T) {
+	s := NewSet(0, 2) // zero rate: spent tokens never come back
+	var evicted []string
+	s.SetOnEvict(func(key string) { evicted = append(evicted, key) })
+	s.SetMax(2)
+
+	// Exhaust tenant a, then touch b and c: a is the LRU and must go when c
+	// arrives.
+	s.Allow("a", t0)
+	s.Allow("a", t0)
+	if s.Allow("a", t0) {
+		t.Fatal("tenant a admitted beyond burst")
+	}
+	s.Allow("b", t0)
+	s.Allow("c", t0)
+	if want := []string{"a"}; !reflect.DeepEqual(evicted, want) {
+		t.Fatalf("evicted %v, want %v", evicted, want)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want bound of 2", s.Len())
+	}
+
+	// The returning evicted tenant starts from a fresh full-burst bucket —
+	// its exhausted history is gone with the old bucket.
+	if !s.Allow("a", t0) || !s.Allow("a", t0) {
+		t.Fatal("returning evicted tenant did not get a fresh full-burst bucket")
+	}
+	if s.Allow("a", t0) {
+		t.Fatal("fresh bucket admitted beyond burst")
+	}
+}
+
+func TestSetGetRefreshesRecency(t *testing.T) {
+	s := NewSet(1, 1)
+	s.SetMax(2)
+	var evicted []string
+	s.SetOnEvict(func(key string) { evicted = append(evicted, key) })
+	s.Allow("a", t0)
+	s.Allow("b", t0)
+	s.Allow("a", t0) // refreshes a: b is now the LRU
+	s.Allow("c", t0)
+	if want := []string{"b"}; !reflect.DeepEqual(evicted, want) {
+		t.Fatalf("evicted %v, want %v (touching a key must refresh it)", evicted, want)
+	}
+}
+
+func TestSetMaxShrinkEvictsImmediately(t *testing.T) {
+	s := NewSet(1, 1)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		s.Allow(k, t0)
+	}
+	n := 0
+	s.SetOnEvict(func(string) { n++ })
+	s.SetMax(1)
+	if n != 3 || s.Len() != 1 {
+		t.Fatalf("shrinking to 1 evicted %d (Len=%d), want 3 evictions leaving 1", n, s.Len())
+	}
+	// Non-positive restores the default bound.
+	s.SetMax(0)
+	if s.Len() != 1 {
+		t.Fatalf("restoring the default bound lost keys: Len=%d", s.Len())
 	}
 }

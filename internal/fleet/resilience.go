@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// retryBudget is the router-wide token bucket that caps retries and hedges
+// as a fraction of primary traffic. Every primary attempt earns Ratio
+// tokens (up to Cap); every retry or hedge spends one whole token. Under a
+// full outage retries therefore amplify load by at most 1+Ratio in steady
+// state — the retry storm that turns a brownout into a blackout can't
+// happen. The bucket starts full so cold-start failovers aren't penalized.
+type retryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	cap    float64
+	tokens float64
+}
+
+func newRetryBudget(ratio, cap float64) *retryBudget {
+	if ratio <= 0 {
+		ratio = 0.2
+	}
+	if cap < 1 {
+		cap = 10
+	}
+	return &retryBudget{ratio: ratio, cap: cap, tokens: cap}
+}
+
+// earn credits a primary attempt's worth of retry allowance.
+func (b *retryBudget) earn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+}
+
+// spend takes one token if available and reports whether it did.
+func (b *retryBudget) spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// level reports the current token count (for the gauge).
+func (b *retryBudget) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// latencyWindow is a sliding window of recent successful attempt latencies;
+// its quantile sets the hedge delay, so "slower than the p90 of recent
+// traffic" is what counts as an attempt worth hedging.
+type latencyWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+// latencyWindowSize bounds the window; hedgeMinSamples gates quantile use
+// until there is enough history to mean anything.
+const (
+	latencyWindowSize = 128
+	hedgeMinSamples   = 8
+)
+
+func newLatencyWindow() *latencyWindow {
+	return &latencyWindow{buf: make([]time.Duration, latencyWindowSize)}
+}
+
+func (w *latencyWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.next] = d
+	w.next++
+	if w.next == len(w.buf) {
+		w.next, w.full = 0, true
+	}
+}
+
+// quantile returns the q-quantile of the window, or (0, false) with fewer
+// than hedgeMinSamples observations.
+func (w *latencyWindow) quantile(q float64) (time.Duration, bool) {
+	w.mu.Lock()
+	n := w.next
+	if w.full {
+		n = len(w.buf)
+	}
+	sample := append([]time.Duration(nil), w.buf[:n]...)
+	w.mu.Unlock()
+	if len(sample) < hedgeMinSamples {
+		return 0, false
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	idx := int(q * float64(len(sample)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sample) {
+		idx = len(sample) - 1
+	}
+	return sample[idx], true
+}

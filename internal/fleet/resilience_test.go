@@ -1,0 +1,552 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/serve"
+)
+
+// --- breaker ---
+
+// fakeClock is an injectable clock for breaker tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	var transitions []string
+	bs := NewBreakerSet(BreakerConfig{Failures: 3, Cooldown: time.Second, Now: clk.Now})
+	bs.OnTransition(func(target, to string) { transitions = append(transitions, target+":"+to) })
+
+	// Closed admits; failures below the threshold stay closed.
+	if !bs.Allow("a") {
+		t.Fatal("closed breaker refused")
+	}
+	bs.Failure("a")
+	bs.Failure("a")
+	if bs.State("a") != BreakerClosed || !bs.Allow("a") {
+		t.Fatalf("2/3 failures tripped the breaker: %s", bs.State("a"))
+	}
+	// A success resets the consecutive-failure streak.
+	bs.Success("a")
+	bs.Failure("a")
+	bs.Failure("a")
+	if bs.State("a") != BreakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+	// The third consecutive failure opens.
+	bs.Failure("a")
+	if bs.State("a") != BreakerOpen || bs.Allow("a") {
+		t.Fatalf("3 consecutive failures left state %s", bs.State("a"))
+	}
+	if bs.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d", bs.OpenCount())
+	}
+
+	// Cooldown: refused until it elapses, then exactly one half-open probe.
+	clk.Advance(999 * time.Millisecond)
+	if bs.Allow("a") {
+		t.Fatal("open breaker admitted before cooldown elapsed")
+	}
+	clk.Advance(time.Millisecond)
+	if !bs.Allow("a") {
+		t.Fatal("cooldown elapsed but the probe was refused")
+	}
+	if bs.State("a") != BreakerHalfOpen {
+		t.Fatalf("probe state = %s, want half_open", bs.State("a"))
+	}
+	if bs.Allow("a") {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// The probe fails: straight back to open, cooldown restarted.
+	bs.Failure("a")
+	if bs.State("a") != BreakerOpen {
+		t.Fatalf("failed probe left state %s", bs.State("a"))
+	}
+	clk.Advance(time.Second)
+	if !bs.Allow("a") {
+		t.Fatal("second probe refused after restarted cooldown")
+	}
+	// The probe succeeds: closed again, fresh streak.
+	bs.Success("a")
+	if bs.State("a") != BreakerClosed || !bs.Allow("a") {
+		t.Fatalf("successful probe left state %s", bs.State("a"))
+	}
+	if len(bs.Snapshot()) != 0 {
+		t.Fatalf("closed breakers appear in Snapshot: %+v", bs.Snapshot())
+	}
+
+	want := []string{"a:open", "a:half_open", "a:open", "a:half_open", "a:closed"}
+	if strings.Join(transitions, ",") != strings.Join(want, ",") {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	// Targets are independent.
+	if bs.State("b") != BreakerClosed || !bs.Allow("b") {
+		t.Fatal("unseen target not closed")
+	}
+}
+
+// --- retry budget & latency window ---
+
+func TestRetryBudget(t *testing.T) {
+	b := newRetryBudget(0.5, 2)
+	// Starts full: two immediate spends succeed, the third is refused.
+	if !b.spend() || !b.spend() {
+		t.Fatal("full bucket refused a spend")
+	}
+	if b.spend() {
+		t.Fatal("empty bucket granted a spend")
+	}
+	// Each primary earns ratio; two primaries buy one retry.
+	b.earn()
+	if b.spend() {
+		t.Fatal("0.5 tokens granted a whole spend")
+	}
+	b.earn()
+	if !b.spend() {
+		t.Fatal("1.0 earned tokens refused a spend")
+	}
+	// The cap bounds accumulation.
+	for i := 0; i < 100; i++ {
+		b.earn()
+	}
+	if got := b.level(); got != 2 {
+		t.Fatalf("level after heavy earning = %v, want cap 2", got)
+	}
+}
+
+func TestLatencyWindowQuantile(t *testing.T) {
+	w := newLatencyWindow()
+	if _, ok := w.quantile(0.9); ok {
+		t.Fatal("empty window produced a quantile")
+	}
+	for i := 1; i <= 100; i++ {
+		w.observe(time.Duration(i) * time.Millisecond)
+	}
+	q, ok := w.quantile(0.9)
+	if !ok || q < 85*time.Millisecond || q > 95*time.Millisecond {
+		t.Fatalf("p90 of 1..100ms = %v, %v", q, ok)
+	}
+}
+
+// --- router resilience (HTTP level) ---
+
+// resilBackend is a predict backend whose behavior is switchable at
+// runtime: "ok", "fail" (500), or "slow" (sleeps, then answers).
+type resilBackend struct {
+	mu        sync.Mutex
+	mode      string
+	slowFor   time.Duration
+	deadlines []string // DeadlineHeader values seen on /v1/predict
+	predicts  int
+	ts        *httptest.Server
+}
+
+func newResilBackend(t *testing.T) *resilBackend {
+	t.Helper()
+	b := &resilBackend{mode: "ok"}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "models": []string{"m"}})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "rapidnn_serve_queue_depth 0\n")
+	})
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) // consume, so peer drops cancel the ctx
+		b.mu.Lock()
+		mode, slow := b.mode, b.slowFor
+		b.deadlines = append(b.deadlines, r.Header.Get(serve.DeadlineHeader))
+		b.predicts++
+		b.mu.Unlock()
+		switch mode {
+		case "fail":
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		case "slow":
+			select {
+			case <-time.After(slow):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"model":"m","path":"software","predictions":[1,2]}`)
+	})
+	b.ts = httptest.NewServer(mux)
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func (b *resilBackend) set(mode string, slow time.Duration) {
+	b.mu.Lock()
+	b.mode, b.slowFor = mode, slow
+	b.mu.Unlock()
+}
+
+func (b *resilBackend) seenDeadlines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.deadlines...)
+}
+
+func (b *resilBackend) predictCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.predicts
+}
+
+func routerMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+// The regression the per-attempt contexts exist for: a client that hangs up
+// mid-request must cancel the in-flight backend call, not leave it running
+// to completion on a connection nobody reads.
+func TestRouterCancelsBackendOnClientHangup(t *testing.T) {
+	started := make(chan struct{})
+	canceled := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "models": []string{"m"}})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: net/http only watches for a dropped peer
+		// once the handler has consumed the request.
+		io.Copy(io.Discard, r.Body)
+		close(started)
+		<-r.Context().Done()
+		close(canceled)
+	})
+	backend := httptest.NewServer(mux)
+	defer backend.Close()
+
+	p := testPool()
+	p.Add(backend.URL)
+	rt := httptest.NewServer(NewRouter(RouterConfig{Pool: p, Retries: 1}))
+	defer rt.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		rt.URL+"/v1/predict", strings.NewReader(string(predictBody("t"))))
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("backend never saw the proxied request")
+	}
+	cancel() // the client hangs up mid-flight
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hang-up did not cancel the in-flight backend request")
+	}
+	<-errCh
+}
+
+// helper: httptest.Server URL via the field name used above
+func (b *resilBackend) url() string { return b.ts.URL }
+
+// An exhausted retry budget turns a would-be retry into an immediate 503
+// with Retry-After, and the refusal is counted.
+func TestRouterRetryBudgetExhaustion(t *testing.T) {
+	b1, b2 := newResilBackend(t), newResilBackend(t)
+	b1.set("fail", 0)
+	b2.set("fail", 0)
+	p := testPool()
+	p.Add(b1.url())
+	p.Add(b2.url())
+	// Cap 1 and a tiny earn ratio: the single starting token funds one
+	// retry ever, and the breaker threshold is high enough to stay out of
+	// the way.
+	rt := httptest.NewServer(NewRouter(RouterConfig{
+		Pool: p, Retries: 2, RetryBudget: 0.01, RetryBudgetCap: 1, BreakerFailures: 100,
+	}))
+	defer rt.Close()
+
+	// Request 1 spends the lone token on its retry; both replicas 500 → 502.
+	resp, _ := postPredict(t, rt.URL, predictBody("t"))
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("request 1: HTTP %d, want 502 after funded retry", resp.StatusCode)
+	}
+	// Request 2's retry finds the bucket empty → 503 + Retry-After.
+	resp, body := postPredict(t, rt.URL, predictBody("t"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request 2: HTTP %d (%s), want 503 on exhausted budget", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("budget-exhausted 503 carried no Retry-After")
+	}
+	metrics := routerMetrics(t, rt.URL)
+	for _, want := range []string{
+		"rapidnn_router_retry_budget_exhausted_total 1",
+		"rapidnn_router_retry_budget_spent_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// Enough consecutive 5xx opens a replica's breaker: the router stops
+// spending attempts on it until a cooldown-gated probe succeeds.
+func TestRouterBreakerTripsAndRecovers(t *testing.T) {
+	b := newResilBackend(t)
+	b.set("fail", 0)
+	p := testPool()
+	p.Add(b.url())
+	rt := httptest.NewServer(NewRouter(RouterConfig{
+		Pool: p, Retries: 1, BreakerFailures: 2, BreakerCooldown: 50 * time.Millisecond,
+		RetryBudgetCap: 100,
+	}))
+	defer rt.Close()
+
+	// Two failing requests trip the breaker.
+	for i := 0; i < 2; i++ {
+		if resp, _ := postPredict(t, rt.URL, predictBody("t")); resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("request %d: HTTP %d, want 502", i, resp.StatusCode)
+		}
+	}
+	before := b.predictCount()
+	// With the breaker open the router refuses without touching the backend.
+	if resp, body := postPredict(t, rt.URL, predictBody("t")); resp.StatusCode != http.StatusBadGateway ||
+		!strings.Contains(string(body), "circuit breaker open") {
+		t.Fatalf("open-breaker request: HTTP %d %s", resp.StatusCode, body)
+	}
+	if b.predictCount() != before {
+		t.Fatal("open breaker still let an attempt through")
+	}
+	metrics := routerMetrics(t, rt.URL)
+	if !strings.Contains(metrics, `rapidnn_router_breaker_transitions_total{target="`+b.url()+`",to="open"} 1`) {
+		t.Errorf("missing open transition in metrics:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "rapidnn_router_breaker_open 1") {
+		t.Error("breaker-open gauge not 1")
+	}
+
+	// After the cooldown a half-open probe reaches the (now healthy)
+	// backend and closes the breaker.
+	b.set("ok", 0)
+	time.Sleep(60 * time.Millisecond)
+	if resp, body := postPredict(t, rt.URL, predictBody("t")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("half-open probe request: HTTP %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := postPredict(t, rt.URL, predictBody("t")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery request: HTTP %d", resp.StatusCode)
+	}
+	if got := routerMetrics(t, rt.URL); !strings.Contains(got, "rapidnn_router_breaker_open 0") {
+		t.Error("breaker-open gauge did not return to 0")
+	}
+}
+
+// A slow primary gets hedged: the second ring member answers first and the
+// client never waits out the straggler.
+func TestRouterHedgesTailLatency(t *testing.T) {
+	b1, b2 := newResilBackend(t), newResilBackend(t)
+	p := testPool()
+	p.Add(b1.url())
+	p.Add(b2.url())
+	// Whichever replica owns this tenant's key becomes the slow one.
+	owner := p.Route("tenant-a|m", 1)[0]
+	slow := b1
+	if owner == b2.url() {
+		slow = b2
+	}
+	slow.set("slow", 2*time.Second)
+	rt := httptest.NewServer(NewRouter(RouterConfig{
+		Pool: p, Retries: 2, HedgeAfter: 25 * time.Millisecond,
+	}))
+	defer rt.Close()
+
+	start := time.Now()
+	resp, body := postPredict(t, rt.URL, predictBody("tenant-a"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged predict: HTTP %d %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*time.Second {
+		t.Fatalf("hedge did not rescue the request: took %v", elapsed)
+	}
+	metrics := routerMetrics(t, rt.URL)
+	for _, want := range []string{
+		"rapidnn_router_hedges_total 1",
+		"rapidnn_router_hedge_wins_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// Deadline budgets: an expired budget is refused at the router without a
+// backend attempt; a live one is divided across attempts and stamped onto
+// the backend request.
+func TestRouterDeadlinePropagation(t *testing.T) {
+	b := newResilBackend(t)
+	p := testPool()
+	p.Add(b.url())
+	rt := httptest.NewServer(NewRouter(RouterConfig{Pool: p, Retries: 2}))
+	defer rt.Close()
+
+	post := func(deadline string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, rt.URL+"/v1/predict",
+			strings.NewReader(string(predictBody("t"))))
+		req.Header.Set("Content-Type", "application/json")
+		if deadline != "" {
+			req.Header.Set(serve.DeadlineHeader, deadline)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post("0"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired budget: HTTP %d, want 503", resp.StatusCode)
+	}
+	if got := b.predictCount(); got != 0 {
+		t.Fatalf("expired budget still reached the backend %d times", got)
+	}
+	if resp := post("oops"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed deadline: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := post("5000"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("live budget: HTTP %d, want 200", resp.StatusCode)
+	}
+	seen := b.seenDeadlines()
+	if len(seen) != 1 {
+		t.Fatalf("backend saw %d predicts, want 1", len(seen))
+	}
+	ms, err := strconv.Atoi(seen[0])
+	if err != nil {
+		t.Fatalf("backend saw deadline header %q", seen[0])
+	}
+	// One candidate only (the pool holds one replica), so the attempt gets
+	// the whole remaining budget — positive but no more than the original.
+	if ms <= 0 || ms > 5000 {
+		t.Fatalf("propagated per-attempt budget = %dms, want (0, 5000]", ms)
+	}
+	if !strings.Contains(routerMetrics(t, rt.URL),
+		`rapidnn_router_deadline_rejected_total{reason="expired"} 1`) {
+		t.Error("expired-deadline rejection not counted")
+	}
+}
+
+// --- pool probe failpoints (flapping coverage) ---
+
+// Injected probe faults exercise the DownAfter grace window: one dropped
+// poll (here: injected probe latency past the probe client's timeout) must
+// not reshuffle the ring, a second consecutive one ejects, and re-admission
+// happens only through a fully successful probe.
+func TestPoolProbeFlappingGraceUnderChaos(t *testing.T) {
+	b := newFakeBackend(t)
+	eng := chaos.New(3)
+	p := NewPool(PoolConfig{
+		PollInterval: 10 * time.Millisecond,
+		DownAfter:    2,
+		Chaos:        eng,
+		Client:       &http.Client{Timeout: 50 * time.Millisecond},
+	})
+	if info := p.Add(b.ts.URL); info.State != StateHealthy {
+		t.Fatalf("clean add: %s (%s)", info.State, info.LastError)
+	}
+
+	// One poll's healthz probe gains latency past the client timeout — a
+	// single dropped poll. The grace window keeps membership stable.
+	if err := eng.Set(mustParse(t, "pool.probe=latency:5s@1nx1")); err != nil {
+		t.Fatal(err)
+	}
+	p.PollOnce()
+	if got := p.Replicas(); len(got) != 1 {
+		t.Fatalf("single dropped poll ejected the replica: ring = %v", got)
+	}
+	if snap := p.Snapshot(); snap[0].LastError == "" {
+		t.Fatal("dropped poll left no trace in LastError")
+	}
+	// The fault cap is spent; the next poll succeeds and clears the streak.
+	p.PollOnce()
+	if snap := p.Snapshot(); snap[0].State != StateHealthy || snap[0].LastError != "" {
+		t.Fatalf("recovered poll: %+v", snap[0])
+	}
+
+	// Two consecutive dropped polls exhaust the grace: down and ejected.
+	if err := eng.Set(mustParse(t, "pool.probe=error@1nx4")); err != nil {
+		t.Fatal(err)
+	}
+	p.PollOnce()
+	if got := p.Replicas(); len(got) != 1 {
+		t.Fatalf("first dropped poll of the second burst already ejected: %v", got)
+	}
+	p.PollOnce()
+	if got := p.Replicas(); len(got) != 0 {
+		t.Fatalf("two dropped polls did not eject: %v", got)
+	}
+	if snap := p.Snapshot(); snap[0].State != StateDown {
+		t.Fatalf("state after two dropped polls = %s", snap[0].State)
+	}
+
+	// Clearing the fault alone re-admits nothing: membership only changes
+	// on a fully successful probe.
+	eng.Clear()
+	if got := p.Replicas(); len(got) != 0 {
+		t.Fatalf("fault clearance re-admitted without a probe: %v", got)
+	}
+	p.PollOnce()
+	if got := p.Replicas(); len(got) != 1 {
+		t.Fatalf("successful probe did not re-admit: %v", got)
+	}
+}
+
+func mustParse(t *testing.T, spec string) []chaos.Rule {
+	t.Helper()
+	rules, err := chaos.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}

@@ -57,6 +57,18 @@ func validName(s string) error {
 	return nil
 }
 
+// syncDir fsyncs a directory so a preceding rename inside it survives a
+// crash. Directory fsync failing is reported: a registry that silently
+// loses a push or a promotion is worse than one that errors.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // Path returns where a (model, version) artifact lives, whether or not it
 // exists yet.
 func (r *Registry) Path(model, version string) string {
@@ -107,6 +119,12 @@ func (r *Registry) Push(model, version string, src io.Reader) (string, error) {
 		tmp.Close()
 		return "", fmt.Errorf("rollout: writing %s/%s: %w", model, version, err)
 	}
+	// Sync before close so the rename below publishes durable bytes — a
+	// rename can survive a crash that the renamed file's contents did not.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("rollout: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return "", fmt.Errorf("rollout: %w", err)
 	}
@@ -116,6 +134,9 @@ func (r *Registry) Push(model, version string, src io.Reader) (string, error) {
 		return "", fmt.Errorf("rollout: push of %s/%s rejected: %d canaries diverge from their golden predictions", model, version, failed)
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("rollout: %w", err)
+	}
+	if err := syncDir(filepath.Dir(final)); err != nil {
 		return "", fmt.Errorf("rollout: %w", err)
 	}
 	return final, nil
@@ -215,10 +236,17 @@ func (r *Registry) SetCurrent(model, version string) error {
 		tmp.Close()
 		return fmt.Errorf("rollout: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rollout: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("rollout: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), mp); err != nil {
+		return fmt.Errorf("rollout: %w", err)
+	}
+	if err := syncDir(filepath.Dir(mp)); err != nil {
 		return fmt.Errorf("rollout: %w", err)
 	}
 	return nil

@@ -184,3 +184,70 @@ func TestRegistryManifestCurrent(t *testing.T) {
 		t.Fatalf("reopened registry Current = %q, want v1", cur)
 	}
 }
+
+// TestRegistryReopenAfterPartialWrites simulates a crash mid-push and
+// mid-promotion: stray .push-* / .manifest-* temp files are left in the
+// model directory. A reopened registry must ignore them — Versions must not
+// list them, Current must still resolve from the durable manifest, and a
+// fresh push of the interrupted version must succeed.
+func TestRegistryReopenAfterPartialWrites(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := artifactBytes(t, buildComposed(t, 9), true)
+	if _, err := reg.Push("m", "v1", bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetCurrent("m", "v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash debris: a half-written artifact push and a half-written
+	// manifest replace, both abandoned before their renames.
+	mdir := filepath.Join(dir, "m")
+	for name, body := range map[string]string{
+		".push-1234567":     "truncated artifact bytes",
+		".manifest-7654321": `{"current":"v9"`,
+	} {
+		if err := os.WriteFile(filepath.Join(mdir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg2, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatalf("reopening registry with crash debris: %v", err)
+	}
+	vs, err := reg2.Versions("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0] != "v1" {
+		t.Fatalf("Versions after partial writes = %v, want [v1]", vs)
+	}
+	cur, err := reg2.Current("m")
+	if err != nil || cur != "v1" {
+		t.Fatalf("Current after partial writes = %q, %v; want v1", cur, err)
+	}
+	if _, err := reg2.Resolve("m", "v1"); err != nil {
+		t.Fatalf("Resolve after partial writes: %v", err)
+	}
+
+	// The interrupted push can be retried cleanly, and promotion over the
+	// debris still lands.
+	raw2 := artifactBytes(t, buildComposed(t, 10), false)
+	if _, err := reg2.Push("m", "v2", bytes.NewReader(raw2)); err != nil {
+		t.Fatalf("retrying interrupted push: %v", err)
+	}
+	if err := reg2.SetCurrent("m", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := reg2.Current("m"); cur != "v2" {
+		t.Fatalf("Current after re-promotion = %q, want v2", cur)
+	}
+	if models, err := reg2.Models(); err != nil || len(models) != 1 || models[0] != "m" {
+		t.Fatalf("Models after partial writes = %v, %v; want [m]", models, err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet/quota"
 	"repro/internal/obs"
 )
@@ -43,6 +44,16 @@ type Config struct {
 	// TenantBurst is the per-tenant bucket capacity; <=0 defaults to
 	// max(1, 2*TenantRate).
 	TenantBurst int
+	// TenantMax bounds how many tenant buckets are kept at once; the least
+	// recently used tenant is evicted past the bound (and starts from a
+	// fresh full-burst bucket if it returns). <=0 uses the quota package
+	// default.
+	TenantMax int
+	// Chaos, when set, arms the failpoints on the predict and health paths
+	// ("serve.predict", "serve.healthz") and exposes /chaos for runtime
+	// control. Nil — the default — wires nothing: the handlers are the very
+	// same values as without the engine.
+	Chaos *chaos.Engine
 }
 
 // lane is one (model, path) serving pipeline: its batcher and its metrics.
@@ -77,6 +88,11 @@ type Server struct {
 	// disabled); tenantSheds/tenantAdmits are registered lazily per tenant.
 	tenants *quota.Set
 
+	// batchFloor is the defaulted batcher MaxDelay: the time a lone admitted
+	// row may wait for batch formation, and therefore the smallest deadline
+	// budget admission will accept.
+	batchFloor time.Duration
+
 	mu     sync.Mutex
 	lanes  map[string]*lane
 	closed bool
@@ -100,6 +116,7 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	if cfg.Replica != "" {
 		s.obs.SetCommonLabels(obs.L("replica", cfg.Replica))
 	}
+	s.batchFloor = cfg.Batcher.withDefaults().MaxDelay
 	if cfg.TenantRate > 0 {
 		burst := float64(cfg.TenantBurst)
 		if burst <= 0 {
@@ -109,6 +126,12 @@ func NewServer(reg *Registry, cfg Config) *Server {
 			}
 		}
 		s.tenants = quota.NewSet(cfg.TenantRate, burst)
+		if cfg.TenantMax > 0 {
+			s.tenants.SetMax(cfg.TenantMax)
+		}
+		evicted := s.obs.Counter("rapidnn_serve_tenant_evictions_total",
+			"Tenant quota buckets evicted from the LRU-bounded map; a returning tenant starts from a fresh full-burst bucket.")
+		s.tenants.SetOnEvict(func(string) { evicted.Inc() })
 	}
 	s.canaryRuns = s.obs.Counter("rapidnn_serve_canary_runs_total",
 		"Canary self-test passes executed across all models.")
@@ -123,12 +146,15 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	s.obs.GaugeFunc("rapidnn_serve_degraded_models",
 		"Models currently failing their canary self-tests.",
 		func() float64 { return float64(len(s.degradedModels())) })
-	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.Handle("/v1/predict", chaos.Middleware(cfg.Chaos, "serve.predict", http.HandlerFunc(s.handlePredict)))
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/scrub", s.handleScrub)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/healthz", chaos.Middleware(cfg.Chaos, "serve.healthz", http.HandlerFunc(s.handleHealthz)))
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Chaos != nil {
+		s.mux.Handle("/chaos", chaos.AdminHandler(cfg.Chaos))
+	}
 	if cfg.CanaryInterval > 0 {
 		s.canaryStop = make(chan struct{})
 		s.canaryDone = make(chan struct{})
@@ -268,6 +294,14 @@ func (s *Server) tenantOutcome(tenant, outcome string) {
 		obs.L("tenant", tenant), obs.L("outcome", outcome)).Inc()
 }
 
+// deadlineOutcome counts an admission-time deadline rejection, labeled by
+// why the budget could not be honored.
+func (s *Server) deadlineOutcome(reason string) {
+	s.obs.Counter("rapidnn_serve_deadline_rejected_total",
+		"Predict requests refused at admission because the propagated deadline budget cannot cover the expected wait.",
+		obs.L("reason", reason)).Inc()
+}
+
 type predictResponse struct {
 	Model       string `json:"model"`
 	Path        string `json:"path"`
@@ -308,6 +342,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining() {
 		writeOverload(w, ErrClosed)
+		return
+	}
+	budget, hasBudget, err := ParseDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var req predictRequest
@@ -374,11 +413,33 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if hasBudget {
+		// Admission control on the propagated deadline: a request whose
+		// remaining budget cannot cover the batch-formation floor or the
+		// lane's expected queue wait is refused up front — a costless 503 the
+		// caller can spend elsewhere instead of a 504 after wasted work.
+		depth, drain := ln.b.Depth(), ln.met.DrainRate(time.Now())
+		if v := checkDeadline(budget, s.batchFloor, depth, drain); v.reject {
+			s.deadlineOutcome(v.reason)
+			w.Header().Set("Retry-After", strconv.Itoa(deadlineRetryAfter(depth, drain)))
+			writeError(w, http.StatusServiceUnavailable,
+				"deadline budget %v rejected at admission (%s): lane %s/%s has depth %d",
+				budget, v.reason, m.Name, path, depth)
+			return
+		}
+	}
 
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	if hasBudget {
+		// The admitted budget becomes a hard context deadline: overruns
+		// cancel mid-flight exactly like a client timeout would.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
 	// Rows are submitted individually and concurrently: the batcher is free
