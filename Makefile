@@ -1,10 +1,12 @@
-# Tier-1 gate: everything must lint, build and every test must pass, and
-# the two-backend fleet smoke must come up healthy behind the router.
+# Tier-1 gate: everything must lint, build and every test must pass, the
+# two-backend fleet smoke must come up healthy behind the router, and the
+# short-benchtime perf gate must hold the hot kernels within tolerance.
 test: lint
 	go build ./...
 	go test ./...
 	$(MAKE) fleet-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) bench-gate
 
 # Static-analysis gate: go vet plus a gofmt cleanliness check. gofmt -l
 # prints the files that need reformatting; any output fails the target.
@@ -23,7 +25,9 @@ vet:
 # paths (re-entrant RNA evaluation, batched hardware inference, k-means,
 # the serving batcher, the lock-free metrics/tracing instruments) must be
 # clean under the race detector — including the scratch-arena plumbing
-# underneath them (counting, crossbar adder, NDCAM).
+# underneath them (counting, crossbar adder, NDCAM) and the per-batch CAM
+# lookup cache each InferBatch worker arms on its own Scratch
+# (TestInferBatchCAMCacheConcurrent).
 race:
 	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/... \
 		./internal/counting/... ./internal/crossbar/... ./internal/ndcam/... \
@@ -51,8 +55,10 @@ bench-serve:
 # Hot-path microbenchmarks with allocation counts: the neuron fire, the
 # pooling window, the in-memory adder, the NDCAM search, batched hardware
 # inference, the serve round-trip, and artifact cold start (gob decode vs
-# RAPIDNN2 mmap). BENCH_PR4.json pins the expected numbers; bench-compare
-# re-runs this set and fails on regression.
+# RAPIDNN2 mmap). BENCH_PR9.json pins the expected numbers; bench-compare
+# re-runs this set and fails on regression. (BENCH_PR4.json stays committed
+# as the pre-bit-slicing trajectory point.) Regenerate the baseline with
+# bench-hot piped through rapidnn-benchstat -before/-after.
 HOT_BENCHES = BenchmarkNeuronFire|BenchmarkMaxPool|BenchmarkAddMany1024|BenchmarkAddScratch1024|BenchmarkSearchAllocs|BenchmarkHardwareInferBatch|BenchmarkServeRoundTrip|BenchmarkColdStart
 HOT_PKGS = ./internal/rna/ ./internal/crossbar/ ./internal/ndcam/ ./internal/serve/ ./internal/composer/
 
@@ -62,7 +68,19 @@ bench-hot:
 bench-compare:
 	go build -o /tmp/rapidnn-benchstat ./cmd/rapidnn-benchstat
 	go test -run '^$$' -bench '$(HOT_BENCHES)' -benchmem $(HOT_PKGS) \
-		| /tmp/rapidnn-benchstat -check BENCH_PR4.json
+		| /tmp/rapidnn-benchstat -check BENCH_PR9.json
+
+# Short perf regression gate, cheap enough to ride inside `make test`: the
+# three kernels whose regressions have historically been silent (neuron fire,
+# batched hardware inference, the NDCAM search) run at a reduced benchtime and
+# must stay within 10% ns/op of the committed baseline. -count 3 with the
+# checker's best-of-N merge filters scheduler/thermal noise out of the short
+# samples. bench-compare is the full-fidelity sweep; this is the tripwire.
+bench-gate:
+	go build -o /tmp/rapidnn-benchstat ./cmd/rapidnn-benchstat
+	go test -run '^$$' -bench 'BenchmarkNeuronFire|BenchmarkHardwareInferBatch|BenchmarkSearchAllocs' \
+		-benchmem -benchtime 0.3s -count 3 ./internal/rna/ ./internal/ndcam/ \
+		| /tmp/rapidnn-benchstat -check BENCH_PR9.json -tolerance 1.1
 
 # Artifact cold-start latency alone: gob decode vs RAPIDNN2 mmap on the same
 # serving-scale model. Part of bench-compare via HOT_BENCHES; this target is
@@ -123,4 +141,4 @@ chaos-smoke:
 
 check: test vet race
 
-.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare serve-smoke fleet-smoke chaos-smoke check
+.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare bench-gate serve-smoke fleet-smoke chaos-smoke check

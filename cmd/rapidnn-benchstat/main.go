@@ -90,10 +90,16 @@ func parseBench(r io.Reader) (map[string]Metrics, []string, error) {
 				m.AllocsPerOp = v
 			}
 		}
-		if _, seen := out[name]; !seen {
+		prev, seen := out[name]
+		if !seen {
 			order = append(order, name)
+			out[name] = m
+		} else if m.NsPerOp < prev.NsPerOp {
+			// Repeated samples of one benchmark (go test -count N) keep the
+			// fastest run: scheduler and thermal noise only ever add time, so
+			// min ns/op is the robust "did the code get slower" statistic.
+			out[name] = m
 		}
-		out[name] = m
 	}
 	return out, order, sc.Err()
 }

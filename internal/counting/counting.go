@@ -98,6 +98,17 @@ func CountFlat(weightIdx, inputIdx []int, w, u int, counts []int) (cycles int) {
 	for i := range counts {
 		counts[i] = 0
 	}
+	// Cycles = the largest per-weight bucket: one pop per buffer per cycle.
+	// The bucket maxima are tracked during the increment pass — O(edges+w)
+	// instead of rescanning the full w·u histogram afterwards, which
+	// dominates for sparse layers. Codebooks are small, so the per-weight
+	// bucket sizes fit a stack array for every realistic w; a wider w falls
+	// back to the histogram rescan rather than allocating.
+	var bstack [64]int
+	var buckets []int
+	if w <= len(bstack) {
+		buckets = bstack[:w]
+	}
 	for i, wi := range weightIdx {
 		ui := inputIdx[i]
 		if wi < 0 || wi >= w {
@@ -107,8 +118,17 @@ func CountFlat(weightIdx, inputIdx []int, w, u int, counts []int) (cycles int) {
 			panic(fmt.Sprintf("counting: input index %d out of [0,%d)", ui, u))
 		}
 		counts[wi*u+ui]++
+		if buckets != nil {
+			b := buckets[wi] + 1
+			buckets[wi] = b
+			if b > cycles {
+				cycles = b
+			}
+		}
 	}
-	// Cycles = the largest per-weight bucket: one pop per buffer per cycle.
+	if buckets != nil {
+		return cycles
+	}
 	for wi := 0; wi < w; wi++ {
 		row := counts[wi*u : (wi+1)*u]
 		sum := 0

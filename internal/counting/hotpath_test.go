@@ -37,6 +37,34 @@ func TestCountFlatMatchesParallelCount(t *testing.T) {
 	}
 }
 
+// The cycle count must pin to ParallelCount.Cycles on both CountFlat paths:
+// the per-weight bucket maxima tracked during the increment pass (w ≤ 64)
+// and the histogram-rescan fallback for wider codebooks.
+func TestCountFlatCyclesBothPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		w := 1 + rng.Intn(40)
+		if trial%2 == 1 {
+			w = 65 + rng.Intn(40) // force the w > 64 rescan fallback
+		}
+		u := 1 + rng.Intn(8)
+		edges := rng.Intn(400)
+		pairs := make([]Pair, edges)
+		wi := make([]int, edges)
+		ui := make([]int, edges)
+		for i := range pairs {
+			pairs[i] = Pair{W: rng.Intn(w), U: rng.Intn(u)}
+			wi[i], ui[i] = pairs[i].W, pairs[i].U
+		}
+		want := ParallelCount(pairs, w).Cycles
+		counts := make([]int, w*u)
+		if got := CountFlat(wi, ui, w, u, counts); got != want {
+			t.Fatalf("trial %d (w=%d,u=%d,edges=%d): cycles %d, ParallelCount says %d",
+				trial, w, u, edges, got, want)
+		}
+	}
+}
+
 // CountFlat zeroes the histogram itself — a dirty reused buffer must not
 // bleed into the counts — and validates its inputs like ParallelCount does.
 func TestCountFlatReusesDirtyBuffer(t *testing.T) {

@@ -2,15 +2,28 @@ package crossbar
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/device"
 )
 
-// This file implements the in-memory adder of §4.1.2 at NOR-gate level:
-// carry-save 3:2 compression reduces the operand population without carry
-// propagation, and a final NOR-decomposed ripple adder resolves the two
-// survivors. Running it on a Crossbar both computes the correct sum and
-// accrues the cycle/energy cost of every NOR.
+// This file implements the in-memory adder of §4.1.2 at two fidelity levels
+// that are bit-identical in both sums and Stats:
+//
+//   - AddManyReference simulates every NOR gate through a Crossbar: carry-save
+//     3:2 compression reduces the operand population without carry
+//     propagation, and a final NOR-decomposed ripple adder resolves the two
+//     survivors, each gate charging its cycle/energy cost as it fires. It is
+//     the in-tree oracle.
+//   - AddScratch.AddMany (and the package-level AddMany wrapper) is the
+//     bit-sliced production kernel: because the crossbar's NOR already acts
+//     on whole 64-bit rows, one 3:2 compression step is three word
+//     operations (s = x⊕y⊕z, c = maj(x,y,z)≪1) instead of ~18 simulated NOR
+//     row-ops, and the final ripple stage is one carry-propagate word add.
+//     The NOR schedule — and therefore the Stats — depends only on the
+//     operand population and width, never on the data, so the kernel charges
+//     Stats from a memoized schedule table (one scalar reference walk per
+//     population, then lookups) rather than gate by gate.
 
 // norScratch reserves scratch rows at the top of the crossbar.
 type adder struct {
@@ -73,6 +86,13 @@ func (a *adder) compress3to2(x, y, z, sumOut, carryOut int) {
 	a.release(mark)
 }
 
+// compressGates is the NOR count of one compress3to2: two 5-gate XORs, two
+// 3-gate ANDs and one 2-gate OR. The shift is wiring (one cycle, no gate).
+const compressGates = 18
+
+// fullAdderGates is the NOR count of one ripple-stage full adder per bit.
+const fullAdderGates = 9
+
 // rippleAdd resolves two rows into their full sum using a NOR-decomposed
 // full adder per bit position. The result lands in sumOut. This is the
 // carry-propagating final stage whose latency the paper models as 13·N
@@ -91,39 +111,19 @@ func (a *adder) rippleAdd(x, y, sumOut int) {
 		s := xb ^ yb ^ carry
 		carry = (xb & yb) | (carry & (xb ^ yb))
 		out |= s << i
-		c.Stats.NORs += 9
+		c.Stats.NORs += fullAdderGates
 		c.Stats.Cycles += int64(c.dev.AddFinalCyclesPerBit)
-		c.Stats.EnergyJ += 9 * c.dev.NOREnergy
+		c.Stats.EnergyJ += fullAdderGates * c.dev.NOREnergy
 	}
 	c.rows[sumOut] = out & c.mask
 }
 
-// AddMany sums the given values inside the crossbar and returns the result
-// modulo 2^width. Rows [0, len(values)) hold the operands; scratch rows
-// follow. The reduction is genuine carry-save 3:2 compression followed by a
-// ripple-carry resolution, all decomposed into NOR cycles. Each call builds
-// its working set afresh; hot loops reuse an AddScratch instead.
-func AddMany(dev device.Params, values []uint64, width int) (sum uint64, stats Stats) {
-	var s AddScratch
-	return s.AddMany(dev, values, width)
-}
-
-// AddScratch is the reusable working set of the in-memory adder: the
-// crossbar's row storage plus the carry-save survivor bookkeeping. One
-// scratch serves any number of sequential AddMany calls without allocating
-// once its buffers have grown to the largest operand population seen; it
-// must not be shared between concurrent adders. The zero value is ready to
-// use.
-type AddScratch struct {
-	rows        []uint64
-	live, spare []int
-}
-
-// AddMany is crossbar.AddMany evaluated in this scratch's working set —
-// identical sum, identical Stats (the NOR schedule depends only on the
-// operand count and width, never on buffer history), zero steady-state
-// allocations.
-func (s *AddScratch) AddMany(dev device.Params, values []uint64, width int) (sum uint64, stats Stats) {
+// AddManyReference sums the given values through the full gate-level
+// simulation: every NOR of the carry-save tree and the ripple stage runs on
+// a Crossbar and charges its own cycle/energy. It allocates its working set
+// afresh per call and exists as the scalar oracle the bit-sliced kernel is
+// pinned against — production paths call AddMany / AddScratch.AddMany.
+func AddManyReference(dev device.Params, values []uint64, width int) (sum uint64, stats Stats) {
 	if len(values) == 0 {
 		return 0, Stats{}
 	}
@@ -132,25 +132,21 @@ func (s *AddScratch) AddMany(dev device.Params, values []uint64, width int) (sum
 	}
 	// Enough rows for operands plus generous scratch. Stale row contents are
 	// harmless: every scratch row is written before it is read.
-	need := 2*len(values) + 32
-	if cap(s.rows) < need {
-		s.rows = make([]uint64, need)
-	}
-	s.rows = s.rows[:need]
+	rows := make([]uint64, 2*len(values)+32)
 	mask := ^uint64(0)
 	if width < 64 {
 		mask = (1 << width) - 1
 	}
-	c := Crossbar{dev: dev, width: width, mask: mask, rows: s.rows}
+	c := Crossbar{dev: dev, width: width, mask: mask, rows: rows}
 	for i, v := range values {
 		c.Write(i, v)
 	}
-	live := s.live[:0]
+	live := make([]int, len(values))
 	for i := range values {
-		live = append(live, i)
+		live[i] = i
 	}
 	a := adder{c: &c, next: len(values), base: len(values)}
-	spare := s.spare[:0]
+	spare := make([]int, 0, len(values))
 	for len(live) > 2 {
 		next := spare[:0]
 		i := 0
@@ -170,12 +166,160 @@ func (s *AddScratch) AddMany(dev device.Params, values []uint64, width int) (sum
 		a.release(len(next))
 		spare, live = live, next
 	}
-	// Hand the (possibly grown) buffers back for the next call.
-	s.live, s.spare = live, spare
 	if len(live) == 1 {
 		return c.rows[live[0]], c.Stats
 	}
 	out := a.temp()
 	a.rippleAdd(live[0], live[1], out)
 	return c.rows[out], c.Stats
+}
+
+// addPool backs the zero-config AddMany: pooled scratches keep their
+// memoized schedule tables warm across calls, so even callers that never
+// thread an AddScratch pay the scalar reference walk only on the first
+// sighting of an operand population.
+var addPool = sync.Pool{New: func() any { return new(AddScratch) }}
+
+// AddMany sums the given values inside the crossbar and returns the result
+// modulo 2^width, bit-identical — sum and Stats — to AddManyReference's
+// gate-level walk. Each call borrows a pooled working set; hot loops own an
+// AddScratch instead.
+func AddMany(dev device.Params, values []uint64, width int) (sum uint64, stats Stats) {
+	s := addPool.Get().(*AddScratch)
+	sum, stats = s.AddMany(dev, values, width)
+	addPool.Put(s)
+	return sum, stats
+}
+
+// AddScratch is the reusable working set of the in-memory adder: the
+// word-parallel compression buffer plus the memoized schedule-shape table
+// that prices each operand population. One scratch serves any number of
+// sequential AddMany calls without allocating once its buffers have grown to
+// the largest operand population seen; it must not be shared between
+// concurrent adders. The zero value is ready to use.
+type AddScratch struct {
+	rows []uint64
+	// sched[n] caches the Stats of an n-operand addition under (schedDev,
+	// schedWidth) — the NOR schedule depends only on the operand count and
+	// width, so steady-state accumulation charges stats by lookup instead of
+	// by gate. A device or width change invalidates the table.
+	sched      []Stats
+	schedOK    []bool
+	schedDev   device.Params
+	schedWidth int
+}
+
+// schedule returns the Stats of an n-operand, width-bit addition, replaying
+// the scalar gate walk once per (population, device, width) and serving every
+// later call from the cache. The replay accrues cycles and energy in exactly
+// the gate order AddManyReference uses, so cached Stats are bit-identical to
+// the simulated ones (float accumulation order included).
+func (s *AddScratch) schedule(dev device.Params, n, width int) Stats {
+	if s.schedDev != dev || s.schedWidth != width {
+		// Device or width changed: drop every cached shape.
+		s.schedDev, s.schedWidth = dev, width
+		for i := range s.schedOK {
+			s.schedOK[i] = false
+		}
+	}
+	if n < len(s.schedOK) && s.schedOK[n] {
+		return s.sched[n]
+	}
+	var st Stats
+	// Operand writes, one per value (Crossbar.Write).
+	writeEnergy := float64(width) * dev.CrossbarWriteEnergy
+	for i := 0; i < n; i++ {
+		st.Writes++
+		st.Cycles++
+		st.EnergyJ += writeEnergy
+	}
+	// Carry-save reduction rounds: each full triple costs one compress3to2
+	// (18 NORs charged gate by gate, plus the shift's row-copy cycle).
+	for live := n; live > 2; {
+		k := 0
+		for i := 0; i+2 < live; i += 3 {
+			k++
+		}
+		for t := 0; t < k; t++ {
+			for g := 0; g < compressGates; g++ {
+				st.NORs++
+				st.Cycles++
+				st.EnergyJ += dev.NOREnergy
+			}
+			st.Cycles++ // ShiftLeft row copy
+		}
+		live -= k
+	}
+	// Final carry-propagating ripple stage over the two survivors.
+	if n >= 2 {
+		for i := 0; i < width; i++ {
+			st.NORs += fullAdderGates
+			st.Cycles += int64(dev.AddFinalCyclesPerBit)
+			st.EnergyJ += fullAdderGates * dev.NOREnergy
+		}
+	}
+	if n >= len(s.schedOK) {
+		sched := make([]Stats, n+1)
+		ok := make([]bool, n+1)
+		copy(sched, s.sched)
+		copy(ok, s.schedOK)
+		s.sched, s.schedOK = sched, ok
+	}
+	s.sched[n], s.schedOK[n] = st, true
+	return st
+}
+
+// AddMany is the bit-sliced in-memory addition: word-parallel carry-save 3:2
+// compression (three word ops per triple — the same whole-row values the NOR
+// network produces, without simulating its gates) followed by one
+// carry-propagate word add for the final stage, with the Stats charged from
+// the memoized schedule table. Sum and Stats are bit-identical to
+// AddManyReference; steady state performs zero allocations.
+func (s *AddScratch) AddMany(dev device.Params, values []uint64, width int) (sum uint64, stats Stats) {
+	if len(values) == 0 {
+		return 0, Stats{}
+	}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("crossbar: width %d out of [1,64]", width))
+	}
+	stats = s.schedule(dev, len(values), width)
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (1 << width) - 1
+	}
+	if cap(s.rows) < len(values) {
+		s.rows = make([]uint64, len(values))
+	}
+	rows := s.rows[:len(values)]
+	for i, v := range values {
+		rows[i] = v & mask
+	}
+	// In-place reduction: each round rewrites the live prefix with the
+	// survivors (sum/carry pairs first, leftovers after), exactly the
+	// compaction order of the reference walk. The writer index j never
+	// overtakes the reader index i, so one buffer suffices.
+	live := len(rows)
+	for live > 2 {
+		j := 0
+		i := 0
+		for ; i+2 < live; i += 3 {
+			x, y, z := rows[i], rows[i+1], rows[i+2]
+			xy := x ^ y
+			rows[j] = xy ^ z                               // s = x⊕y⊕z
+			rows[j+1] = (((x & y) | (z & xy)) << 1) & mask // c = maj≪1
+			j += 2
+		}
+		for ; i < live; i++ {
+			rows[j] = rows[i]
+			j++
+		}
+		live = j
+	}
+	sum = rows[0]
+	if live == 2 {
+		// Carry-propagate resolution of the two survivors: native word
+		// arithmetic computes exactly what the per-bit ripple adder does.
+		sum = (rows[0] + rows[1]) & mask
+	}
+	return sum, stats
 }

@@ -243,14 +243,17 @@ func (n *NDCAM) searchPristine(query uint64) int {
 // ties still resolve to the lowest row index), which keeps the overlay
 // search allocation-free when the caller supplies the candidate buffer.
 func (n *NDCAM) searchWeighted(query uint64, cand []int) int {
-	stages := n.Stages()
-	for s := stages - 1; s >= 0 && len(cand) > 1; s-- {
+	// The stage mask and the rows base are invariant across the whole search;
+	// only the shift varies per stage. Keeping them in locals keeps the
+	// per-candidate loop to one XOR-shift-mask chain.
+	stageMask := uint64(1)<<n.stageBits - 1
+	rows := n.rows
+	for s := n.Stages() - 1; s >= 0 && len(cand) > 1; s-- {
 		shift := uint(s * n.stageBits)
-		stageMask := uint64((1 << n.stageBits) - 1)
 		bestXor := uint64(math.MaxUint64)
 		k := 0
 		for _, i := range cand {
-			x := ((n.rows[i] ^ query) >> shift) & stageMask
+			x := ((rows[i] ^ query) >> shift) & stageMask
 			switch {
 			case x < bestXor:
 				bestXor = x
@@ -308,7 +311,10 @@ func (f FixedPoint) scale() float64 {
 
 // Encode converts v to its fixed-point code, clamping to the domain.
 func (f FixedPoint) Encode(v float64) uint64 {
-	maxCode := f.scale()
+	maxCode := f.maxCode
+	if maxCode == 0 {
+		maxCode = f.scale()
+	}
 	t := (v - f.Lo) / (f.Hi - f.Lo)
 	if t < 0 {
 		t = 0
@@ -319,7 +325,13 @@ func (f FixedPoint) Encode(v float64) uint64 {
 	return uint64(math.Round(t * maxCode))
 }
 
-// Decode converts a code back to the domain midpoint it represents.
+// Decode converts a code back to the domain midpoint it represents. On
+// NewFixedPoint-constructed values the scale is a plain field read — bulk
+// decode loops pay no per-code derivation or domain check.
 func (f FixedPoint) Decode(code uint64) float64 {
-	return f.Lo + (f.Hi-f.Lo)*float64(code)/f.scale()
+	maxCode := f.maxCode
+	if maxCode == 0 {
+		maxCode = f.scale()
+	}
+	return f.Lo + (f.Hi-f.Lo)*float64(code)/maxCode
 }

@@ -36,6 +36,13 @@ type faultState struct {
 	// remap[w][u]: the word is remapped to a fault-free spare row and reads
 	// its pristine contents. Rebuilt by reconcileSpares.
 	remap [][]bool
+	// sa0f/sa1f/csa0f/csa1f are the flat, index-parallel fold of stuck with
+	// the remap applied: entry wi·nU+ui holds the word's pinned-cell masks,
+	// zeroed for remapped words (a spare row reads pristine). readProduct
+	// applies any overlay with two mask ops and no remap branch. Rebuilt by
+	// foldStuck whenever the map or the spare budget changes.
+	sa0f, sa1f   []uint64
+	csa0f, csa1f []uint8
 
 	transientRate float64
 	transientSeed int64
@@ -50,6 +57,11 @@ type faultState struct {
 	// Replica 0 is the primary (unprotected) view — enabling TMR adds voting
 	// over replicas 1 and 2 without changing what "unprotected" means.
 	act, enc [3][]ndcam.RowFault
+	// actFM/encFM are the word-parallel compilations of act/enc (built once
+	// at injection); searches apply them via ndcam.SearchStatsMasked instead
+	// of re-classifying rows per search. A nil mask means the replica's
+	// overlay is a no-op (all rows OK).
+	actFM, encFM [3]*ndcam.FaultMask
 }
 
 // faultBits is the span of fault-susceptible cells in a stored product word:
@@ -132,6 +144,10 @@ func (r *FuncRNA) injectFaults(cfg fault.Config, rng *rand.Rand, cnt *fault.Coun
 		}
 		f.act = draw(r.actCAM)
 		f.enc = draw(r.encCAM)
+		for k := 0; k < 3; k++ {
+			f.actFM[k] = ndcam.BuildFaultMask(f.act[k])
+			f.encFM[k] = ndcam.BuildFaultMask(f.enc[k])
+		}
 	}
 	r.flt = f
 	r.cnt = cnt
@@ -178,6 +194,7 @@ func (r *FuncRNA) reconcileSpares() {
 		return
 	}
 	f.remap = nil
+	defer r.foldStuck() // re-fold the flat overlay under the new remap
 	if r.prot.SpareRows <= 0 {
 		return
 	}
@@ -218,29 +235,62 @@ func (r *FuncRNA) reconcileSpares() {
 	}
 }
 
+// foldStuck flattens the per-word stuck-cell overlay into the index-parallel
+// sa0f/sa1f/csa0f/csa1f arrays with the spare-row remap folded in: a remapped
+// word's masks are zero, so applying the fold is identical to skipping the
+// overlay for that word. Runs at injection and protection-change time only.
+func (r *FuncRNA) foldStuck() {
+	f := r.flt
+	if f == nil || f.stuck == nil {
+		return
+	}
+	nn := r.nW * r.nU
+	if cap(f.sa0f) < nn {
+		f.sa0f = make([]uint64, nn)
+		f.sa1f = make([]uint64, nn)
+		f.csa0f = make([]uint8, nn)
+		f.csa1f = make([]uint8, nn)
+	}
+	f.sa0f, f.sa1f = f.sa0f[:nn], f.sa1f[:nn]
+	f.csa0f, f.csa1f = f.csa0f[:nn], f.csa1f[:nn]
+	for wi := 0; wi < r.nW; wi++ {
+		for ui := 0; ui < r.nU; ui++ {
+			idx := wi*r.nU + ui
+			if f.remap != nil && f.remap[wi][ui] {
+				f.sa0f[idx], f.sa1f[idx] = 0, 0
+				f.csa0f[idx], f.csa1f[idx] = 0, 0
+				continue
+			}
+			w := &f.stuck[wi][ui]
+			f.sa0f[idx], f.sa1f[idx] = w.sa0, w.sa1
+			f.csa0f[idx], f.csa1f[idx] = w.csa0, w.csa1
+		}
+	}
+}
+
 // readProduct is the fault-aware fetch of one pre-computed product. With no
 // faults and no parity it is the direct table read. Otherwise the pristine
-// word passes through the stuck-cell overlay (skipped for words remapped to
-// spare rows), the per-read transient mask, and — when parity is on — the
-// SEC-DED decode, whose corrected/uncorrectable outcomes are counted. Safe
-// for concurrent use during inference.
+// word passes through the flat stuck-cell fold (remapped words carry zero
+// masks), the per-read transient mask, and — when parity is on — the SEC-DED
+// decode, whose corrected/uncorrectable outcomes are counted. Safe for
+// concurrent use during inference.
 func (r *FuncRNA) readProduct(wi, ui int) int64 {
 	f := r.flt
+	idx := wi*r.nU + ui
 	if f == nil && !r.prot.Parity {
-		return r.products[wi*r.nU+ui]
+		return r.products[idx]
 	}
-	data := uint64(r.products[wi*r.nU+ui]) & math.MaxUint32
+	data := uint64(r.products[idx]) & math.MaxUint32
 	parity := r.prot.Parity
 	var check uint64
 	if parity {
 		check = uint64(fault.EncodeSECDED(uint32(data)))
 	}
 	if f != nil {
-		if f.stuck != nil && (f.remap == nil || !f.remap[wi][ui]) {
-			w := &f.stuck[wi][ui]
-			data = (data &^ w.sa0) | w.sa1
+		if f.sa0f != nil {
+			data = (data &^ f.sa0f[idx]) | f.sa1f[idx]
 			if parity {
-				check = (check &^ uint64(w.csa0)) | uint64(w.csa1)
+				check = (check &^ uint64(f.csa0f[idx])) | uint64(f.csa1f[idx])
 			}
 		}
 		if f.transientRate > 0 {
@@ -280,24 +330,50 @@ func (r *FuncRNA) readProduct(wi, ui int) int64 {
 // stream of the same read event.
 const checkSeedSalt = 0x5ca1ab1e
 
-// searchActCAM / searchEncCAM route the NDCAM searches through the row-fault
-// overlay. Without TMR the primary replica's faults apply directly; with TMR
-// the three independently drawn replicas vote 2-of-3, and a three-way
-// disagreement falls back to the median row index — codebook rows are
-// ordinal, so the median is the least-wrong arbiter. Safe for concurrent
-// use; s (optional) backs the overlay path's candidate bookkeeping.
-func (r *FuncRNA) searchActCAM(q uint64, s *Scratch) int { return r.searchCAM(r.actCAM, true, q, s) }
+// searchActCAM / searchEncCAM route the NDCAM searches through the
+// batch-scoped lookup cache (when the owning scratch has it armed) and the
+// row-fault overlay. Without TMR the primary replica's faults apply directly;
+// with TMR the three independently drawn replicas vote 2-of-3 — bypassing the
+// cache so the vote counters keep their per-search semantics — and a
+// three-way disagreement falls back to the median row index; codebook rows
+// are ordinal, so the median is the least-wrong arbiter. Safe for concurrent
+// use (one goroutine per Scratch).
+func (r *FuncRNA) searchActCAM(q uint64, s *Scratch) int {
+	return r.cachedSearch(r.actCAM, true, r.actKey, q, s)
+}
 
-func (r *FuncRNA) searchEncCAM(q uint64, s *Scratch) int { return r.searchCAM(r.encCAM, false, q, s) }
+func (r *FuncRNA) searchEncCAM(q uint64, s *Scratch) int {
+	return r.cachedSearch(r.encCAM, false, r.encKey, q, s)
+}
+
+// cachedSearch memoizes searchCAM per (CAM, query) in the scratch's
+// batch-scoped cache. The search result is a pure function of the CAM
+// contents and the fault overlay, both frozen for a batch, so a hit is
+// exact; search Stats are not affected because the inference path discards
+// them (activation/encoder searches charge nothing to crossbar totals).
+func (r *FuncRNA) cachedSearch(cam *ndcam.NDCAM, activation bool, key uint32, q uint64, s *Scratch) int {
+	if s == nil || !s.camOn || r.prot.TMR {
+		return r.searchCAM(cam, activation, q, s)
+	}
+	if row, ok := s.camLookup(key, q); ok {
+		s.camHits++
+		return row
+	}
+	row := r.searchCAM(cam, activation, q, s)
+	s.camStore(key, q, row)
+	s.camMisses++
+	return row
+}
 
 func (r *FuncRNA) searchCAM(cam *ndcam.NDCAM, activation bool, q uint64, s *Scratch) int {
 	f := r.flt
 	var reps *[3][]ndcam.RowFault
+	var fms *[3]*ndcam.FaultMask
 	if f != nil {
 		if activation {
-			reps = &f.act
+			reps, fms = &f.act, &f.actFM
 		} else {
-			reps = &f.enc
+			reps, fms = &f.enc, &f.encFM
 		}
 	}
 	if reps == nil || reps[0] == nil {
@@ -306,17 +382,13 @@ func (r *FuncRNA) searchCAM(cam *ndcam.NDCAM, activation bool, q uint64, s *Scra
 		row, _ := cam.SearchStats(q)
 		return row
 	}
-	var buf *[]int
-	if s != nil {
-		buf = &s.camBuf
-	}
 	if !r.prot.TMR {
-		row, _ := cam.SearchStatsFaultyBuf(q, reps[0], buf)
+		row, _ := cam.SearchStatsMasked(q, fms[0])
 		return row
 	}
 	var idx [3]int
 	for k := 0; k < 3; k++ {
-		idx[k], _ = cam.SearchStatsFaultyBuf(q, reps[k], buf)
+		idx[k], _ = cam.SearchStatsMasked(q, fms[k])
 	}
 	if r.cnt != nil {
 		r.cnt.TMRVotes.Add(1)

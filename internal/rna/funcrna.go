@@ -40,6 +40,10 @@ type FuncRNA struct {
 	encCAM *ndcam.NDCAM
 	encFP  ndcam.FixedPoint
 
+	// actKey/encKey are the process-unique identities of this block's CAMs in
+	// the batch-scoped lookup cache (camcache.go).
+	actKey, encKey uint32
+
 	// Fault overlay and protection (faults.go). flt == nil is the pristine
 	// fast path; prot's zero value is the unprotected design; cnt is nil-safe.
 	flt  *faultState
@@ -83,6 +87,7 @@ func NewFuncRNAShared(dev device.Params, wcb, ucb []float32, bias float32,
 		actTable: actTable, relu: relu, encCB: nextCodebook,
 	}
 	r.nW, r.nU = len(wcb), len(ucb)
+	r.actKey, r.encKey = nextCAMKeys()
 	if products != nil {
 		if len(products) != r.nW*r.nU {
 			panic(fmt.Sprintf("rna: borrowed product table holds %d entries, codebooks want %d×%d",

@@ -71,7 +71,10 @@ type hwLayer struct {
 	// a group share tables; their per-edge weight indices differ).
 	rnas []*FuncRNA
 	// weightIdx[n][i] is the weight-codebook index of neuron n's edge i;
-	// edgeOf[n][i] is the input-feature position edge i reads.
+	// edgeOf[n][i] is the input-feature position edge i reads. Both are
+	// views into one flat backing array per layer (see flattenRows), so a
+	// layer's neurons read contiguous stride-indexed memory instead of
+	// chasing one heap object per neuron.
 	weightIdx [][]int
 	edgeOf    [][]int
 	groupOf   []int // codebook group per neuron
@@ -209,6 +212,18 @@ func planProducts(p *composer.LayerPlan, g int) []int64 {
 	return tab
 }
 
+// flattenRows carves n rows of uniform width w out of one flat backing
+// array: the SoA layout of the per-neuron edge tables. Full-capacity slicing
+// keeps a row from ever growing into its neighbour.
+func flattenRows(n, w int) [][]int {
+	backing := make([]int, n*w)
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = backing[i*w : (i+1)*w : (i+1)*w]
+	}
+	return rows
+}
+
 func buildDenseHW(t *nn.Dense, p *composer.LayerPlan, next []float32, dev device.Params) (*hwLayer, error) {
 	wcb := p.WeightCodebooks[0]
 	relu := p.ActTable == nil
@@ -218,8 +233,8 @@ func buildDenseHW(t *nn.Dense, p *composer.LayerPlan, next []float32, dev device
 	rna := NewFuncRNAShared(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, next, hwFracBits, planProducts(p, 0))
 	hl := &hwLayer{kind: p.Kind, plan: p, skip: t.Skip, rnas: []*FuncRNA{rna}}
 	in, out := t.InSize(), t.OutSize()
-	hl.weightIdx = make([][]int, out)
-	hl.edgeOf = make([][]int, out)
+	hl.weightIdx = flattenRows(out, in)
+	hl.edgeOf = flattenRows(out, in)
 	hl.groupOf = make([]int, out)
 	hl.bias = make([]float32, out)
 	if t.Skip {
@@ -227,14 +242,12 @@ func buildDenseHW(t *nn.Dense, p *composer.LayerPlan, next []float32, dev device
 	}
 	for n := 0; n < out; n++ {
 		hl.bias[n] = t.B.Value.At(0, n)
-		wi := make([]int, in)
-		ei := make([]int, in)
+		wi := hl.weightIdx[n]
+		ei := hl.edgeOf[n]
 		for i := 0; i < in; i++ {
 			wi[i] = cluster.Assign(wcb, t.W.Value.At(i, n))
 			ei[i] = i
 		}
-		hl.weightIdx[n] = wi
-		hl.edgeOf[n] = ei
 		if t.Skip {
 			hl.skipPos[n] = n // residual dense: in == out, aligned indices
 		}
@@ -269,6 +282,32 @@ func buildConvHW(t *nn.Conv2D, p *composer.LayerPlan, next []float32, dev device
 			hl.skipPos[n] = n
 		}
 	}
+	// SoA pass 1: count each spatial window's in-bounds taps (independent of
+	// the channel), so the per-neuron edge lists can share one flat backing
+	// array instead of allocating per neuron.
+	winEdges := make([]int, outH*outW)
+	total := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			cnt := 0
+			for ky := 0; ky < g.KH; ky++ {
+				iy := oy*g.Stride + ky - g.Pad
+				if iy < 0 || iy >= g.InH {
+					continue
+				}
+				for kx := 0; kx < g.KW; kx++ {
+					if ix := ox*g.Stride + kx - g.Pad; ix >= 0 && ix < g.InW {
+						cnt++
+					}
+				}
+			}
+			winEdges[oy*outW+ox] = cnt * g.InC
+			total += cnt * g.InC
+		}
+	}
+	wiAll := make([]int, 0, total*t.OutC)
+	eiAll := make([]int, 0, total*t.OutC)
+	off := 0
 	for ch := 0; ch < t.OutC; ch++ {
 		book := p.ChannelCodebook[ch]
 		wcb := p.WeightCodebooks[book]
@@ -282,18 +321,25 @@ func buildConvHW(t *nn.Conv2D, p *composer.LayerPlan, next []float32, dev device
 				n := ch*outH*outW + oy*outW + ox
 				hl.groupOf[n] = book
 				hl.bias[n] = t.B.Value.At(0, ch)
-				// Gather the window's input positions; out-of-bounds taps map
-				// to -1 (a hard zero the executor skips).
-				var wiN, eiN []int
+				// Gather the window's input positions into this neuron's
+				// full-capacity view of the flat arrays; out-of-bounds taps
+				// produce no edge at all (zero pad).
+				nb := winEdges[oy*outW+ox]
+				wiN := wiAll[off : off : off+nb]
+				eiN := eiAll[off : off : off+nb]
+				off += nb
 				for c := 0; c < g.InC; c++ {
 					for ky := 0; ky < g.KH; ky++ {
 						iy := oy*g.Stride + ky - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
 						for kx := 0; kx < g.KW; kx++ {
 							ix := ox*g.Stride + kx - g.Pad
-							idx := c*g.KH*g.KW + ky*g.KW + kx
-							if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
-								continue // zero pad: no edge at all
+							if ix < 0 || ix >= g.InW {
+								continue
 							}
+							idx := c*g.KH*g.KW + ky*g.KW + kx
 							eiN = append(eiN, c*g.InH*g.InW+iy*g.InW+ix)
 							wiN = append(wiN, wi[idx])
 						}
@@ -323,20 +369,20 @@ func buildRecurrentHW(t *nn.Recurrent, p *composer.LayerPlan, next []float32, de
 		rnnLoop: NewFuncRNAShared(dev, wcb, p.InputCodebook, 0, p.ActTable, relu, p.InputCodebook, hwFracBits, planProducts(p, 0)),
 	}
 	// Per hidden neuron j: In edges from the frame (Wx column j) followed by
-	// H edges from the fed-back state (Wh column j).
-	hl.weightIdx = make([][]int, t.H)
+	// H edges from the fed-back state (Wh column j), SoA-packed like the
+	// feed-forward layers.
+	hl.weightIdx = flattenRows(t.H, t.In+t.H)
 	hl.groupOf = make([]int, t.H)
 	hl.bias = make([]float32, t.H)
 	for j := 0; j < t.H; j++ {
 		hl.bias[j] = t.B.Value.At(0, j)
-		wi := make([]int, t.In+t.H)
+		wi := hl.weightIdx[j]
 		for i := 0; i < t.In; i++ {
 			wi[i] = cluster.Assign(wcb, t.Wx.Value.At(i, j))
 		}
 		for k := 0; k < t.H; k++ {
 			wi[t.In+k] = cluster.Assign(wcb, t.Wh.Value.At(k, j))
 		}
-		hl.weightIdx[j] = wi
 	}
 	return hl, nil
 }
@@ -345,16 +391,21 @@ func buildPoolHW(t *nn.Pool2D, p *composer.LayerPlan, next []float32) *hwLayer {
 	hl := &hwLayer{kind: p.Kind, plan: p, poolAvg: t.Kind == nn.AvgPool, poolCB: next}
 	g := t.Geom
 	outH, outW := g.OutH(), g.OutW()
+	// Pooling windows are uniform (no padding), so they SoA-pack directly.
+	hl.poolWindows = flattenRows(g.InC*outH*outW, g.KH*g.KW)
+	n := 0
 	for c := 0; c < g.InC; c++ {
 		for oy := 0; oy < outH; oy++ {
 			for ox := 0; ox < outW; ox++ {
-				var win []int
+				win := hl.poolWindows[n]
+				n++
+				i := 0
 				for ky := 0; ky < g.KH; ky++ {
 					for kx := 0; kx < g.KW; kx++ {
-						win = append(win, c*g.InH*g.InW+(oy*g.Stride+ky)*g.InW+ox*g.Stride+kx)
+						win[i] = c*g.InH*g.InW + (oy*g.Stride+ky)*g.InW + ox*g.Stride + kx
+						i++
 					}
 				}
-				hl.poolWindows = append(hl.poolWindows, win)
 			}
 		}
 	}
@@ -367,7 +418,10 @@ func buildPoolHW(t *nn.Pool2D, p *composer.LayerPlan, next []float32) *hwLayer {
 // to evaluate many inputs in parallel.
 func (h *HardwareNetwork) Infer(x []float32) (int, error) {
 	s := scratchPool.Get().(*Scratch)
+	s.enableCAMCache()
 	pred, stats, err := h.inferOne(x, s)
+	h.foldCAMObs(s)
+	s.disableCAMCache()
 	scratchPool.Put(s)
 	if err != nil {
 		return 0, err
@@ -386,6 +440,9 @@ type netObs struct {
 	reads  *obs.Counter
 	writes *obs.Counter
 	energy *obs.FloatCounter
+	// Batch-scoped CAM cache effectiveness (camcache.go).
+	camHits   *obs.Counter
+	camMisses *obs.Counter
 }
 
 // Instrument registers this network's inference and substrate counters in
@@ -400,7 +457,23 @@ func (h *HardwareNetwork) Instrument(reg *obs.Registry, labels ...obs.Label) {
 		reads:  reg.Counter("rapidnn_rna_substrate_reads_total", "Crossbar reads spent by the hardware path.", labels...),
 		writes: reg.Counter("rapidnn_rna_substrate_writes_total", "Crossbar writes spent by the hardware path.", labels...),
 		energy: reg.FloatCounter("rapidnn_rna_substrate_energy_joules_total", "Substrate energy spent by the hardware path.", labels...),
+		camHits: reg.Counter("rapidnn_rna_cam_cache_hits_total",
+			"Activation/encoder CAM searches served from the batch-scoped lookup cache.", labels...),
+		camMisses: reg.Counter("rapidnn_rna_cam_cache_misses_total",
+			"Activation/encoder CAM searches that ran against the NDCAM and were memoized.", labels...),
 	}
+}
+
+// foldCAMObs harvests one scratch's CAM-cache hit/miss tallies into the
+// registry counters; a nop on an uninstrumented network. Counters are atomic,
+// so concurrent workers harvest without coordination.
+func (h *HardwareNetwork) foldCAMObs(s *Scratch) {
+	o := h.nobs
+	if o == nil {
+		return
+	}
+	o.camHits.Add(s.camHits)
+	o.camMisses.Add(s.camMisses)
 }
 
 // foldObs bumps the registry counters for n classified inputs; a nop on an
@@ -641,10 +714,13 @@ func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Sta
 	workers := h.workers(n)
 	if workers == 1 {
 		s := scratchPool.Get().(*Scratch)
+		s.enableCAMCache()
 		for i := 0; i < n; i++ {
 			row := x.Data()[i*h.inSize : (i+1)*h.inSize]
 			preds[i], stats[i], errs[i] = h.inferOne(row, s)
 		}
+		h.foldCAMObs(s)
+		s.disableCAMCache()
 		scratchPool.Put(s)
 	} else {
 		next := make(chan int)
@@ -654,10 +730,17 @@ func (h *HardwareNetwork) InferBatchStats(x *tensor.Tensor) ([]int, crossbar.Sta
 			go func() {
 				defer wg.Done()
 				// Each worker owns one Scratch for its whole share of the
-				// batch: all per-input buffers are reused across rows, and
-				// the arena goes back to the pool when the batch drains.
+				// batch: all per-input buffers — and the batch-scoped CAM
+				// lookup cache — are reused across rows with no sharing
+				// between workers, and the arena goes back to the pool
+				// (cache disarmed) when the batch drains.
 				s := scratchPool.Get().(*Scratch)
-				defer scratchPool.Put(s)
+				s.enableCAMCache()
+				defer func() {
+					h.foldCAMObs(s)
+					s.disableCAMCache()
+					scratchPool.Put(s)
+				}()
 				for i := range next {
 					row := x.Data()[i*h.inSize : (i+1)*h.inSize]
 					preds[i], stats[i], errs[i] = h.inferOne(row, s)

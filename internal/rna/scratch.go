@@ -12,10 +12,10 @@ import (
 // Scratch is the per-worker working set of the hot inference path. Every
 // buffer the pipeline needs between two neuron fires — the counting
 // histogram, the shift-add term and addend lists, the in-memory adder's row
-// storage, the CAM candidate buffer of the fault overlay, the reusable
-// pooling CAM, and the per-input activation buffers of the network executor
-// — lives here, so a worker that owns one Scratch evaluates neurons and
-// whole inputs without allocating in steady state.
+// storage and schedule table, the batch-scoped CAM lookup cache, the
+// reusable pooling CAM, and the per-input activation buffers of the network
+// executor — lives here, so a worker that owns one Scratch evaluates neurons
+// and whole inputs without allocating in steady state.
 //
 // Ownership rules: a Scratch is NOT safe for concurrent use — it is the
 // mutable state the re-entrant APIs (Eval/AccumulateBias/SearchStats) were
@@ -28,7 +28,15 @@ type Scratch struct {
 	terms   []counting.Term // shift-add decomposition of one count
 	addends []uint64        // adder operands of one accumulation
 	add     crossbar.AddScratch
-	camBuf  []int // NDCAM candidate buffer (fault-overlay searches only)
+
+	// Batch-scoped CAM lookup cache (camcache.go): activation and encoder
+	// searches within one batch repeat heavily, so the batch drivers enable
+	// this per-worker memo for their scratch's lifetime. Off (camOn false)
+	// for direct EvalScratch users and pool-borrowed one-shot scratches.
+	camCache           []camCacheEntry
+	camGen             uint32
+	camOn              bool
+	camHits, camMisses uint64
 
 	// Pooling: one CAM reused across MaxPool windows instead of a fresh
 	// allocation per window. Rebuilt only if the device parameters change.
