@@ -6,6 +6,7 @@ test: lint
 	go test ./...
 	$(MAKE) fleet-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) sim-compile-smoke
 	$(MAKE) bench-gate
 
 # Static-analysis gate: go vet plus a gofmt cleanliness check. gofmt -l
@@ -27,11 +28,13 @@ vet:
 # clean under the race detector — including the scratch-arena plumbing
 # underneath them (counting, crossbar adder, NDCAM) and the per-batch CAM
 # lookup cache each InferBatch worker arms on its own Scratch
-# (TestInferBatchCAMCacheConcurrent).
+# (TestInferBatchCAMCacheConcurrent) — and the compilation pass's parallel
+# candidate scoring (internal/accel/compile).
 race:
 	go test -race ./internal/rna/... ./internal/cluster/... ./internal/serve/... \
 		./internal/counting/... ./internal/crossbar/... ./internal/ndcam/... \
-		./internal/obs/... ./internal/fleet/... ./internal/chaos/...
+		./internal/obs/... ./internal/fleet/... ./internal/chaos/... \
+		./internal/accel/...
 
 # Robustness gate: fuzz both artifact loaders with short budgets. The seed
 # corpora (valid artifacts in each format plus truncations/corruptions) are
@@ -139,6 +142,26 @@ fleet-smoke:
 chaos-smoke:
 	go test -run '^TestRouterChaosSmoke$$' -count=1 ./cmd/rapidnn-router/
 
+# Compilation-pass smoke: compile MNIST and ISOLET under both objectives
+# through the real binary and assert (a) the event simulator confirmed the
+# analytic schedule on every run and (b) the throughput schedules strictly
+# beat the uncompiled initiation interval (the "improvement: II" line only
+# prints on strict gains).
+sim-compile-smoke:
+	go build -o /tmp/rapidnn-sim ./cmd/rapidnn-sim
+	@for net in MNIST ISOLET; do \
+		for mode in throughput latency; do \
+			out=$$(/tmp/rapidnn-sim -net $$net -mode $$mode) || exit 1; \
+			echo "$$out" | grep -q "event-sim check" || \
+				{ echo "sim-compile-smoke: $$net $$mode missing event-sim confirmation"; exit 1; }; \
+			if [ "$$mode" = throughput ]; then \
+				echo "$$out" | grep -q "improvement: II" || \
+					{ echo "sim-compile-smoke: $$net throughput schedule shows no II improvement"; exit 1; }; \
+			fi; \
+		done; \
+	done; \
+	echo "sim-compile-smoke: MNIST+ISOLET compiled and validated under both objectives"
+
 check: test vet race
 
-.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare bench-gate serve-smoke fleet-smoke chaos-smoke check
+.PHONY: test lint vet race fuzz bench-parallel bench-serve bench-hot bench-cold bench-compare bench-gate serve-smoke fleet-smoke chaos-smoke sim-compile-smoke check

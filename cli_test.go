@@ -165,6 +165,32 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Errorf("sim VGGNet output unexpected")
 	}
 
+	// -mode runs the compilation pass: MNIST at one chip must report a
+	// strict II improvement, the replication vector, the event-sim
+	// confirmation and the capacity plan.
+	out = runCmd(t, simBin, "-net", "MNIST", "-mode", "throughput", "-capacity-chips", "1,8")
+	for _, want := range []string{
+		"compilation pass (throughput objective)",
+		"improvement: II",
+		"replication vector",
+		"event-sim check",
+		"capacity plan: MNIST",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim -mode output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := exec.Command(simBin, "-net", "MNIST", "-mode", "speed").CombinedOutput(); err == nil {
+		t.Error("sim accepted an unknown -mode")
+	}
+
+	// The multiplexed regime is reportable, not silent: a workload that
+	// exceeds one chip must print why no static placement exists.
+	out = runCmd(t, simBin, "-net", "CIFAR-100", "-chips", "1")
+	if !strings.Contains(out, "no static tile placement") {
+		t.Errorf("sim over-capacity run does not report the placement error:\n%s", out)
+	}
+
 	// Unknown dataset names fail with the shared registry's valid-name list.
 	badOut, err := exec.Command(composeBin, "-dataset", "Nope").CombinedOutput()
 	if err == nil {

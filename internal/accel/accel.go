@@ -9,7 +9,6 @@ package accel
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/composer"
 	"repro/internal/device"
@@ -127,33 +126,22 @@ func Simulate(name string, plans []*composer.LayerPlan, macs int64, cfg Config) 
 	r := &Report{Network: name, Chips: cfg.Chips, MACs: macs}
 	r.RNAsAvailable = cfg.Chips * dev.RNAsPerChip()
 
-	// Allocate RNA blocks per layer and accumulate per-input work.
-	for _, p := range plans {
-		if p.Kind == composer.KindDropout {
-			continue
-		}
-		blocks := p.Neurons
-		if p.IsCompute() && cfg.ShareFraction > 0 {
-			blocks = p.Neurons - int(math.Round(float64(p.Neurons)*cfg.ShareFraction))
-			if blocks < 1 {
-				blocks = 1
-			}
-		}
-		nc := cm.NeuronCost(p)
-		perInput := nc
+	// Allocate RNA blocks per layer and accumulate per-input work. The stage
+	// cycle counts come from the shared stage-cost helper (stagecost.go) so
+	// this analytic model, the event simulator and the compilation pass
+	// price stages identically.
+	for _, st := range DefaultStages(plans, cfg) {
+		p := st.Plan
+		perInput := cm.NeuronCost(p)
 		perInput.ScaleInPlace(int64(p.Neurons))
-		// Shared blocks evaluate several neurons with pipelined overlap; only
-		// ShareOverlap of each extra neuron's work serializes.
-		extra := float64(p.Neurons)/float64(blocks) - 1
-		stretch := 1 + cfg.ShareOverlap*extra
 		lr := LayerReport{
 			Name: p.Name, Kind: p.Kind, Neurons: p.Neurons,
-			RNABlocks: blocks,
-			Cycles:    int64(math.Ceil(float64(nc.Total().Cycles) * stretch)),
+			RNABlocks: st.Blocks,
+			Cycles:    st.BaseCycles(cm, cfg.ShareOverlap),
 			Breakdown: perInput,
 		}
 		r.Layers = append(r.Layers, lr)
-		r.RNAsRequired += blocks
+		r.RNAsRequired += st.TotalBlocks()
 		r.Breakdown.Add(perInput)
 	}
 
@@ -171,7 +159,7 @@ func Simulate(name string, plans []*composer.LayerPlan, macs int64, cfg Config) 
 		r.Multiplex = float64(r.RNAsRequired) / float64(r.RNAsAvailable)
 	}
 	for _, lr := range r.Layers {
-		c := int64(math.Ceil(float64(lr.Cycles) * r.Multiplex))
+		c := multiplexCycles(lr.Cycles, r.Multiplex)
 		r.LatencyCycles += c
 		if c > r.PipelineCycles {
 			r.PipelineCycles = c

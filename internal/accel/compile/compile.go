@@ -1,0 +1,476 @@
+// Package compile is the PIMCOMP-style compilation pass over the RAPIDNN
+// accelerator model (ROADMAP item 3): it takes a composed network's layer
+// plans plus a chip Config and emits a Schedule — packed tile placement,
+// per-stage replication of bottleneck layers, and RNA-sharing assignment
+// (§5.6) — under a latency- or throughput-oriented objective. The search is
+// a greedy seed (the uncompiled mapping) refined by deterministic
+// hill-climbing over per-stage moves; every candidate is scored by the
+// shared analytic stage-cost model and the emitted schedule is validated by
+// the discrete-event simulator, which must reproduce the analytic
+// initiation interval and first-input latency exactly.
+package compile
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/composer"
+	"repro/internal/rna"
+)
+
+// Mode selects the optimization objective.
+type Mode int
+
+const (
+	// Throughput minimizes the pipeline initiation interval (steady-state
+	// inter-departure cycles); ties break toward lower latency, then lower
+	// energy, then fewer blocks.
+	Throughput Mode = iota
+	// Latency minimizes the first-input end-to-end latency; ties break
+	// toward lower II, then lower energy, then fewer blocks.
+	Latency
+)
+
+func (m Mode) String() string {
+	if m == Latency {
+		return "latency"
+	}
+	return "throughput"
+}
+
+// ParseMode resolves the -mode flag values.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "latency":
+		return Latency, nil
+	case "throughput":
+		return Throughput, nil
+	}
+	return 0, fmt.Errorf("compile: unknown mode %q (want latency or throughput)", s)
+}
+
+// Options tunes the search.
+type Options struct {
+	Mode Mode
+	// MaxReplicas caps per-stage replication (default 8).
+	MaxReplicas int
+	// ShareFraction is the neuron fraction a stage gives up when the search
+	// assigns RNA sharing to it (default 0.3, the paper's §5.6 operating
+	// point). When the accel Config already carries a nonzero ShareFraction
+	// that value is used instead, so the seed state reproduces the
+	// uncompiled mapping exactly.
+	ShareFraction float64
+	// ValidateInputs is the event-simulation stream length (0 = enough to
+	// reach steady state: total sub-stages + 4).
+	ValidateInputs int
+}
+
+func (o Options) withDefaults(cfg accel.Config) Options {
+	if o.MaxReplicas < 1 {
+		o.MaxReplicas = 8
+	}
+	if cfg.ShareFraction > 0 {
+		o.ShareFraction = cfg.ShareFraction
+	} else if o.ShareFraction <= 0 || o.ShareFraction > 0.9 {
+		o.ShareFraction = 0.3
+	}
+	return o
+}
+
+// Metrics is the analytic score of one candidate mapping.
+type Metrics struct {
+	// II is the pipeline initiation interval in cycles (post-multiplex);
+	// LatencyCycles the single-input end-to-end latency.
+	II             int64
+	LatencyCycles  int64
+	ThroughputIPS  float64
+	LatencySeconds float64
+	// EnergyPerInputJ covers compute, replica-merge overhead, amortized
+	// reconfiguration when multiplexed, and broadcast-buffer traffic when a
+	// static placement exists.
+	EnergyPerInputJ float64
+	BufferEnergyJ   float64
+	Multiplex       float64
+	BlocksRequired  int
+	TilesUsed       int // 0 when no static placement exists
+}
+
+// StageAssignment is one layer's slot in the emitted schedule.
+type StageAssignment struct {
+	Name     string
+	Kind     composer.LayerKind
+	Neurons  int
+	Blocks   int // per replica group, after sharing
+	Replicas int
+	Shared   bool
+	// SubCycles is the post-multiplex cycle count of one cascade sub-stage —
+	// the stage's initiation-interval contribution.
+	SubCycles int64
+	// FirstTile/Tiles span the stage's replica groups; both are -1 when the
+	// deployment is multiplexed and no static placement exists.
+	FirstTile int
+	Tiles     int
+}
+
+// Schedule is the compilation result: the stage assignments plus the
+// analytic metrics of the compiled and uncompiled mappings and the event
+// simulator's confirmation.
+type Schedule struct {
+	Network string
+	Mode    Mode
+	Chips   int
+	Stages  []StageAssignment
+
+	Compiled Metrics
+	// Baseline is the uncompiled mapping (uniform config sharing, no
+	// replication, packed placement) scored by the same model.
+	Baseline Metrics
+
+	// PlacementErr records why no static placement exists (multiplexed
+	// regime) — a legitimate, reportable state, not a failure.
+	PlacementErr string
+
+	// EventSteadyInterval / EventFirstLatency are the discrete-event
+	// simulator's measurements of the emitted schedule; Compile fails if
+	// they diverge from the analytic Compiled.II / Compiled.LatencyCycles.
+	EventSteadyInterval int64
+	EventFirstLatency   int64
+}
+
+// ReplicaVector returns the per-stage replication degrees in stage order.
+func (s *Schedule) ReplicaVector() []int {
+	v := make([]int, len(s.Stages))
+	for i, st := range s.Stages {
+		v[i] = st.Replicas
+	}
+	return v
+}
+
+// stageState is the search's per-stage decision variables.
+type stageState struct {
+	replicas int
+	shared   bool
+}
+
+type compiler struct {
+	plans []*composer.LayerPlan // executable layers only
+	cfg   accel.Config
+	cm    rna.CostModel
+	opts  Options
+}
+
+// Compile searches for a schedule optimizing the requested objective and
+// validates it with the event simulator before returning it.
+func Compile(name string, plans []*composer.LayerPlan, cfg accel.Config, opts Options) (*Schedule, error) {
+	stagesSeed := accel.DefaultStages(plans, cfg)
+	if len(stagesSeed) == 0 {
+		return nil, fmt.Errorf("compile: %s has no layers to schedule", name)
+	}
+	opts = opts.withDefaults(cfg)
+	c := &compiler{cfg: cfg, cm: rna.CostModel{Dev: cfg.Dev}, opts: opts}
+	for _, st := range stagesSeed {
+		c.plans = append(c.plans, st.Plan)
+	}
+
+	// Greedy seed: the uncompiled mapping. Sharing starts wherever the
+	// config's uniform fraction put it, so the seed's metrics ARE the
+	// baseline and the search can only improve on them.
+	state := make([]stageState, len(c.plans))
+	for i, p := range c.plans {
+		state[i] = stageState{replicas: 1, shared: cfg.ShareFraction > 0 && p.IsCompute()}
+	}
+	baseline := c.score(state)
+
+	state, best := c.refine(state, baseline)
+
+	sched := &Schedule{
+		Network:  name,
+		Mode:     opts.Mode,
+		Chips:    cfg.Chips,
+		Compiled: best,
+		Baseline: baseline,
+	}
+	stages := c.lower(state)
+	placement, perr := accel.PlaceStages(stages, cfg)
+	for i, st := range stages {
+		sa := StageAssignment{
+			Name: st.Plan.Name, Kind: st.Plan.Kind, Neurons: st.Plan.Neurons,
+			Blocks: st.Blocks, Replicas: st.Replicas, Shared: state[i].shared,
+			FirstTile: -1, Tiles: -1,
+		}
+		if perr == nil {
+			sa.FirstTile = placement.Layers[i].FirstTile
+			sa.Tiles = placement.Layers[i].Tiles
+		}
+		sched.Stages = append(sched.Stages, sa)
+	}
+	counts := accel.StageCycleCounts(stages, cfg)
+	sub := 0
+	for i := range sched.Stages {
+		sched.Stages[i].SubCycles = counts[sub]
+		sub += sched.Stages[i].Replicas
+	}
+	if perr != nil {
+		sched.PlacementErr = perr.Error()
+	}
+
+	// Validation contract: the event simulator must reproduce the analytic
+	// model on the emitted schedule.
+	inputs := opts.ValidateInputs
+	if inputs <= 0 {
+		inputs = len(counts) + 4
+	}
+	pipe, err := accel.SimulateStages(stages, inputs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("compile: validating %s: %w", name, err)
+	}
+	sched.EventSteadyInterval = pipe.SteadyInterval
+	sched.EventFirstLatency = pipe.FirstLatency
+	if pipe.SteadyInterval != best.II {
+		return nil, fmt.Errorf("compile: %s event-simulated interval %d disagrees with analytic II %d",
+			name, pipe.SteadyInterval, best.II)
+	}
+	if pipe.FirstLatency != best.LatencyCycles {
+		return nil, fmt.Errorf("compile: %s event-simulated latency %d disagrees with analytic %d",
+			name, pipe.FirstLatency, best.LatencyCycles)
+	}
+	return sched, nil
+}
+
+// refine hill-climbs from the seed: each round enumerates every single-stage
+// move (replicate, de-replicate, toggle sharing), scores them concurrently
+// through the analytic model, and takes the best strict improvement. The
+// move list and the tie-break (lowest move index) are deterministic, so the
+// result does not depend on goroutine scheduling.
+func (c *compiler) refine(state []stageState, cur Metrics) ([]stageState, Metrics) {
+	maxIters := len(c.plans)*c.opts.MaxReplicas + 8
+	for iter := 0; iter < maxIters; iter++ {
+		moves := c.moves(state)
+		if len(moves) == 0 {
+			break
+		}
+		scores := make([]Metrics, len(moves))
+		var wg sync.WaitGroup
+		for i := range moves {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				scores[i] = c.score(moves[i])
+			}(i)
+		}
+		wg.Wait()
+		best := -1
+		for i := range moves {
+			if !c.better(scores[i], cur) {
+				continue
+			}
+			if best == -1 || c.better(scores[i], scores[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		state, cur = moves[best], scores[best]
+	}
+	return state, cur
+}
+
+// moves enumerates the neighbour states of one search step.
+func (c *compiler) moves(state []stageState) [][]stageState {
+	var out [][]stageState
+	clone := func() []stageState {
+		n := make([]stageState, len(state))
+		copy(n, state)
+		return n
+	}
+	for i, p := range c.plans {
+		if !p.IsCompute() {
+			continue
+		}
+		if state[i].replicas < c.opts.MaxReplicas {
+			m := clone()
+			m[i].replicas++
+			out = append(out, m)
+		}
+		if state[i].replicas > 1 {
+			m := clone()
+			m[i].replicas--
+			out = append(out, m)
+		}
+		m := clone()
+		m[i].shared = !m[i].shared
+		out = append(out, m)
+	}
+	// Compound move: when several stages tie at the bottleneck II,
+	// replicating any one of them alone leaves the II unchanged (the others
+	// still set it) and single-stage hill-climbing stalls on the plateau.
+	// Bumping every replicable bottleneck stage together breaks the tie in
+	// one step.
+	stages := c.lower(state)
+	counts := accel.StageCycleCounts(stages, c.cfg)
+	var ii int64
+	for _, cyc := range counts {
+		if cyc > ii {
+			ii = cyc
+		}
+	}
+	m := clone()
+	bumped := 0
+	sub := 0
+	for i, p := range c.plans {
+		atBottleneck := counts[sub] == ii
+		sub += state[i].replicas
+		if !atBottleneck || !p.IsCompute() || state[i].replicas >= c.opts.MaxReplicas {
+			continue
+		}
+		m[i].replicas++
+		bumped++
+	}
+	if bumped > 1 {
+		out = append(out, m)
+	}
+	return out
+}
+
+// lower turns a search state into the concrete stage list.
+func (c *compiler) lower(state []stageState) []accel.StageSpec {
+	stages := make([]accel.StageSpec, len(c.plans))
+	for i, p := range c.plans {
+		share := 0.0
+		if state[i].shared {
+			share = c.opts.ShareFraction
+		}
+		stages[i] = accel.StageSpec{
+			Plan:     p,
+			Blocks:   accel.EffectiveBlocks(p, share),
+			Replicas: state[i].replicas,
+		}
+	}
+	return stages
+}
+
+// score prices a candidate through the shared analytic stage-cost model.
+func (c *compiler) score(state []stageState) Metrics {
+	stages := c.lower(state)
+	ii, lat := accel.AnalyticPipeline(stages, c.cfg)
+	m := Metrics{
+		II:             ii,
+		LatencyCycles:  lat,
+		ThroughputIPS:  c.cfg.Dev.ClockHz / float64(ii),
+		LatencySeconds: c.cfg.Dev.CycleSeconds(lat),
+		Multiplex:      accel.MultiplexFactor(stages, c.cfg),
+		BlocksRequired: accel.RequiredBlocks(stages),
+	}
+	for _, st := range stages {
+		m.EnergyPerInputJ += c.cm.NeuronCost(st.Plan).Total().EnergyJ * float64(st.Plan.Neurons)
+		if st.Replicas > 1 {
+			m.EnergyPerInputJ += float64(st.Replicas-1) *
+				c.cm.ReplicaMergeCost(st.Plan).EnergyJ * float64(st.Plan.Neurons)
+		}
+	}
+	if m.Multiplex > 1 {
+		// Evicted blocks are re-programmed every ReuseBatch inputs; each
+		// replica group carries its own product/AM tables.
+		evicted := 1 - 1/m.Multiplex
+		var reconfig float64
+		for _, st := range stages {
+			if !st.Plan.IsCompute() {
+				continue
+			}
+			reconfig += c.cm.ReconfigureCost(st.Plan).EnergyJ *
+				float64(st.Plan.Neurons) * float64(st.Replicas)
+		}
+		m.EnergyPerInputJ += reconfig * evicted / float64(c.cfg.ReuseBatch)
+	}
+	if pl, err := accel.PlaceStages(stages, c.cfg); err == nil {
+		m.BufferEnergyJ = pl.BufferEnergyJ
+		m.EnergyPerInputJ += pl.BufferEnergyJ
+		m.TilesUsed = pl.TilesUsed
+	}
+	return m
+}
+
+// better reports whether a strictly improves on b under the objective.
+// Primary key first, then the tie-breaks; energy uses a relative epsilon so
+// floating-point churn cannot masquerade as improvement.
+func (c *compiler) better(a, b Metrics) bool {
+	keysA, keysB := c.keys(a), c.keys(b)
+	for i := range keysA {
+		if keysA[i] < keysB[i]-energyEps(i, keysB[i]) {
+			return true
+		}
+		if keysA[i] > keysB[i]+energyEps(i, keysB[i]) {
+			return false
+		}
+	}
+	return false
+}
+
+func (c *compiler) keys(m Metrics) [4]float64 {
+	if c.opts.Mode == Latency {
+		return [4]float64{float64(m.LatencyCycles), float64(m.II), m.EnergyPerInputJ, float64(m.BlocksRequired)}
+	}
+	return [4]float64{float64(m.II), float64(m.LatencyCycles), m.EnergyPerInputJ, float64(m.BlocksRequired)}
+}
+
+// energyEps returns the comparison tolerance for key index i: exact for the
+// integral cycle/block keys, relative for the energy key (index 2).
+func energyEps(i int, ref float64) float64 {
+	if i != 2 {
+		return 0
+	}
+	eps := 1e-9 * ref
+	if eps < 1e-21 {
+		eps = 1e-21
+	}
+	return eps
+}
+
+// CapacityPoint is one row of the capacity plan: the throughput one
+// deployment of Chips chips sustains under the compiled schedule.
+type CapacityPoint struct {
+	Chips         int
+	II            int64
+	ThroughputIPS float64
+	Multiplex     float64
+}
+
+// DeploymentsForIPS returns how many deployments of this point's chip count
+// a fleet needs to sustain the target aggregate rate — the capacity-planning
+// quantity the serving router's replica sizing consumes.
+func (p CapacityPoint) DeploymentsForIPS(target float64) int {
+	if target <= 0 || p.ThroughputIPS <= 0 {
+		return 0
+	}
+	n := int(target / p.ThroughputIPS)
+	if float64(n)*p.ThroughputIPS < target {
+		n++
+	}
+	return n
+}
+
+// EstimateCapacity compiles the workload at each chip count and reports the
+// schedule-driven serving capacity (IPS at N chips).
+func EstimateCapacity(name string, plans []*composer.LayerPlan, cfg accel.Config, opts Options, chipCounts []int) ([]CapacityPoint, error) {
+	var out []CapacityPoint
+	for _, chips := range chipCounts {
+		if chips < 1 {
+			return nil, fmt.Errorf("compile: capacity chip count %d", chips)
+		}
+		c := cfg
+		c.Chips = chips
+		sched, err := Compile(name, plans, c, opts)
+		if err != nil {
+			return nil, fmt.Errorf("compile: capacity at %d chips: %w", chips, err)
+		}
+		out = append(out, CapacityPoint{
+			Chips:         chips,
+			II:            sched.Compiled.II,
+			ThroughputIPS: sched.Compiled.ThroughputIPS,
+			Multiplex:     sched.Compiled.Multiplex,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+package compile_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/accel/compile"
+	"repro/internal/bench"
+)
+
+func TestParseMode(t *testing.T) {
+	if m, err := compile.ParseMode("latency"); err != nil || m != compile.Latency {
+		t.Fatalf("latency: %v %v", m, err)
+	}
+	if m, err := compile.ParseMode("throughput"); err != nil || m != compile.Throughput {
+		t.Fatalf("throughput: %v %v", m, err)
+	}
+	if _, err := compile.ParseMode("speed"); err == nil {
+		t.Fatal("bogus mode must error")
+	}
+	if compile.Throughput.String() != "throughput" || compile.Latency.String() != "latency" {
+		t.Fatal("mode strings")
+	}
+}
+
+// The headline acceptance criterion: on MNIST at one chip the throughput
+// schedule must beat the uncompiled initiation interval strictly, and the
+// event simulator must agree with the analytic numbers exactly.
+func TestCompileMNISTThroughputImprovesII(t *testing.T) {
+	b := benchByName(t, "MNIST")
+	cfg := accel.DefaultConfig()
+	sched, err := compile.Compile(b.Name, b.Plans, cfg, compile.Options{Mode: compile.Throughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Compiled.II >= sched.Baseline.II {
+		t.Fatalf("compiled II %d not below baseline %d", sched.Compiled.II, sched.Baseline.II)
+	}
+	if sched.EventSteadyInterval != sched.Compiled.II {
+		t.Fatalf("event interval %d != analytic II %d", sched.EventSteadyInterval, sched.Compiled.II)
+	}
+	// The seed stage cycles are fc1 582, fc2 546+10=556, out 556; replication
+	// bottoms out at the cap with fc1's sub-stage at ceil(582/8)+13 = 86
+	// cycles setting the interval.
+	if sched.Compiled.II != 86 {
+		t.Fatalf("MNIST compiled II = %d, want 86", sched.Compiled.II)
+	}
+	replicated := false
+	for _, st := range sched.Stages {
+		if st.Replicas > 1 {
+			replicated = true
+		}
+	}
+	if !replicated {
+		t.Fatal("throughput schedule replicated no stage")
+	}
+}
+
+// Invariants of the two objectives versus the uncompiled mapping: throughput
+// mode never emits a worse II, latency mode never a worse first-input
+// latency. The search seeds from the uncompiled mapping and only accepts
+// strict improvements, and these tests pin that contract across every
+// registry workload and both deployment sizes.
+func TestCompileNeverWorseThanBaseline(t *testing.T) {
+	for _, b := range bench.HardwareBenchmarks(64, 64) {
+		for _, chips := range []int{1, 8} {
+			cfg := accel.DefaultConfig()
+			cfg.Chips = chips
+			thr, err := compile.Compile(b.Name, b.Plans, cfg, compile.Options{Mode: compile.Throughput})
+			if err != nil {
+				t.Fatalf("%s @%d throughput: %v", b.Name, chips, err)
+			}
+			if thr.Compiled.II > thr.Baseline.II {
+				t.Errorf("%s @%d chips: throughput II %d worse than baseline %d",
+					b.Name, chips, thr.Compiled.II, thr.Baseline.II)
+			}
+			lat, err := compile.Compile(b.Name, b.Plans, cfg, compile.Options{Mode: compile.Latency})
+			if err != nil {
+				t.Fatalf("%s @%d latency: %v", b.Name, chips, err)
+			}
+			if lat.Compiled.LatencyCycles > lat.Baseline.LatencyCycles {
+				t.Errorf("%s @%d chips: latency %d worse than baseline %d",
+					b.Name, chips, lat.Compiled.LatencyCycles, lat.Baseline.LatencyCycles)
+			}
+		}
+	}
+}
+
+// Property: for every registry dataset, at 1 and 8 chips and under both
+// objectives, the event-simulated steady interval and first-input latency of
+// the emitted schedule equal the analytic II and latency. Compile enforces
+// this internally; the test re-runs the simulation independently so the
+// contract is pinned from outside the package too.
+func TestCompiledScheduleMatchesEventSimulation(t *testing.T) {
+	for _, b := range bench.HardwareBenchmarks(64, 64) {
+		for _, chips := range []int{1, 8} {
+			for _, mode := range []compile.Mode{compile.Throughput, compile.Latency} {
+				t.Run(fmt.Sprintf("%s/%dchips/%s", b.Name, chips, mode), func(t *testing.T) {
+					cfg := accel.DefaultConfig()
+					cfg.Chips = chips
+					sched, err := compile.Compile(b.Name, b.Plans, cfg, compile.Options{Mode: mode})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if sched.EventSteadyInterval != sched.Compiled.II {
+						t.Fatalf("event interval %d != analytic II %d",
+							sched.EventSteadyInterval, sched.Compiled.II)
+					}
+					if sched.EventFirstLatency != sched.Compiled.LatencyCycles {
+						t.Fatalf("event latency %d != analytic %d",
+							sched.EventFirstLatency, sched.Compiled.LatencyCycles)
+					}
+					if sched.Compiled.BlocksRequired <= 0 || sched.Compiled.Multiplex < 1 {
+						t.Fatalf("degenerate metrics %+v", sched.Compiled)
+					}
+					if len(sched.Stages) == 0 {
+						t.Fatal("no stage assignments")
+					}
+					for _, st := range sched.Stages {
+						if st.SubCycles <= 0 || st.Blocks < 1 || st.Replicas < 1 {
+							t.Fatalf("degenerate stage %+v", st)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestCompileIsDeterministic(t *testing.T) {
+	b := benchByName(t, "ISOLET")
+	cfg := accel.DefaultConfig()
+	first, err := compile.Compile(b.Name, b.Plans, cfg, compile.Options{Mode: compile.Throughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := compile.Compile(b.Name, b.Plans, cfg, compile.Options{Mode: compile.Throughput})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(again.ReplicaVector()) != fmt.Sprint(first.ReplicaVector()) ||
+			again.Compiled != first.Compiled {
+			t.Fatalf("run %d diverged: %v vs %v", i, again.Compiled, first.Compiled)
+		}
+	}
+}
+
+// Placement accounting: when the schedule fits, every stage carries a real
+// tile span and the compiled energy includes buffer traffic; when it is
+// multiplexed, PlacementErr reports why and the spans are -1.
+func TestCompilePlacementStates(t *testing.T) {
+	fits := benchByName(t, "MNIST")
+	cfg := accel.DefaultConfig()
+	sched, err := compile.Compile(fits.Name, fits.Plans, cfg, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.PlacementErr != "" {
+		t.Fatalf("MNIST fits one chip, got placement error %q", sched.PlacementErr)
+	}
+	for _, st := range sched.Stages {
+		if st.FirstTile < 0 || st.Tiles < 1 {
+			t.Fatalf("placed stage without tile span: %+v", st)
+		}
+	}
+	if sched.Compiled.BufferEnergyJ <= 0 || sched.Compiled.TilesUsed < 1 {
+		t.Fatalf("placed schedule missing buffer accounting: %+v", sched.Compiled)
+	}
+
+	big := benchByName(t, "CIFAR-100")
+	mult, err := compile.Compile(big.Name, big.Plans, cfg, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mult.Compiled.Multiplex <= 1 {
+		t.Fatalf("CIFAR-100 at one chip should multiplex, got %v", mult.Compiled.Multiplex)
+	}
+	if mult.PlacementErr == "" {
+		t.Fatal("multiplexed schedule must report why no static placement exists")
+	}
+	for _, st := range mult.Stages {
+		if st.FirstTile != -1 || st.Tiles != -1 {
+			t.Fatalf("multiplexed stage carries a tile span: %+v", st)
+		}
+	}
+}
+
+func TestEstimateCapacity(t *testing.T) {
+	b := benchByName(t, "ISOLET")
+	pts, err := compile.EstimateCapacity(b.Name, b.Plans, accel.DefaultConfig(),
+		compile.Options{Mode: compile.Throughput}, []int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d capacity points, want 3", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.ThroughputIPS <= 0 || pt.II <= 0 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+		if i > 0 && pt.ThroughputIPS < pts[i-1].ThroughputIPS {
+			t.Fatalf("capacity regressed with more chips: %+v then %+v", pts[i-1], pt)
+		}
+	}
+	// Fleet sizing: deployments needed to hit an aggregate target rate.
+	if n := pts[0].DeploymentsForIPS(2.5 * pts[0].ThroughputIPS); n != 3 {
+		t.Fatalf("DeploymentsForIPS = %d, want 3", n)
+	}
+	if n := pts[0].DeploymentsForIPS(0); n != 0 {
+		t.Fatalf("zero target needs %d deployments", n)
+	}
+
+	if _, err := compile.EstimateCapacity(b.Name, b.Plans, accel.DefaultConfig(),
+		compile.Options{}, []int{0}); err == nil {
+		t.Fatal("zero chip count must error")
+	}
+}
+
+func benchByName(t *testing.T, name string) *bench.HWBench {
+	t.Helper()
+	for _, b := range bench.HardwareBenchmarks(64, 64) {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("benchmark %s not in registry", name)
+	return nil
+}

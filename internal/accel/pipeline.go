@@ -2,10 +2,8 @@ package accel
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/composer"
-	"repro/internal/rna"
 )
 
 // This file is a discrete-event simulation of the §4.3 pipeline: layers are
@@ -14,12 +12,14 @@ import (
 // writing values into a buffer, the next block (next layer) [is] accessing
 // the previous values stored in the buffer." The event simulation validates
 // the analytical model's steady-state throughput and exposes the fill/drain
-// transients the closed-form model cannot see.
+// transients the closed-form model cannot see. A replicated stage (StageSpec
+// with Replicas > 1) expands into a cascade of sub-stages, which is how the
+// compilation pass's bottleneck duplication cuts the initiation interval.
 
 // PipelineEvent records one stage's processing of one input.
 type PipelineEvent struct {
 	Input int
-	Stage int
+	Stage int   // sub-stage index (a replicated layer owns Replicas entries)
 	Start int64 // cycle the stage begins
 	End   int64 // cycle the stage's output is in the buffer
 }
@@ -32,63 +32,57 @@ type PipelineResult struct {
 	// FirstLatency is input 0's end-to-end latency (pipeline fill).
 	FirstLatency int64
 	// SteadyInterval is the observed inter-departure interval in steady
-	// state, which converges to the slowest stage's cycle count.
+	// state, which converges to the slowest sub-stage's cycle count.
 	SteadyInterval int64
 	// ThroughputIPS is the steady-state rate implied by SteadyInterval.
 	ThroughputIPS float64
 }
 
 // SimulatePipeline streams `inputs` consecutive inferences through the layer
-// stages of the planned network. Stage s of input i can start only when (a)
-// stage s finished input i−1 (the RNA blocks are busy until then) and (b)
-// stage s−1 finished input i (its operands are in the broadcast buffer) —
-// the classic pipeline recurrence.
+// stages of the planned network under the uncompiled mapping (the config's
+// uniform sharing, no replication). See SimulateStages for the general form.
 func SimulatePipeline(plans []*composer.LayerPlan, inputs int, cfg Config) (*PipelineResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return SimulateStages(DefaultStages(plans, cfg), inputs, cfg)
+}
+
+// SimulateStages streams `inputs` consecutive inferences through an explicit
+// stage list — the event-simulation half of the compilation pass's
+// validation contract. Stage s of input i can start only when (a) stage s
+// finished input i−1 (the RNA blocks are busy until then) and (b) stage s−1
+// finished input i (its operands are in the broadcast buffer) — the classic
+// pipeline recurrence. Per-stage cycle counts (sharing stretch, replication
+// cascade, multiplexing) come from the shared stage-cost helper, so the
+// steady state provably converges to the analytic initiation interval.
+func SimulateStages(stages []StageSpec, inputs int, cfg Config) (*PipelineResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if inputs < 1 {
 		return nil, fmt.Errorf("accel: need at least one input, got %d", inputs)
 	}
-	cm := rna.CostModel{Dev: cfg.Dev}
-	// Stage cycle counts mirror Simulate's per-layer latency (including
-	// sharing stretch and multiplexing).
-	var stages []int64
-	var required int
-	for _, p := range plans {
-		if p.Kind == composer.KindDropout {
-			continue
+	for _, st := range stages {
+		if st.Blocks < 1 || st.Replicas < 1 {
+			return nil, fmt.Errorf("accel: stage %s has %d blocks x%d replicas",
+				st.Plan.Name, st.Blocks, st.Replicas)
 		}
-		blocks := p.Neurons
-		if p.IsCompute() && cfg.ShareFraction > 0 {
-			blocks = p.Neurons - int(math.Round(float64(p.Neurons)*cfg.ShareFraction))
-			if blocks < 1 {
-				blocks = 1
-			}
-		}
-		extra := float64(p.Neurons)/float64(blocks) - 1
-		stretch := 1 + cfg.ShareOverlap*extra
-		cyc := int64(math.Ceil(float64(cm.NeuronCost(p).Total().Cycles) * stretch))
-		stages = append(stages, cyc)
-		required += blocks
 	}
-	if len(stages) == 0 {
+	cycleCounts := StageCycleCounts(stages, cfg)
+	if len(cycleCounts) == 0 {
 		return nil, fmt.Errorf("accel: no stages to simulate")
-	}
-	available := cfg.Chips * cfg.Dev.RNAsPerChip()
-	if required > available {
-		mult := float64(required) / float64(available)
-		for i := range stages {
-			stages[i] = int64(math.Ceil(float64(stages[i]) * mult))
-		}
 	}
 
 	res := &PipelineResult{}
-	// ready[s] = cycle stage s becomes free; done = per-input completion of
-	// the previous stage.
-	ready := make([]int64, len(stages))
-	prevDone := make([]int64, inputs) // completion time at the previous stage
-	for s, cyc := range stages {
+	// ready[s] = cycle stage s becomes free; prevDone = per-input completion
+	// of the previous stage. FirstLatency and the steady-state interval fall
+	// out of prevDone after the final stage's pass — no post-hoc rescan of
+	// the Events slice.
+	ready := make([]int64, len(cycleCounts))
+	prevDone := make([]int64, inputs)
+	res.Events = make([]PipelineEvent, 0, len(cycleCounts)*inputs)
+	for s, cyc := range cycleCounts {
 		for i := 0; i < inputs; i++ {
 			start := prevDone[i]
 			if ready[s] > start {
@@ -100,25 +94,12 @@ func SimulatePipeline(plans []*composer.LayerPlan, inputs int, cfg Config) (*Pip
 			prevDone[i] = end
 		}
 	}
+	// After the last stage's pass prevDone holds every input's departure
+	// time from the pipeline.
 	res.MakespanCycles = prevDone[inputs-1]
-	// First input's latency: completion at the last stage.
-	for _, e := range res.Events {
-		if e.Input == 0 && e.Stage == len(stages)-1 {
-			res.FirstLatency = e.End
-		}
-	}
+	res.FirstLatency = prevDone[0]
 	if inputs > 1 {
-		// Inter-departure in the second half of the stream (steady state).
-		var lastTwo [2]int64
-		for _, e := range res.Events {
-			if e.Stage == len(stages)-1 && e.Input == inputs-2 {
-				lastTwo[0] = e.End
-			}
-			if e.Stage == len(stages)-1 && e.Input == inputs-1 {
-				lastTwo[1] = e.End
-			}
-		}
-		res.SteadyInterval = lastTwo[1] - lastTwo[0]
+		res.SteadyInterval = prevDone[inputs-1] - prevDone[inputs-2]
 	} else {
 		res.SteadyInterval = res.FirstLatency
 	}

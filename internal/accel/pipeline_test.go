@@ -208,3 +208,52 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatalf("%d track-name events for %d stages", meta, len(stages))
 	}
 }
+
+// A replicated stage expands into a cascade of sub-stages in the event
+// simulation: the steady interval drops to the analytic II of the replicated
+// stage list and the fill latency matches the analytic sum, exactly.
+func TestSimulateStagesReplicationCutsInterval(t *testing.T) {
+	plans, _ := fcPlans()
+	cfg := DefaultConfig()
+	base, err := SimulateStages(DefaultStages(plans, cfg), 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := DefaultStages(plans, cfg)
+	// Replicate the bottleneck stage (fc1, the widest fan-in).
+	stages[0].Replicas = 2
+	rep, err := SimulateStages(stages, 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SteadyInterval >= base.SteadyInterval {
+		t.Fatalf("replication did not cut the interval: %d -> %d",
+			base.SteadyInterval, rep.SteadyInterval)
+	}
+	wantII, wantLat := AnalyticPipeline(stages, cfg)
+	if rep.SteadyInterval != wantII {
+		t.Fatalf("event interval %d != analytic II %d", rep.SteadyInterval, wantII)
+	}
+	if rep.FirstLatency != wantLat {
+		t.Fatalf("event fill latency %d != analytic %d", rep.FirstLatency, wantLat)
+	}
+	// The cascade adds a merge pass, so the single-input latency grows.
+	if rep.FirstLatency <= base.FirstLatency {
+		t.Fatalf("cascade latency %d should exceed unreplicated %d",
+			rep.FirstLatency, base.FirstLatency)
+	}
+	// One extra sub-stage worth of events per input.
+	if len(rep.Events) != len(base.Events)+40 {
+		t.Fatalf("%d events, want %d", len(rep.Events), len(base.Events)+40)
+	}
+}
+
+func TestSimulateStagesRejectsDegenerateStages(t *testing.T) {
+	plans, _ := fcPlans()
+	cfg := DefaultConfig()
+	stages := DefaultStages(plans, cfg)
+	stages[1].Replicas = 0
+	if _, err := SimulateStages(stages, 4, cfg); err == nil {
+		t.Fatal("zero-replica stage must be rejected")
+	}
+}

@@ -1,12 +1,13 @@
 package accel
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/composer"
 )
 
-func TestPlaceFCNetwork(t *testing.T) {
+func TestPlaceFCNetworkPacksTiles(t *testing.T) {
 	plans, _ := fcPlans() // 512 + 512 + 10 neurons, three dropout layers skipped
 	p, err := Place(plans, DefaultConfig())
 	if err != nil {
@@ -15,21 +16,20 @@ func TestPlaceFCNetwork(t *testing.T) {
 	if len(p.Layers) != 3 {
 		t.Fatalf("%d placed layers, want 3", len(p.Layers))
 	}
-	// Each FC layer fits one tile; layers start on fresh tiles.
-	for i, lp := range p.Layers {
-		if lp.Tiles != 1 {
-			t.Fatalf("layer %d spans %d tiles", i, lp.Tiles)
-		}
-		if lp.FirstTile != i {
-			t.Fatalf("layer %d starts on tile %d", i, lp.FirstTile)
-		}
+	// Continuous packing: fc1 and fc2 fill tile 0 exactly (512+512), the
+	// 10-neuron output layer lands on tile 1.
+	if p.Layers[0].FirstTile != 0 || p.Layers[1].FirstTile != 0 || p.Layers[2].FirstTile != 1 {
+		t.Fatalf("packed tile starts: %d %d %d, want 0 0 1",
+			p.Layers[0].FirstTile, p.Layers[1].FirstTile, p.Layers[2].FirstTile)
 	}
-	if p.TilesUsed != 3 {
-		t.Fatalf("TilesUsed = %d", p.TilesUsed)
+	if p.TilesUsed != 2 {
+		t.Fatalf("TilesUsed = %d, want 2", p.TilesUsed)
 	}
-	// Consecutive layers sit on different tiles, so traffic is inter-tile.
-	if p.InterTileBits == 0 || p.IntraTileBits != 0 {
-		t.Fatalf("traffic split: intra %d inter %d", p.IntraTileBits, p.InterTileBits)
+	// fc1→fc2 share tile 0 (intra), fc2→out crosses to tile 1 (inter): the
+	// packed layout must report a genuine nonzero intra/inter split.
+	if p.IntraTileBits == 0 || p.InterTileBits == 0 {
+		t.Fatalf("traffic split: intra %d inter %d, want both nonzero",
+			p.IntraTileBits, p.InterTileBits)
 	}
 	if p.BufferEnergyJ <= 0 {
 		t.Fatal("buffer energy missing")
@@ -74,20 +74,98 @@ func TestPlaceSharingReducesTiles(t *testing.T) {
 	}
 }
 
-func TestPlaceSmallLayersShareNothing(t *testing.T) {
-	// Tiny adjacent dense layers each still get their own tile (pipelining),
-	// so a two-layer net uses two tiles and pays inter-tile traffic.
-	plans := []*composer.LayerPlan{
-		{Kind: composer.KindDense, Name: "a", Neurons: 8, Edges: 4,
+func twoLayerPlans(a, b int) []*composer.LayerPlan {
+	return []*composer.LayerPlan{
+		{Kind: composer.KindDense, Name: "a", Neurons: a, Edges: 4,
 			WeightCodebooks: [][]float32{{0}}, ChannelCodebook: []int{0}, InputCodebook: []float32{0, 1}},
-		{Kind: composer.KindDense, Name: "b", Neurons: 4, Edges: 8,
+		{Kind: composer.KindDense, Name: "b", Neurons: b, Edges: 8,
 			WeightCodebooks: [][]float32{{0}}, ChannelCodebook: []int{0}, InputCodebook: []float32{0, 1}},
 	}
-	p, err := Place(plans, DefaultConfig())
+}
+
+// Regression for the dead intra-tile branch: before tile packing every layer
+// began on a fresh tile, so producer/consumer could never share one and the
+// intra-tile classification was unreachable — BufferEnergyJ always charged
+// the 3× inter-tile penalty. A two-layer net that fits one tile must now be
+// classified as pure intra-tile traffic, and its buffer energy must price
+// local writes, not penalized ones.
+func TestPlaceSmallNetIsIntraTile(t *testing.T) {
+	cfg := DefaultConfig()
+	p, err := Place(twoLayerPlans(8, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TilesUsed != 1 {
+		t.Fatalf("TilesUsed = %d, want 1 (12 blocks pack into one tile)", p.TilesUsed)
+	}
+	if p.IntraTileBits == 0 || p.InterTileBits != 0 {
+		t.Fatalf("traffic split: intra %d inter %d, want all intra", p.IntraTileBits, p.InterTileBits)
+	}
+	want := float64(p.IntraTileBits) * cfg.Dev.BufferEnergyPerBit
+	if p.BufferEnergyJ != want {
+		t.Fatalf("one-tile net pays %.3g J, want unpenalized %.3g J", p.BufferEnergyJ, want)
+	}
+}
+
+// A producer spanning a tile boundary with its consumer packed into the
+// second tile splits its traffic by the actual overlap: the producer blocks
+// on the shared tile write locally, the rest cross tiles.
+func TestPlacePartialOverlapSplitsTraffic(t *testing.T) {
+	p, err := Place(twoLayerPlans(1500, 500), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.TilesUsed != 2 {
 		t.Fatalf("TilesUsed = %d, want 2", p.TilesUsed)
+	}
+	if p.IntraTileBits == 0 || p.InterTileBits == 0 {
+		t.Fatalf("traffic split: intra %d inter %d, want both nonzero", p.IntraTileBits, p.InterTileBits)
+	}
+	// Producer occupies [0,1500); consumer tiles cover [1024,2048). 476 of
+	// the 1500 producing blocks share the consumer's tile.
+	total := p.IntraTileBits + p.InterTileBits
+	wantIntra := int64(float64(total)*476.0/1500.0 + 0.5)
+	if p.IntraTileBits != wantIntra {
+		t.Fatalf("intra bits %d, want %d of %d", p.IntraTileBits, wantIntra, total)
+	}
+}
+
+// PlaceStages handles replicated stages: replica groups are packed
+// consecutively, the span covers all groups, and traffic classification
+// still conserves the total bit count.
+func TestPlaceStagesWithReplication(t *testing.T) {
+	plans := twoLayerPlans(700, 700)
+	cfg := DefaultConfig()
+	stages := DefaultStages(plans, cfg)
+	stages[1].Replicas = 2 // consumer occupies 1400 blocks across two groups
+	p, err := PlaceStages(stages, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layers[1].Replicas != 2 || p.Layers[1].Blocks != 700 {
+		t.Fatalf("replicated layer placement %+v", p.Layers[1])
+	}
+	// 700 + 2*700 = 2100 blocks → tiles 0..2.
+	if p.TilesUsed != 3 {
+		t.Fatalf("TilesUsed = %d, want 3", p.TilesUsed)
+	}
+	if p.Layers[1].FirstTile != 0 || p.Layers[1].Tiles != 3 {
+		t.Fatalf("replicated span %d..%d", p.Layers[1].FirstTile, p.Layers[1].FirstTile+p.Layers[1].Tiles-1)
+	}
+	bitsPer := int64(bitsFor(2)) // two-entry input codebook
+	total := int64(700) * bitsPer
+	if p.IntraTileBits+p.InterTileBits != total {
+		t.Fatalf("traffic %d+%d does not conserve total %d", p.IntraTileBits, p.InterTileBits, total)
+	}
+}
+
+func TestPlaceOverCapacityMentionsTiles(t *testing.T) {
+	plans, _ := convPlans()
+	_, err := Place(plans, DefaultConfig())
+	if err == nil {
+		t.Fatal("expected over-capacity error")
+	}
+	if got := err.Error(); !strings.Contains(got, "tiles") {
+		t.Fatalf("error %q does not report the tile shortfall", got)
 	}
 }

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/accel/compile"
+)
+
+// Schedule-driven capacity planning: the compilation pass's analytic
+// initiation interval gives the sustained inference rate of one deployment
+// at each chip count, and the fleet question "how many deployments to serve
+// X inferences/s" falls out by division. This is the bridge between the
+// compiler's Schedule and the serving-fabric replica sizing.
+
+// FleetPoint is one deployment option: a chip count, the compiled schedule's
+// capacity at that count, and the deployments needed for the plan's target.
+type FleetPoint struct {
+	compile.CapacityPoint
+	// Deployments is how many copies of this deployment sustain the plan's
+	// TargetIPS (0 when no target was set).
+	Deployments int
+}
+
+// FleetPlan sizes a workload's serving fleet from compiled schedules.
+type FleetPlan struct {
+	Workload  string
+	Mode      compile.Mode
+	TargetIPS float64
+	Points    []FleetPoint
+}
+
+// FleetSize compiles the workload at each chip count and sizes the fleet for
+// the target aggregate rate (targetIPS <= 0 skips the sizing and just
+// reports per-deployment capacity).
+func FleetSize(hb *HWBench, cfg accel.Config, opts compile.Options, chipCounts []int, targetIPS float64) (*FleetPlan, error) {
+	pts, err := compile.EstimateCapacity(hb.Name, hb.Plans, cfg, opts, chipCounts)
+	if err != nil {
+		return nil, err
+	}
+	plan := &FleetPlan{Workload: hb.Name, Mode: opts.Mode, TargetIPS: targetIPS}
+	for _, pt := range pts {
+		fp := FleetPoint{CapacityPoint: pt}
+		if targetIPS > 0 {
+			fp.Deployments = pt.DeploymentsForIPS(targetIPS)
+		}
+		plan.Points = append(plan.Points, fp)
+	}
+	return plan, nil
+}
+
+// String renders the plan as an aligned table.
+func (p *FleetPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capacity plan: %s (%s objective)\n", p.Workload, p.Mode)
+	fmt.Fprintf(&b, "%8s %12s %16s %10s", "chips", "II cycles", "IPS/deployment", "multiplex")
+	if p.TargetIPS > 0 {
+		fmt.Fprintf(&b, " %12s", "deployments")
+	}
+	b.WriteByte('\n')
+	for _, pt := range p.Points {
+		fmt.Fprintf(&b, "%8d %12d %16.0f %9.2fx", pt.Chips, pt.II, pt.ThroughputIPS, pt.Multiplex)
+		if p.TargetIPS > 0 {
+			fmt.Fprintf(&b, " %12d", pt.Deployments)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

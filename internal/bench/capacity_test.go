@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/accel/compile"
+)
+
+func TestFleetSize(t *testing.T) {
+	var hb *HWBench
+	for _, b := range HardwareBenchmarks(64, 64) {
+		if b.Name == "MNIST" {
+			hb = b
+		}
+	}
+	plan, err := FleetSize(hb, accel.DefaultConfig(),
+		compile.Options{Mode: compile.Throughput}, []int{1, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Points) != 2 || plan.Points[0].Chips != 1 || plan.Points[1].Chips != 8 {
+		t.Fatalf("plan points %+v", plan.Points)
+	}
+	if plan.Points[0].Deployments != 0 {
+		t.Fatal("no target set, deployments must be 0")
+	}
+
+	target := 3 * plan.Points[0].ThroughputIPS
+	sized, err := FleetSize(hb, accel.DefaultConfig(),
+		compile.Options{Mode: compile.Throughput}, []int{1}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sized.Points[0].Deployments; got != 3 {
+		t.Fatalf("deployments = %d, want 3", got)
+	}
+	out := sized.String()
+	for _, want := range []string{"capacity plan: MNIST", "deployments", "IPS/deployment"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan table missing %q:\n%s", want, out)
+		}
+	}
+}

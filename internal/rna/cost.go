@@ -209,6 +209,32 @@ func (m CostModel) PoolNeuronCost(p *composer.LayerPlan) Breakdown {
 	return b
 }
 
+// NeuronCycles returns the sequential cycle count of evaluating one neuron —
+// the layer's pipeline-stage dwell time before sharing stretch or
+// replication, since a layer's neurons evaluate in parallel blocks. This is
+// the accessor the accelerator's stage-cost helper builds on, so the
+// analytic model, the event simulator and the compilation pass all price a
+// stage through the same formula.
+func (m CostModel) NeuronCycles(p *composer.LayerPlan) int64 {
+	return m.NeuronCost(p).Total().Cycles
+}
+
+// ReplicaMergeCost prices folding one cascaded partial sum into the next
+// replica group's carry-save tree when a stage's fan-in is split across R
+// block groups (the compilation pass's bottleneck replication): each cascade
+// boundary inserts one extra 3:2 compressor pass over the full accumulator
+// width. Charged per neuron per boundary; zero for non-compute layers.
+func (m CostModel) ReplicaMergeCost(p *composer.LayerPlan) Cost {
+	if !p.IsCompute() {
+		return Cost{}
+	}
+	sumBits := m.SumBits(p.Edges)
+	return Cost{
+		Cycles:  int64(m.Dev.AddStageCycles),
+		EnergyJ: 15 * float64(sumBits) * m.Dev.NOREnergy,
+	}
+}
+
 // ReconfigureCost returns the energy/cycles of programming one RNA's tables
 // (crossbar products + both AMs) — paid when a network is larger than the
 // available RNA population and blocks must be time-multiplexed (§5.5's
